@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Figure 12: software vs hardware consistency at cacheline
+ * granularity — touch 1..64 cachelines per page across remote pages
+ * and compare DSM (page replication) against hardware coherence
+ * (cacheline transfers).
+ *
+ * Paper shape: DSM is enormously worse when one line per page is
+ * touched (replication of the whole page is wasted) and converges
+ * toward ~2x when the full page is consumed; software consistency
+ * regains appeal only for dense sequential use.
+ */
+
+#include <cstdio>
+
+#include "common/bench_util.hh"
+#include "stramash/workloads/microbench.hh"
+
+using namespace stramash;
+using namespace stramash::bench;
+
+namespace
+{
+
+Cycles
+run(OsDesign design, unsigned lines, unsigned pages)
+{
+    SystemConfig cfg;
+    cfg.osDesign = design;
+    cfg.memoryModel = MemoryModel::Shared;
+    cfg.transport = Transport::SharedMemory;
+    System sys(cfg);
+    return runGranularityCase(sys, lines, pages);
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    std::printf("=== Figure 12: page access at cacheline "
+                "granularity (64 B .. 4096 B per page) ===\n\n");
+
+    const unsigned pages = 256;
+    Table tab({"lines/page", "bytes", "DSM(SHM) cyc/page",
+               "HW(Stramash) cyc/page", "DSM/HW"});
+
+    double first = 0, last = 0;
+    for (unsigned lines : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+        Cycles dsm = run(OsDesign::MultipleKernel, lines, pages);
+        Cycles hw = run(OsDesign::FusedKernel, lines, pages);
+        double ratio =
+            static_cast<double>(dsm) / static_cast<double>(hw);
+        tab.addRow({Table::big(lines), Table::big(lines * 64),
+                    Table::num(static_cast<double>(dsm) / pages, 0),
+                    Table::num(static_cast<double>(hw) / pages, 0),
+                    Table::num(ratio, 1) + "x"});
+        if (lines == 1)
+            first = ratio;
+        if (lines == 64)
+            last = ratio;
+    }
+    tab.print();
+    std::printf("\n");
+
+    std::printf("Shape checks vs the paper:\n");
+    check(first > 8.0,
+          "1 line: DSM vastly worse than hardware coherence (paper: "
+          ">300x on real Linux software paths; our thinner modelled "
+          "kernel compresses the extreme) — measured " +
+              Table::num(first, 1) + "x");
+    check(last < first / 3,
+          "64 lines: the gap collapses as the replicated page gets "
+          "used (paper: ~2x) — measured " +
+              Table::num(last, 1) + "x");
+    return checksExitCode();
+}

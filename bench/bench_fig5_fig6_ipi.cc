@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Figures 5 and 6: IPI latency characterisation on the four
+ * reference machines (per-core-pair latency matrices, RDTSC +
+ * MONITOR/MWAIT methodology in the paper). The big-machine averages
+ * of ~2 us justify the simulated cross-ISA IPI cost (§9.1.1).
+ */
+
+#include <cstdio>
+
+#include "common/bench_util.hh"
+#include "stramash/sim/ipi_topology.hh"
+
+using namespace stramash;
+using namespace stramash::bench;
+
+namespace
+{
+
+void
+printMatrixSummary(const IpiTopologyModel &m)
+{
+    auto mat = m.latencyMatrixNs(16, 2025);
+    std::printf("--- %s (%u cores) ---\n", m.name.c_str(),
+                m.numCores);
+
+    // Print the top-left corner like the paper's heatmaps; big
+    // machines get a condensed 8x8 view.
+    unsigned show = std::min(m.numCores, 8u);
+    std::printf("  from\\to ");
+    for (unsigned t = 0; t < show; ++t)
+        std::printf("%7u", t);
+    std::printf("\n");
+    for (unsigned f = 0; f < show; ++f) {
+        std::printf("  %7u ", f);
+        for (unsigned t = 0; t < show; ++t)
+            std::printf("%7.0f", mat[f][t]);
+        std::printf("\n");
+    }
+
+    double mean = IpiTopologyModel::meanOffDiagonalNs(mat);
+    double minV = 1e30, maxV = 0;
+    for (unsigned f = 0; f < m.numCores; ++f) {
+        for (unsigned t = 0; t < m.numCores; ++t) {
+            if (f == t)
+                continue;
+            minV = std::min(minV, mat[f][t]);
+            maxV = std::max(maxV, mat[f][t]);
+        }
+    }
+    std::printf("  mean %.0f ns   min %.0f ns   max %.0f ns\n\n",
+                mean, minV, maxV);
+}
+
+double
+meanNs(const IpiTopologyModel &m)
+{
+    return IpiTopologyModel::meanOffDiagonalNs(
+        m.latencyMatrixNs(16, 2025));
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    std::printf("=== Figures 5 & 6: IPI latency matrices (ns) "
+                "===\n\n");
+
+    printMatrixSummary(IpiTopologyModel::smallArm());
+    printMatrixSummary(IpiTopologyModel::bigArm());
+    printMatrixSummary(IpiTopologyModel::smallX86());
+    printMatrixSummary(IpiTopologyModel::bigX86());
+
+    double bigArm = meanNs(IpiTopologyModel::bigArm());
+    double bigX86 = meanNs(IpiTopologyModel::bigX86());
+
+    std::printf("Shape checks vs the paper:\n");
+    check(bigArm > 1500 && bigArm < 2600,
+          "big_Arm mean ~2 us (" + Table::num(bigArm / 1000.0) +
+              " us) — the adopted cross-ISA IPI cost");
+    check(bigX86 > 1500 && bigX86 < 2600,
+          "big_x86 mean ~2 us (" + Table::num(bigX86 / 1000.0) +
+              " us)");
+    check(meanNs(IpiTopologyModel::smallArm()) < bigArm,
+          "small machines have lower IPI latency than big ones");
+    return checksExitCode();
+}

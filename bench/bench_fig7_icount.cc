@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Figure 7: icount validation — the icount-based timing model
+ * (fixed non-memory IPC, perf-aligned, plus Cache-plugin feedback on
+ * the simulated geometry) against the higher-fidelity bare-metal
+ * reference of each physical machine (its *own* cache configuration
+ * and out-of-order stall overlap).
+ *
+ * The paper reports relative errors always below 13% and about 4%
+ * on average across NPB benchmarks on the small and big machine
+ * pairs; this harness reproduces the methodology and the error band.
+ */
+
+#include <cstdio>
+
+#include "common/bench_util.hh"
+#include "stramash/cache/coherence.hh"
+#include "stramash/sim/baremetal_ref.hh"
+
+using namespace stramash;
+using namespace stramash::bench;
+
+namespace
+{
+
+/**
+ * The icount model's single stall-overlap calibration constant —
+ * the analogue of the paper's alignment of icount data with native
+ * perf measurements. One global value for all machines and
+ * benchmarks (no per-experiment tuning).
+ */
+constexpr double icountStallExposure = 0.91;
+
+/** Replay a trace through a reference machine. */
+Cycles
+replayReference(const Trace &trace, const BareMetalConfig &cfg)
+{
+    BareMetalRef ref(cfg);
+    for (const auto &op : trace.ops) {
+        if (op.isRetire) {
+            ref.retire(op.count);
+            continue;
+        }
+        Addr first = lineBase(op.addr);
+        Addr last = lineBase(op.addr + (op.size ? op.size - 1 : 0));
+        for (Addr a = first; a <= last; a += cacheLineSize)
+            ref.access(op.type, a);
+    }
+    return ref.counters().cycles;
+}
+
+/**
+ * Replay through the Stramash-QEMU icount model: perf-aligned base
+ * IPC plus serial Cache-plugin feedback (simulated 4 MiB geometry)
+ * for everything beyond the L1.
+ */
+Cycles
+replayIcount(const Trace &trace, const BareMetalConfig &machine)
+{
+    PhysMap map = PhysMap::paperDefault(MemoryModel::FullyShared);
+    CoherenceDomain domain(map, SnoopCosts{});
+    auto geom = HierarchyGeometry::paperDefault(4 * 1024 * 1024);
+    const LatencyProfile &prof = latencyProfile(machine.core);
+    if (prof.l3 == 0)
+        geom.l3.sizeBytes = 0; // Cortex-A72: no L3 (Table 2 "*")
+    domain.addNode(0, geom, prof);
+
+    double cycles = 0.0;
+    for (const auto &op : trace.ops) {
+        if (op.isRetire) {
+            // "We align these native perf results with the Stramash
+            // icount data": the non-memory IPC comes from perf.
+            cycles += static_cast<double>(op.count) * machine.baseCpi;
+            continue;
+        }
+        Addr first = lineBase(op.addr);
+        Addr last = lineBase(op.addr + (op.size ? op.size - 1 : 0));
+        for (Addr a = first; a <= last; a += cacheLineSize) {
+            AccessResult r = domain.accessLine(0, op.type, a);
+            if (r.level != HitLevel::L1)
+                cycles += static_cast<double>(r.latency) *
+                          icountStallExposure;
+        }
+    }
+    return static_cast<Cycles>(cycles);
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    std::printf("=== Figure 7: icount validation against bare-metal "
+                "references ===\n\n");
+
+    const std::vector<BareMetalConfig> machines{
+        BareMetalConfig::smallX86(), BareMetalConfig::smallArm(),
+        BareMetalConfig::bigX86(), BareMetalConfig::bigArm()};
+
+    Table tab({"bench", "machine", "perf cycles(M)",
+               "icount cycles(M)", "error"});
+
+    double errSum = 0.0, errMax = 0.0;
+    int cells = 0;
+    for (const auto &kernel : npbKernelNames()) {
+        Trace trace = captureNpbTrace(kernel, 1024 * 1024, 2);
+        for (const auto &m : machines) {
+            Cycles ref = replayReference(trace, m);
+            Cycles icount = replayIcount(trace, m);
+            double err =
+                std::abs(static_cast<double>(icount) -
+                         static_cast<double>(ref)) /
+                static_cast<double>(ref);
+            tab.addRow({kernel, m.name,
+                        Table::num(static_cast<double>(ref) / 1e6),
+                        Table::num(
+                            static_cast<double>(icount) / 1e6),
+                        Table::num(err * 100.0, 1) + "%"});
+            errSum += err;
+            errMax = std::max(errMax, err);
+            ++cells;
+        }
+    }
+    tab.print();
+    double avg = errSum / cells;
+    std::printf("\n  average error %.1f%%, max error %.1f%%\n\n",
+                avg * 100.0, errMax * 100.0);
+
+    std::printf("Shape checks vs the paper:\n");
+    check(errMax < 0.13,
+          "relative error always below 13% (paper Fig. 7)");
+    check(avg < 0.06,
+          "average error in the paper's ~4% band (measured " +
+              Table::num(avg * 100.0, 1) + "%)");
+    return checksExitCode();
+}

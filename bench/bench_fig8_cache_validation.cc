@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Figure 8: cache simulation validation — per-level hit rates of the
+ * primary Cache-plugin model against the independently implemented
+ * Ruby-style MESI three-level reference, on the NPB traces.
+ *
+ * The paper validates its plugin against gem5's Ruby MESI
+ * three-level model with discrepancies below 5% at every level; our
+ * reference model plays gem5's role.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/bench_util.hh"
+#include "stramash/cache/coherence.hh"
+#include "stramash/cache/ruby_ref.hh"
+
+using namespace stramash;
+using namespace stramash::bench;
+
+int
+main()
+{
+    setQuiet(true);
+    std::printf("=== Figure 8: Cache plugin vs Ruby-style reference "
+                "(hit rates) ===\n\n");
+
+    Table tab({"bench", "level", "plugin", "ruby", "|diff|"});
+    double worst = 0.0;
+
+    for (const auto &kernel : npbKernelNames()) {
+        Trace trace = captureNpbTrace(kernel, 1024 * 1024, 2);
+
+        PhysMap map = PhysMap::paperDefault(MemoryModel::FullyShared);
+        CoherenceDomain plugin(map, SnoopCosts{});
+        plugin.addNode(0,
+                       HierarchyGeometry::paperDefault(4 * 1024 *
+                                                       1024),
+                       latencyProfile(CoreModel::XeonGold));
+        RubyRefModel ruby(1,
+                          RubyGeometry::paperDefault(4 * 1024 * 1024));
+
+        for (const auto &op : trace.ops) {
+            if (op.isRetire)
+                continue;
+            Addr first = lineBase(op.addr);
+            Addr last =
+                lineBase(op.addr + (op.size ? op.size - 1 : 0));
+            for (Addr a = first; a <= last; a += cacheLineSize) {
+                plugin.accessLine(0, op.type, a);
+                ruby.access(0, op.type, a);
+            }
+        }
+
+        auto &s = plugin.nodeStats(0);
+        auto rate = [&](const char *hits, const char *acc) {
+            double a = static_cast<double>(s.value(acc));
+            return a > 0 ? static_cast<double>(s.value(hits)) / a
+                         : 0.0;
+        };
+        struct LevelRow
+        {
+            const char *name;
+            double plugin;
+            double ruby;
+        };
+        // The plugin's unified L1 counters vs Ruby's L1D (data
+        // dominates; the workloads issue no instruction fetches).
+        std::vector<LevelRow> rows{
+            {"L1", rate("l1_hits", "l1_accesses"),
+             ruby.levelStats(0, 1).hitRate()},
+            {"L2", rate("l2_hits", "l2_accesses"),
+             ruby.levelStats(0, 2).hitRate()},
+            {"L3", rate("l3_hits", "l3_accesses"),
+             ruby.levelStats(0, 3).hitRate()},
+        };
+        for (const auto &r : rows) {
+            double diff = std::abs(r.plugin - r.ruby);
+            worst = std::max(worst, diff);
+            tab.addRow({kernel, r.name,
+                        Table::num(r.plugin * 100.0, 1) + "%",
+                        Table::num(r.ruby * 100.0, 1) + "%",
+                        Table::num(diff * 100.0, 1) + "pp"});
+        }
+    }
+    tab.print();
+    std::printf("\n");
+
+    std::printf("Shape checks vs the paper:\n");
+    check(worst < 0.12,
+          "per-level hit-rate discrepancy stays small (paper: <5% "
+          "vs gem5; worst here " +
+              Table::num(worst * 100.0, 1) + "pp)");
+    return checksExitCode();
+}

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the core primitives: these
+ * measure *simulator* throughput (host-side), useful for keeping the
+ * framework fast enough to run the paper-scale experiments.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/bench_util.hh"
+#include "stramash/cache/coherence.hh"
+#include "stramash/common/rng.hh"
+#include "stramash/rbtree/rbtree.hh"
+
+using namespace stramash;
+
+namespace
+{
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    PhysMap map = PhysMap::paperDefault(MemoryModel::FullyShared);
+    CoherenceDomain domain(map, SnoopCosts{});
+    domain.addNode(0, HierarchyGeometry::paperDefault(4 * 1024 * 1024),
+                   latencyProfile(CoreModel::XeonGold));
+    Rng rng(1);
+    Addr span = static_cast<Addr>(state.range(0));
+    for (auto _ : state) {
+        Addr a = rng.below64(span) & ~Addr{63};
+        benchmark::DoNotOptimize(
+            domain.accessLine(0, AccessType::Load, a).latency);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess)->Arg(1 << 20)->Arg(64 << 20);
+
+void
+BM_CoherentStorePingPong(benchmark::State &state)
+{
+    PhysMap map = PhysMap::paperDefault(MemoryModel::FullyShared);
+    CoherenceDomain domain(map, SnoopCosts{});
+    auto geom = HierarchyGeometry::paperDefault(4 * 1024 * 1024);
+    domain.addNode(0, geom, latencyProfile(CoreModel::XeonGold));
+    domain.addNode(1, geom, latencyProfile(CoreModel::ThunderX2));
+    NodeId n = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            domain.accessLine(n, AccessType::Store, 0x1000).latency);
+        n ^= 1;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CoherentStorePingPong);
+
+void
+BM_PageTableWalk(benchmark::State &state)
+{
+    GuestMemory mem;
+    Addr next = 0x100000;
+    PageTable pt(
+        mem, X86PteFormat::instance(),
+        [&] {
+            Addr f = next;
+            next += pageSize;
+            return f;
+        },
+        [](Addr) {});
+    PteAttrs attrs;
+    attrs.present = true;
+    attrs.writable = true;
+    for (Addr va = 0; va < 512 * pageSize; va += pageSize)
+        pt.map(0x10000000 + va, 0x20000000 + va, attrs);
+    Rng rng(2);
+    for (auto _ : state) {
+        Addr va = 0x10000000 + (rng.below(512) * pageSize);
+        benchmark::DoNotOptimize(pt.walk(va));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PageTableWalk);
+
+void
+BM_RbTreeInsertErase(benchmark::State &state)
+{
+    RbTree<std::uint64_t, std::uint64_t> tree;
+    Rng rng(3);
+    for (auto _ : state) {
+        std::uint64_t k = rng.below(1 << 16);
+        tree.insert(k, k);
+        tree.eraseKey(rng.below(1 << 16));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RbTreeInsertErase);
+
+void
+BM_UserAccessRoundTrip(benchmark::State &state)
+{
+    SystemConfig cfg;
+    cfg.osDesign = OsDesign::FusedKernel;
+    System sys(cfg);
+    App app(sys, 0);
+    Addr buf = app.mmap(1 << 20);
+    // Fault everything in once.
+    for (Addr a = 0; a < (1 << 20); a += pageSize)
+        app.write<std::uint64_t>(buf + a, a);
+    Rng rng(4);
+    for (auto _ : state) {
+        Addr a = buf + (rng.below(1 << 14) * 64);
+        benchmark::DoNotOptimize(app.read<std::uint64_t>(a));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UserAccessRoundTrip);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Table 3: message count during migration and replicated page count
+ * during runtime migration — Popcorn vs Stramash, with reduction
+ * rates. The paper reports >99% message reduction on all four
+ * benchmarks and 83-99.9% replication reduction.
+ */
+
+#include <cstdio>
+
+#include <algorithm>
+
+#include "common/bench_util.hh"
+
+using namespace stramash;
+using namespace stramash::bench;
+
+int
+main()
+{
+    setQuiet(true);
+    std::printf("=== Table 3: messages and replicated pages, "
+                "Popcorn vs Stramash ===\n\n");
+
+    NpbConfig ncfg;
+    ncfg.iterations = 5;
+    ncfg.problemBytes = 2 * 1024 * 1024;
+    const Addr l3 = 4 * 1024 * 1024;
+
+    EvalConfig popcorn{"popcorn", OsDesign::MultipleKernel,
+                       MemoryModel::Shared, Transport::SharedMemory,
+                       true, l3};
+    EvalConfig stramash{"stramash", OsDesign::FusedKernel,
+                        MemoryModel::Shared, Transport::SharedMemory,
+                        true, l3};
+
+    Table tab({"bench", "msgs(Popcorn)", "msgs(Stramash)",
+               "msg reduction", "repl(Popcorn)", "repl(Stramash)",
+               "repl reduction"});
+
+    bool allMsgsReduced = true;
+    double minNonFtRepl = 100.0;
+    double ftRepl = 100.0;
+    for (const auto &kernel : npbKernelNames()) {
+        EvalResult p = runNpbConfig(kernel, popcorn, ncfg);
+        EvalResult s = runNpbConfig(kernel, stramash, ncfg);
+        double msgRed =
+            100.0 * (1.0 - static_cast<double>(s.messages) /
+                               static_cast<double>(p.messages));
+        double replRed =
+            p.replicated
+                ? 100.0 * (1.0 - static_cast<double>(s.replicated) /
+                                     static_cast<double>(
+                                         p.replicated))
+                : 100.0;
+        tab.addRow({kernel, Table::big(p.messages),
+                    Table::big(s.messages),
+                    Table::num(msgRed, 2) + "%",
+                    Table::big(p.replicated),
+                    Table::big(s.replicated),
+                    Table::num(replRed, 2) + "%"});
+        allMsgsReduced &= msgRed > 90.0;
+        if (kernel == "ft")
+            ftRepl = replRed;
+        else
+            minNonFtRepl = std::min(minNonFtRepl, replRed);
+    }
+    tab.print();
+    std::printf("\nNote: Stramash's \"replicated pages\" column "
+                "counts PTEs the remote kernel inserted into both "
+                "page tables (foreign-format fast path, reconciled "
+                "at migrate-back); Popcorn's counts 4 KiB content "
+                "replications through DSM.\n\n");
+
+    std::printf("Shape checks vs the paper:\n");
+    check(allMsgsReduced,
+          "message reduction > 90% on every benchmark (paper: "
+          ">99.7%)");
+    check(minNonFtRepl > 95.0,
+          "IS/CG/MG replication reduction is near-total (paper: "
+          ">99.8%)");
+    check(ftRepl > 20.0 && ftRepl < minNonFtRepl,
+          "FT is the replication outlier — its fresh remote "
+          "allocations become dual-table insertions (paper: 83.3% "
+          "vs >99.8% elsewhere)");
+    return checksExitCode();
+}

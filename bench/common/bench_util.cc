@@ -1,0 +1,174 @@
+#include "bench_util.hh"
+
+#include <cstdio>
+#include <sstream>
+
+namespace stramash::bench
+{
+
+namespace
+{
+int failedChecks = 0;
+} // namespace
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size() && c < widths.size();
+             ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+    auto printRow = [&](const std::vector<std::string> &cells) {
+        std::printf("  ");
+        for (std::size_t c = 0; c < cells.size(); ++c)
+            std::printf("%-*s  ", static_cast<int>(widths[c]),
+                        cells[c].c_str());
+        std::printf("\n");
+    };
+    printRow(headers_);
+    std::size_t total = 2;
+    for (auto w : widths)
+        total += w + 2;
+    std::printf("  %s\n", std::string(total - 2, '-').c_str());
+    for (const auto &row : rows_)
+        printRow(row);
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::big(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+std::vector<EvalConfig>
+figure9Configs(Addr l3Size)
+{
+    using D = OsDesign;
+    using M = MemoryModel;
+    using T = Transport;
+    return {
+        {"Vanilla", D::FusedKernel, M::Separated, T::SharedMemory,
+         false, l3Size},
+        {"TCP", D::MultipleKernel, M::Separated, T::Network, true,
+         l3Size},
+        {"Separated-SHM", D::MultipleKernel, M::Separated,
+         T::SharedMemory, true, l3Size},
+        {"Shared-SHM", D::MultipleKernel, M::Shared, T::SharedMemory,
+         true, l3Size},
+        {"FullyShared-SHM", D::MultipleKernel, M::FullyShared,
+         T::SharedMemory, true, l3Size},
+        {"Separated", D::FusedKernel, M::Separated, T::SharedMemory,
+         true, l3Size},
+        {"Shared", D::FusedKernel, M::Shared, T::SharedMemory, true,
+         l3Size},
+        {"FullyShared", D::FusedKernel, M::FullyShared,
+         T::SharedMemory, true, l3Size},
+    };
+}
+
+EvalResult
+runNpbConfig(const std::string &kernel, const EvalConfig &config,
+             const NpbConfig &ncfg)
+{
+    SystemConfig cfg;
+    cfg.osDesign = config.design;
+    cfg.memoryModel = config.model;
+    cfg.transport = config.transport;
+    cfg.l3Size = config.l3Size;
+    System sys(cfg);
+    App app(sys, 0);
+
+    NpbConfig run = ncfg;
+    run.migrate = config.migrate;
+    sys.resetExperimentCounters();
+
+    NpbResult r = makeNpbKernel(kernel)->run(app, run);
+
+    EvalResult out;
+    out.runtime = sys.runtime();
+    for (NodeId n = 0; n < sys.nodeCount(); ++n) {
+        const Node &node = sys.machine().node(n);
+        out.memCycles += node.memCycles();
+        auto &cs = sys.machine().caches().nodeStats(n);
+        out.localMemHits += cs.value("local_mem_hits");
+        out.remoteMemHits += cs.value("remote_mem_hits") +
+                             cs.value("remote_shared_mem_hits");
+        out.ipis += sys.machine().ipisReceived(n);
+    }
+    out.instCycles = out.runtime - out.memCycles;
+    out.messages = sys.messagesSent();
+    out.replicated = sys.replicatedPages();
+    out.verified = r.verified;
+    return out;
+}
+
+Trace
+captureNpbTrace(const std::string &kernel, Addr problemBytes,
+                unsigned iterations)
+{
+    SystemConfig cfg;
+    cfg.osDesign = OsDesign::FusedKernel;
+    cfg.memoryModel = MemoryModel::FullyShared;
+    cfg.transport = Transport::SharedMemory;
+    System sys(cfg);
+    App app(sys, 0);
+
+    Trace trace;
+    sys.machine().setTraceHooks(
+        [&](NodeId, AccessType type, Addr addr, unsigned size) {
+            trace.ops.push_back({false, type, size, addr, 0});
+            trace.totalAccessBytes += size;
+        },
+        [&](NodeId, ICount n) {
+            trace.ops.push_back({true, AccessType::Load, 0, 0, n});
+            trace.totalInst += n;
+        });
+
+    NpbConfig ncfg;
+    ncfg.iterations = iterations;
+    ncfg.problemBytes = problemBytes;
+    ncfg.migrate = false;
+    NpbResult r = makeNpbKernel(kernel)->run(app, ncfg);
+    sys.machine().clearTraceHooks();
+    panic_if(!r.verified, "trace capture run failed verification");
+    return trace;
+}
+
+void
+check(bool ok, const std::string &what)
+{
+    std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what.c_str());
+    if (!ok)
+        ++failedChecks;
+}
+
+int
+checksExitCode()
+{
+    return failedChecks == 0 ? 0 : 1;
+}
+
+} // namespace stramash::bench

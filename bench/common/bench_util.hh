@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Shared utilities for the experiment harnesses: aligned table
+ * printing, per-configuration NPB runs with cost breakdowns, and the
+ * system-configuration vocabulary of the evaluation (§8).
+ */
+
+#ifndef STRAMASH_BENCH_BENCH_UTIL_HH
+#define STRAMASH_BENCH_BENCH_UTIL_HH
+
+#include <string>
+#include <vector>
+
+#include "stramash/workloads/npb.hh"
+
+namespace stramash::bench
+{
+
+/** Simple fixed-width table printer. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+    void print() const;
+
+    static std::string num(double v, int precision = 2);
+    static std::string big(std::uint64_t v);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** One evaluated configuration of Fig. 9 / Fig. 10. */
+struct EvalConfig
+{
+    std::string label;
+    OsDesign design;
+    MemoryModel model;
+    Transport transport;
+    bool migrate;
+    Addr l3Size;
+};
+
+/** The paper's eight Fig.-9 columns. */
+std::vector<EvalConfig> figure9Configs(Addr l3Size);
+
+/** Outcome of one NPB run under one configuration. */
+struct EvalResult
+{
+    Cycles runtime = 0;
+    Cycles instCycles = 0;   ///< non-memory (icount / fixed IPC)
+    Cycles memCycles = 0;    ///< memory-system feedback
+    std::uint64_t messages = 0;
+    std::uint64_t replicated = 0;
+    std::uint64_t localMemHits = 0;
+    std::uint64_t remoteMemHits = 0;
+    std::uint64_t ipis = 0;
+    bool verified = false;
+};
+
+/** Run one NPB kernel under one configuration. */
+EvalResult runNpbConfig(const std::string &kernel,
+                        const EvalConfig &config,
+                        const NpbConfig &ncfg);
+
+/** One recorded event of an execution trace. */
+struct TraceOp
+{
+    bool isRetire;
+    AccessType type;
+    unsigned size;
+    Addr addr;
+    ICount count;
+};
+
+/** A captured execution (access + retirement stream). */
+struct Trace
+{
+    std::vector<TraceOp> ops;
+    ICount totalInst = 0;
+    std::uint64_t totalAccessBytes = 0;
+};
+
+/**
+ * Run an NPB kernel vanilla (no migration, FullyShared) and capture
+ * the full access/retire stream for replay through alternative
+ * timing models (Figs. 7 and 8).
+ */
+Trace captureNpbTrace(const std::string &kernel, Addr problemBytes,
+                      unsigned iterations);
+
+/** Shape-check helper: prints PASS/FAIL like the AE scripts. */
+void check(bool ok, const std::string &what);
+
+/** Non-zero exit if any check() failed. */
+int checksExitCode();
+
+} // namespace stramash::bench
+
+#endif // STRAMASH_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Build, test, and regenerate every table and figure of the paper.
+set -e
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+(for b in build/bench/*; do
+    if [ -f "$b" ] && [ -x "$b" ]; then
+        echo "===== $(basename "$b") ====="
+        "$b"
+        echo
+    fi
+done) 2>&1 | tee bench_output.txt
+echo "done: $(grep -c PASS bench_output.txt) shape checks passed,"\
+     "$(grep -c FAIL bench_output.txt || true) failed"

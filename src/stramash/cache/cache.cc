@@ -1,0 +1,154 @@
+#include "stramash/cache/cache.hh"
+
+#include <bit>
+
+namespace stramash
+{
+
+const char *
+mesiName(Mesi m)
+{
+    switch (m) {
+      case Mesi::Invalid: return "I";
+      case Mesi::Shared: return "S";
+      case Mesi::Exclusive: return "E";
+      case Mesi::Modified: return "M";
+    }
+    panic("unknown Mesi state");
+}
+
+SetAssocCache::SetAssocCache(const CacheGeometry &geom) : geom_(geom)
+{
+    panic_if(geom_.lineSize == 0 ||
+                 (geom_.lineSize & (geom_.lineSize - 1)) != 0,
+             "cache line size must be a power of two");
+    panic_if(geom_.ways == 0, "cache must have at least one way");
+    Addr sets = geom_.numSets();
+    panic_if(sets == 0 || (sets & (sets - 1)) != 0,
+             "cache set count must be a power of two, got ", sets);
+    setMask_ = sets - 1;
+    lineShift_ = std::countr_zero(geom_.lineSize);
+    lines_.resize(sets * geom_.ways);
+}
+
+std::size_t
+SetAssocCache::setIndex(Addr addr) const
+{
+    return (addr >> lineShift_) & setMask_;
+}
+
+Addr
+SetAssocCache::tagOf(Addr addr) const
+{
+    return addr >> lineShift_;
+}
+
+Addr
+SetAssocCache::addrOf(Addr tag, std::size_t) const
+{
+    // The tag keeps the full line number, so the set index is
+    // redundant for reconstruction.
+    return tag << lineShift_;
+}
+
+SetAssocCache::Line *
+SetAssocCache::probe(Addr addr)
+{
+    std::size_t set = setIndex(addr);
+    Addr tag = tagOf(addr);
+    Line *base = &lines_[set * geom_.ways];
+    for (unsigned w = 0; w < geom_.ways; ++w) {
+        Line &l = base[w];
+        if (l.valid() && l.tag == tag) {
+            l.lru = ++tick_;
+            return &l;
+        }
+    }
+    return nullptr;
+}
+
+const SetAssocCache::Line *
+SetAssocCache::peek(Addr addr) const
+{
+    std::size_t set = setIndex(addr);
+    Addr tag = tagOf(addr);
+    const Line *base = &lines_[set * geom_.ways];
+    for (unsigned w = 0; w < geom_.ways; ++w) {
+        const Line &l = base[w];
+        if (l.valid() && l.tag == tag)
+            return &l;
+    }
+    return nullptr;
+}
+
+SetAssocCache::Line *
+SetAssocCache::peekMutable(Addr addr)
+{
+    return const_cast<Line *>(
+        static_cast<const SetAssocCache *>(this)->peek(addr));
+}
+
+std::optional<SetAssocCache::Victim>
+SetAssocCache::insert(Addr addr, Mesi state)
+{
+    panic_if(state == Mesi::Invalid, "inserting an Invalid line");
+    std::size_t set = setIndex(addr);
+    Addr tag = tagOf(addr);
+    Line *base = &lines_[set * geom_.ways];
+
+    // Reuse the line if already present (state change).
+    Line *victim = nullptr;
+    for (unsigned w = 0; w < geom_.ways; ++w) {
+        Line &l = base[w];
+        if (l.valid() && l.tag == tag) {
+            l.state = state;
+            l.lru = ++tick_;
+            return std::nullopt;
+        }
+        if (!l.valid()) {
+            if (!victim || victim->valid())
+                victim = &l;
+        } else if (!victim || (victim->valid() && l.lru < victim->lru)) {
+            victim = &l;
+        }
+    }
+
+    std::optional<Victim> out;
+    if (victim->valid())
+        out = Victim{addrOf(victim->tag, set), victim->dirty()};
+    victim->tag = tag;
+    victim->state = state;
+    victim->lru = ++tick_;
+    return out;
+}
+
+Mesi
+SetAssocCache::invalidate(Addr addr)
+{
+    Line *l = peekMutable(addr);
+    if (!l)
+        return Mesi::Invalid;
+    Mesi prev = l->state;
+    l->state = Mesi::Invalid;
+    return prev;
+}
+
+void
+SetAssocCache::flushAll()
+{
+    for (Line &l : lines_)
+        l.state = Mesi::Invalid;
+}
+
+std::size_t
+SetAssocCache::validCount() const
+{
+    std::size_t n = 0;
+    for (const Line &l : lines_) {
+        if (l.valid())
+            ++n;
+    }
+    return n;
+}
+
+} // namespace stramash

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * A set-associative cache with per-line MESI state and LRU
+ * replacement. This is the building block of the Stramash-QEMU
+ * Cache-plugin model (paper §7.3): purely a tag store, no data —
+ * data lives in the fused GuestMemory.
+ */
+
+#ifndef STRAMASH_CACHE_CACHE_HH
+#define STRAMASH_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "stramash/common/logging.hh"
+#include "stramash/common/types.hh"
+
+namespace stramash
+{
+
+/** MESI coherence state of a cached line. */
+enum class Mesi : std::uint8_t {
+    Invalid,
+    Shared,
+    Exclusive,
+    Modified,
+};
+
+const char *mesiName(Mesi m);
+
+/** Static shape of one cache. */
+struct CacheGeometry
+{
+    Addr sizeBytes;
+    unsigned ways;
+    Addr lineSize = cacheLineSize;
+
+    Addr
+    numSets() const
+    {
+        return sizeBytes / (lineSize * ways);
+    }
+};
+
+/** Tag store for one cache level. */
+class SetAssocCache
+{
+  public:
+    struct Line
+    {
+        Addr tag = 0;
+        Mesi state = Mesi::Invalid;
+        std::uint64_t lru = 0;
+
+        bool valid() const { return state != Mesi::Invalid; }
+        bool dirty() const { return state == Mesi::Modified; }
+    };
+
+    explicit SetAssocCache(const CacheGeometry &geom);
+
+    const CacheGeometry &geometry() const { return geom_; }
+
+    /** Line-aligned address of the set/tag for @p addr. */
+    Addr lineAddrOf(Addr addr) const { return addr & ~(geom_.lineSize - 1); }
+
+    /**
+     * Look up a line. On a hit the LRU stamp is refreshed.
+     * @return the line, or nullptr on miss.
+     */
+    Line *probe(Addr addr);
+
+    /** Look up without disturbing LRU (for coherence snoops). */
+    const Line *peek(Addr addr) const;
+    Line *peekMutable(Addr addr);
+
+    /**
+     * Install a line in the given state, evicting the LRU victim of
+     * the set if necessary.
+     * @return the physical line address of the evicted victim (and
+     *         whether it was dirty), if a valid line was displaced.
+     */
+    struct Victim
+    {
+        Addr lineAddr;
+        bool dirty;
+    };
+    std::optional<Victim> insert(Addr addr, Mesi state);
+
+    /** Drop a line if present. @return previous state. */
+    Mesi invalidate(Addr addr);
+
+    /** True if the line is present in any valid state. */
+    bool holds(Addr addr) const { return peek(addr) != nullptr; }
+
+    /** Invalidate everything (e.g. between experiment phases). */
+    void flushAll();
+
+    /** Number of valid lines (for occupancy checks in tests). */
+    std::size_t validCount() const;
+
+  private:
+    CacheGeometry geom_;
+    Addr setMask_;
+    unsigned lineShift_;
+    std::vector<Line> lines_; // sets * ways, row-major by set
+    std::uint64_t tick_ = 0;
+
+    std::size_t setIndex(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+    Addr addrOf(Addr tag, std::size_t set) const;
+};
+
+} // namespace stramash
+
+#endif // STRAMASH_CACHE_CACHE_HH

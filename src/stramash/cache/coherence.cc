@@ -1,0 +1,216 @@
+#include "stramash/cache/coherence.hh"
+
+namespace stramash
+{
+
+CoherenceDomain::CoherenceDomain(const PhysMap &map, SnoopCosts snoopCosts,
+                                 const CacheGeometry *sharedLlc)
+    : map_(map), snoopCosts_(snoopCosts)
+{
+    if (sharedLlc)
+        sharedLlc_ = std::make_unique<SetAssocCache>(*sharedLlc);
+}
+
+void
+CoherenceDomain::addNode(NodeId node, const HierarchyGeometry &geom,
+                         const LatencyProfile &profile)
+{
+    panic_if(nodes_.count(node), "node ", node, " already registered");
+    NodeCtx nc;
+    nc.stats = std::make_unique<StatGroup>(
+        std::string("cache.node") + std::to_string(node));
+    HierarchyGeometry g = geom;
+    if (sharedLlc_) {
+        // Private L3 is replaced by the shared LLC.
+        g.l3.sizeBytes = 0;
+    }
+    nc.hier = std::make_unique<CacheHierarchy>(node, g, *nc.stats);
+    if (sharedLlc_)
+        nc.hier->attachSharedL3(sharedLlc_.get());
+    nc.profile = profile;
+    nc.localMemHits = &nc.stats->counter("local_mem_hits");
+    nc.remoteMemHits = &nc.stats->counter("remote_mem_hits");
+    nc.remoteSharedMemHits = &nc.stats->counter("remote_shared_mem_hits");
+    nc.memAccesses = &nc.stats->counter("mem_accesses");
+    nc.snoopInvalidates = &nc.stats->counter("snoop_invalidates");
+    nc.snoopDatas = &nc.stats->counter("snoop_datas");
+    nc.writebacks = &nc.stats->counter("writebacks");
+    nodes_.emplace(node, std::move(nc));
+}
+
+CoherenceDomain::NodeCtx &
+CoherenceDomain::ctx(NodeId node)
+{
+    auto it = nodes_.find(node);
+    panic_if(it == nodes_.end(), "unknown node ", node);
+    return it->second;
+}
+
+StatGroup &
+CoherenceDomain::nodeStats(NodeId node)
+{
+    return *ctx(node).stats;
+}
+
+CacheHierarchy &
+CoherenceDomain::hierarchy(NodeId node)
+{
+    return *ctx(node).hier;
+}
+
+void
+CoherenceDomain::flushAll()
+{
+    for (auto &kv : nodes_)
+        kv.second.hier->flushAll();
+    if (sharedLlc_)
+        sharedLlc_->flushAll();
+}
+
+void
+CoherenceDomain::evicted(NodeId node, Addr lineAddr, bool dirty)
+{
+    if (!dirty)
+        return;
+    ++*ctx(node).writebacks;
+    if (hook_)
+        hook_(node, lineAddr);
+}
+
+Cycles
+CoherenceDomain::snoopOthers(NodeId node, AccessType type, Addr lineAddr,
+                             AccessResult &res)
+{
+    Cycles extra = 0;
+    NodeCtx &self = ctx(node);
+    for (auto &kv : nodes_) {
+        if (kv.first == node)
+            continue;
+        CacheHierarchy &other = *kv.second.hier;
+        if (!other.holds(lineAddr))
+            continue;
+        if (type == AccessType::Store) {
+            // Snoop Invalidate: all other holders drop the line
+            // (paper §7.3).
+            bool dirty = other.invalidateLine(lineAddr);
+            evicted(kv.first, lineAddr, dirty);
+            extra += snoopCosts_.snoopInvalidate;
+            res.snoopInvalidate = true;
+            ++*self.snoopInvalidates;
+        } else {
+            // Read: only costs a snoop if the holder has it dirty
+            // (Snoop Data, M/E -> S transition).
+            Mesi state = other.lineState(lineAddr);
+            if (state == Mesi::Modified || state == Mesi::Exclusive) {
+                other.downgradeLine(lineAddr);
+                extra += snoopCosts_.snoopData;
+                res.snoopData = true;
+                ++*self.snoopDatas;
+            }
+        }
+    }
+    return extra;
+}
+
+AccessResult
+CoherenceDomain::accessLine(NodeId node, AccessType type, Addr addr)
+{
+    NodeCtx &nc = ctx(node);
+    CacheHierarchy &hier = *nc.hier;
+    Addr lineAddr = lineBase(addr);
+    bool inst = type == AccessType::InstFetch;
+
+    AccessResult res;
+    res.level = hier.lookup(lineAddr, inst);
+
+    if (res.level != HitLevel::Memory) {
+        res.latency =
+            nc.profile.levelLatency(static_cast<int>(res.level));
+        if (type == AccessType::Store) {
+            Mesi state = hier.lineState(lineAddr);
+            if (state != Mesi::Modified && state != Mesi::Exclusive) {
+                // Upgrade: invalidate any other holder first.
+                res.latency += snoopOthers(node, type, lineAddr, res);
+            }
+            hier.setState(lineAddr, Mesi::Modified);
+        }
+        return res;
+    }
+
+    // Full miss: coherence first, then memory.
+    res.latency += snoopOthers(node, type, lineAddr, res);
+
+    res.memClass = map_.classify(addr, node);
+    ++*nc.memAccesses;
+    switch (res.memClass) {
+      case MemoryClass::Local:
+        res.latency += nc.profile.mem;
+        ++*nc.localMemHits;
+        break;
+      case MemoryClass::Remote:
+        res.latency += nc.profile.remoteMem;
+        ++*nc.remoteMemHits;
+        break;
+      case MemoryClass::SharedPool:
+        res.latency += nc.profile.remoteMem;
+        ++*nc.remoteSharedMemHits;
+        break;
+    }
+
+    // Decide the fill state. A load installs Exclusive when no other
+    // node holds the line, Shared otherwise; a store installs
+    // Modified (others were invalidated above).
+    Mesi fillState = Mesi::Modified;
+    if (type != AccessType::Store) {
+        bool othersHold = false;
+        for (auto &kv : nodes_) {
+            if (kv.first != node && kv.second.hier->holds(lineAddr)) {
+                othersHold = true;
+                break;
+            }
+        }
+        fillState = othersHold ? Mesi::Shared : Mesi::Exclusive;
+    }
+
+    hier.fill(lineAddr, fillState, inst, [&](Addr victim, bool dirty) {
+        evicted(node, victim, dirty);
+        if (sharedLlc_) {
+            // A shared-LLC eviction removes the line from every
+            // node's private levels to preserve inclusion — a
+            // Back-Invalidate Snoop in CXL terms (§7.3), charged to
+            // the access that caused the eviction.
+            for (auto &kv : nodes_) {
+                if (kv.first == node)
+                    continue;
+                if (!kv.second.hier->holds(victim))
+                    continue;
+                bool d = kv.second.hier->invalidateLine(victim);
+                evicted(kv.first, victim, d);
+                res.latency += snoopCosts_.backInvalidate;
+                nc.stats->counter("back_invalidates") += 1;
+            }
+        }
+    });
+    return res;
+}
+
+AccessResult
+CoherenceDomain::access(NodeId node, AccessType type, Addr addr,
+                        unsigned size)
+{
+    panic_if(size == 0, "zero-size access");
+    AccessResult total;
+    Addr first = lineBase(addr);
+    Addr last = lineBase(addr + size - 1);
+    for (Addr line = first; line <= last; line += cacheLineSize) {
+        AccessResult r = accessLine(node, type, line);
+        total.latency += r.latency;
+        total.level = r.level; // last line's level
+        total.memClass = r.memClass;
+        total.snoopInvalidate |= r.snoopInvalidate;
+        total.snoopData |= r.snoopData;
+    }
+    return total;
+}
+
+} // namespace stramash

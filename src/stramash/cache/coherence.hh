@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The cross-node MESI coherence domain with CXL snoop-cost feedback
+ * (paper §7.1, §7.3, §8.1).
+ *
+ * The domain owns one CacheHierarchy per node plus, in the
+ * FullyShared model, a single shared last-level cache. Every memory
+ * access in the simulation funnels through CoherenceDomain::access(),
+ * which:
+ *
+ *   1. looks the line up in the accessor's hierarchy,
+ *   2. performs any required cross-node coherence action
+ *      (Snoop Invalidate on writes, Snoop Data on reads of a line
+ *       another node holds dirty), adding the CXL snoop costs,
+ *   3. on a miss, charges the local / remote / shared-pool memory
+ *      latency from the accessor's LatencyProfile (Table 2), and
+ *   4. returns the total latency, which the caller adds to the
+ *      node's icount-based timebase.
+ */
+
+#ifndef STRAMASH_CACHE_COHERENCE_HH
+#define STRAMASH_CACHE_COHERENCE_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "stramash/cache/hierarchy.hh"
+#include "stramash/common/stats.hh"
+#include "stramash/mem/latency_profile.hh"
+#include "stramash/mem/phys_map.hh"
+
+namespace stramash
+{
+
+/** Timing and classification of one line access. */
+struct AccessResult
+{
+    Cycles latency = 0;
+    HitLevel level = HitLevel::Memory;
+    MemoryClass memClass = MemoryClass::Local;
+    bool snoopInvalidate = false;
+    bool snoopData = false;
+};
+
+/** Fired when a dirty line leaves a node (LLC writeback). */
+using WritebackHook = std::function<void(NodeId, Addr)>;
+
+class CoherenceDomain
+{
+  public:
+    /**
+     * @param map        the physical memory layout and model
+     * @param snoopCosts CXL coherence action costs
+     * @param sharedLlc  geometry for a single shared L3 (FullyShared
+     *                   model); nullptr for private LLCs
+     */
+    CoherenceDomain(const PhysMap &map, SnoopCosts snoopCosts,
+                    const CacheGeometry *sharedLlc = nullptr);
+
+    /** Register a node's hierarchy and latency table. */
+    void addNode(NodeId node, const HierarchyGeometry &geom,
+                 const LatencyProfile &profile);
+
+    /** Access possibly spanning cache lines; latencies accumulate. */
+    AccessResult access(NodeId node, AccessType type, Addr addr,
+                        unsigned size);
+
+    /** Single-line access (addr need not be aligned). */
+    AccessResult accessLine(NodeId node, AccessType type, Addr addr);
+
+    /** Per-node statistics (cache hits, memory hits, snoops). */
+    StatGroup &nodeStats(NodeId node);
+
+    /** The node's hierarchy, for tests and the Ruby comparison. */
+    CacheHierarchy &hierarchy(NodeId node);
+
+    /** Register a writeback observer (DSM consistency interplay). */
+    void setWritebackHook(WritebackHook hook) { hook_ = std::move(hook); }
+
+    /** Invalidate every cache in the domain. */
+    void flushAll();
+
+    const PhysMap &physMap() const { return map_; }
+    const SnoopCosts &snoopCosts() const { return snoopCosts_; }
+
+    /** True when one shared LLC serves all nodes. */
+    bool hasSharedLlc() const { return sharedLlc_ != nullptr; }
+
+  private:
+    struct NodeCtx
+    {
+        std::unique_ptr<StatGroup> stats;
+        std::unique_ptr<CacheHierarchy> hier;
+        LatencyProfile profile;
+        Counter *localMemHits;
+        Counter *remoteMemHits;
+        Counter *remoteSharedMemHits;
+        Counter *memAccesses;
+        Counter *snoopInvalidates;
+        Counter *snoopDatas;
+        Counter *writebacks;
+    };
+
+    const PhysMap &map_;
+    SnoopCosts snoopCosts_;
+    std::unique_ptr<SetAssocCache> sharedLlc_;
+    std::map<NodeId, NodeCtx> nodes_;
+    WritebackHook hook_;
+
+    NodeCtx &ctx(NodeId node);
+
+    /** Apply cross-node coherence for @p node's access to a line. */
+    Cycles snoopOthers(NodeId node, AccessType type, Addr lineAddr,
+                       AccessResult &res);
+
+    void evicted(NodeId node, Addr lineAddr, bool dirty);
+};
+
+} // namespace stramash
+
+#endif // STRAMASH_CACHE_COHERENCE_HH

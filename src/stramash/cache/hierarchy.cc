@@ -1,0 +1,232 @@
+#include "stramash/cache/hierarchy.hh"
+
+#include "stramash/common/units.hh"
+
+namespace stramash
+{
+
+HierarchyGeometry
+HierarchyGeometry::paperDefault(Addr l3Size)
+{
+    HierarchyGeometry g;
+    g.l1i = {32_KiB, 8};
+    g.l1d = {32_KiB, 8};
+    g.l2 = {1_MiB, 16};
+    g.l3 = {l3Size, 16};
+    return g;
+}
+
+CacheHierarchy::CacheHierarchy(NodeId node, const HierarchyGeometry &geom,
+                               StatGroup &stats)
+    : node_(node),
+      l1i_(std::make_unique<SetAssocCache>(geom.l1i)),
+      l1d_(std::make_unique<SetAssocCache>(geom.l1d)),
+      l2_(std::make_unique<SetAssocCache>(geom.l2)),
+      l3_(geom.l3.sizeBytes
+              ? std::make_unique<SetAssocCache>(geom.l3)
+              : nullptr),
+      stats_(stats),
+      l1Hits_(stats.counter("l1_hits")),
+      l1Accesses_(stats.counter("l1_accesses")),
+      l2Hits_(stats.counter("l2_hits")),
+      l2Accesses_(stats.counter("l2_accesses")),
+      l3Hits_(stats.counter("l3_hits")),
+      l3Accesses_(stats.counter("l3_accesses"))
+{
+}
+
+SetAssocCache *
+CacheHierarchy::lastLevel()
+{
+    if (sharedL3_)
+        return sharedL3_;
+    if (l3_)
+        return l3_.get();
+    return l2_.get();
+}
+
+const SetAssocCache *
+CacheHierarchy::lastLevel() const
+{
+    if (sharedL3_)
+        return sharedL3_;
+    if (l3_)
+        return l3_.get();
+    return l2_.get();
+}
+
+namespace
+{
+
+/**
+ * Install a promoted line into an inner level; a displaced dirty
+ * victim is written back into the outer level (its state there
+ * becomes Modified).
+ */
+void
+promoteInto(SetAssocCache &inner, SetAssocCache &outer, Addr lineAddr,
+            Mesi state)
+{
+    auto victim = inner.insert(lineAddr, state);
+    if (victim && victim->dirty) {
+        if (auto *l = outer.peekMutable(victim->lineAddr))
+            l->state = Mesi::Modified;
+    }
+}
+
+} // namespace
+
+HitLevel
+CacheHierarchy::lookup(Addr lineAddr, bool instFetch)
+{
+    SetAssocCache &l1 = instFetch ? *l1i_ : *l1d_;
+    ++l1Accesses_;
+    if (l1.probe(lineAddr)) {
+        ++l1Hits_;
+        return HitLevel::L1;
+    }
+    ++l2Accesses_;
+    if (auto *line = l2_->probe(lineAddr)) {
+        ++l2Hits_;
+        promoteInto(l1, *l2_, lineAddr, line->state);
+        return HitLevel::L2;
+    }
+    SetAssocCache *llc = sharedL3_ ? sharedL3_ : l3_.get();
+    if (llc) {
+        ++l3Accesses_;
+        if (auto *line = llc->probe(lineAddr)) {
+            ++l3Hits_;
+            promoteInto(*l2_, *llc, lineAddr, line->state);
+            promoteInto(l1, *l2_, lineAddr, line->state);
+            return HitLevel::L3;
+        }
+    }
+    return HitLevel::Memory;
+}
+
+Mesi
+CacheHierarchy::lineState(Addr lineAddr) const
+{
+    // Inner levels can hold a more up-to-date (Modified) state than
+    // the LLC under our simplified inclusion, so report the
+    // "strongest" state across levels.
+    Mesi strongest = Mesi::Invalid;
+    auto consider = [&](const SetAssocCache *c) {
+        if (!c)
+            return;
+        const auto *l = c->peek(lineAddr);
+        if (l && static_cast<int>(l->state) > static_cast<int>(strongest))
+            strongest = l->state;
+    };
+    consider(l1i_.get());
+    consider(l1d_.get());
+    consider(l2_.get());
+    consider(l3_.get());
+    // Deliberately not the shared L3: it is not private state.
+    return strongest;
+}
+
+bool
+CacheHierarchy::holds(Addr lineAddr) const
+{
+    return l1i_->holds(lineAddr) || l1d_->holds(lineAddr) ||
+           l2_->holds(lineAddr) || (l3_ && l3_->holds(lineAddr));
+}
+
+void
+CacheHierarchy::fill(Addr lineAddr, Mesi state, bool instFetch,
+                     const std::function<void(Addr, bool)> &onEvict)
+{
+    auto handleVictim = [&](std::optional<SetAssocCache::Victim> v,
+                            bool lastLevelCache) {
+        if (!v)
+            return;
+        if (lastLevelCache) {
+            // Maintain inclusion: the victim leaves the node.
+            bool dirtyInner = false;
+            dirtyInner |= l1i_->invalidate(v->lineAddr) == Mesi::Modified;
+            dirtyInner |= l1d_->invalidate(v->lineAddr) == Mesi::Modified;
+            dirtyInner |= l2_->invalidate(v->lineAddr) == Mesi::Modified;
+            if (onEvict)
+                onEvict(v->lineAddr, v->dirty || dirtyInner);
+        }
+    };
+
+    // Fill outside-in so inclusion is never violated mid-fill.
+    if (sharedL3_) {
+        // The shared LLC victim may be held by *both* nodes; the
+        // domain's eviction hook handles the other node.
+        handleVictim(sharedL3_->insert(lineAddr, state), true);
+        l2_->insert(lineAddr, state);
+    } else if (l3_) {
+        handleVictim(l3_->insert(lineAddr, state), true);
+        l2_->insert(lineAddr, state);
+    } else {
+        handleVictim(l2_->insert(lineAddr, state), true);
+    }
+    if (instFetch)
+        l1i_->insert(lineAddr, state);
+    else
+        l1d_->insert(lineAddr, state);
+}
+
+void
+CacheHierarchy::setState(Addr lineAddr, Mesi state)
+{
+    auto apply = [&](SetAssocCache *c) {
+        if (!c)
+            return;
+        if (auto *l = c->peekMutable(lineAddr))
+            l->state = state;
+    };
+    apply(l1i_.get());
+    apply(l1d_.get());
+    apply(l2_.get());
+    apply(l3_.get());
+    apply(sharedL3_);
+}
+
+bool
+CacheHierarchy::invalidateLine(Addr lineAddr)
+{
+    bool dirty = false;
+    dirty |= l1i_->invalidate(lineAddr) == Mesi::Modified;
+    dirty |= l1d_->invalidate(lineAddr) == Mesi::Modified;
+    dirty |= l2_->invalidate(lineAddr) == Mesi::Modified;
+    if (l3_)
+        dirty |= l3_->invalidate(lineAddr) == Mesi::Modified;
+    return dirty;
+}
+
+bool
+CacheHierarchy::downgradeLine(Addr lineAddr)
+{
+    bool wasModified = false;
+    auto apply = [&](SetAssocCache *c) {
+        if (!c)
+            return;
+        if (auto *l = c->peekMutable(lineAddr)) {
+            if (l->state == Mesi::Modified)
+                wasModified = true;
+            if (l->state == Mesi::Modified || l->state == Mesi::Exclusive)
+                l->state = Mesi::Shared;
+        }
+    };
+    apply(l1i_.get());
+    apply(l1d_.get());
+    apply(l2_.get());
+    apply(l3_.get());
+    return wasModified;
+}
+
+void
+CacheHierarchy::flushAll()
+{
+    l1i_->flushAll();
+    l1d_->flushAll();
+    l2_->flushAll();
+    if (l3_)
+        l3_->flushAll();
+}
+
+} // namespace stramash

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * A node's private cache hierarchy: split L1 (I/D), unified L2 and an
+ * optional unified L3. Mirrors the extended QEMU Cache plugin of
+ * paper §7 ("we have extended the current QEMU Cache plugin to
+ * support a 3-level cache and CXL").
+ *
+ * Inclusion policy: fills install in every level; an L3 (last-level)
+ * eviction back-invalidates the inner levels, so the last level is a
+ * superset of the inner ones. That makes the last level the single
+ * point of truth for cross-node coherence queries.
+ */
+
+#ifndef STRAMASH_CACHE_HIERARCHY_HH
+#define STRAMASH_CACHE_HIERARCHY_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "stramash/cache/cache.hh"
+#include "stramash/common/stats.hh"
+#include "stramash/common/types.hh"
+
+namespace stramash
+{
+
+/** Geometry of a whole node hierarchy. */
+struct HierarchyGeometry
+{
+    CacheGeometry l1i;
+    CacheGeometry l1d;
+    CacheGeometry l2;
+    /** sizeBytes == 0 means the node has no private L3. */
+    CacheGeometry l3;
+
+    /**
+     * The evaluation's default shape: 32 KiB 8-way L1s, 1 MiB 16-way
+     * L2, and an L3 of the given size (4 MiB in Fig. 9, 32 MiB in
+     * Fig. 10), 16-way.
+     */
+    static HierarchyGeometry paperDefault(Addr l3Size);
+};
+
+/** Where an access was satisfied. */
+enum class HitLevel : std::uint8_t {
+    L1 = 1,
+    L2 = 2,
+    L3 = 3,
+    Memory = 4,
+};
+
+/**
+ * One node's private hierarchy. Coherence actions across nodes are
+ * orchestrated by CoherenceDomain; the hierarchy only answers
+ * queries and applies state changes.
+ */
+class CacheHierarchy
+{
+  public:
+    CacheHierarchy(NodeId node, const HierarchyGeometry &geom,
+                   StatGroup &stats);
+
+    NodeId node() const { return node_; }
+
+    /**
+     * Probe for a line; refreshes LRU at the level that hits.
+     * @return the innermost level holding the line, or Memory.
+     */
+    HitLevel lookup(Addr lineAddr, bool instFetch);
+
+    /** State of the line as seen by this node (outermost level). */
+    Mesi lineState(Addr lineAddr) const;
+
+    /** True if any level holds the line. */
+    bool holds(Addr lineAddr) const;
+
+    /**
+     * Install a line in every level in @p state.
+     * Evicted victims are reported through @p onEvict (line address,
+     * dirty) — only last-level victims are reported, since those are
+     * the ones leaving the node entirely.
+     */
+    void fill(Addr lineAddr, Mesi state, bool instFetch,
+              const std::function<void(Addr, bool)> &onEvict);
+
+    /** Set the line's MESI state at every level holding it. */
+    void setState(Addr lineAddr, Mesi state);
+
+    /** Invalidate the line everywhere. @return true if it was dirty. */
+    bool invalidateLine(Addr lineAddr);
+
+    /** Downgrade M/E to S (remote read snoop). @return true if was M. */
+    bool downgradeLine(Addr lineAddr);
+
+    /** Invalidate the whole hierarchy. */
+    void flushAll();
+
+    bool hasL3() const { return l3_ != nullptr; }
+
+    SetAssocCache &l1i() { return *l1i_; }
+    SetAssocCache &l1d() { return *l1d_; }
+    SetAssocCache &l2() { return *l2_; }
+    SetAssocCache *l3() { return l3_.get(); }
+
+    /**
+     * Attach a shared last-level cache (FullyShared model). The
+     * shared L3 is owned by the CoherenceDomain and shared between
+     * hierarchies.
+     */
+    void attachSharedL3(SetAssocCache *shared) { sharedL3_ = shared; }
+    bool usesSharedL3() const { return sharedL3_ != nullptr; }
+
+  private:
+    NodeId node_;
+    std::unique_ptr<SetAssocCache> l1i_;
+    std::unique_ptr<SetAssocCache> l1d_;
+    std::unique_ptr<SetAssocCache> l2_;
+    std::unique_ptr<SetAssocCache> l3_;
+    SetAssocCache *sharedL3_ = nullptr;
+
+    StatGroup &stats_;
+    Counter &l1Hits_;
+    Counter &l1Accesses_;
+    Counter &l2Hits_;
+    Counter &l2Accesses_;
+    Counter &l3Hits_;
+    Counter &l3Accesses_;
+
+    SetAssocCache *lastLevel();
+    const SetAssocCache *lastLevel() const;
+};
+
+} // namespace stramash
+
+#endif // STRAMASH_CACHE_HIERARCHY_HH

@@ -1,0 +1,283 @@
+#include "stramash/cache/ruby_ref.hh"
+
+#include "stramash/common/logging.hh"
+#include "stramash/common/units.hh"
+
+namespace stramash
+{
+
+RubyGeometry
+RubyGeometry::paperDefault(Addr l3Size)
+{
+    return {32_KiB, 32_KiB, 1_MiB, l3Size, 8, 16, 16};
+}
+
+void
+RubyRefModel::Level::init(Addr bytes, unsigned w)
+{
+    ways = w;
+    sets = bytes / (cacheLineSize * w);
+    panic_if(sets == 0, "ruby level with zero sets");
+    table.assign(sets, {});
+}
+
+std::size_t
+RubyRefModel::Level::setOf(Addr lineAddr) const
+{
+    return (lineAddr / cacheLineSize) % sets;
+}
+
+bool
+RubyRefModel::Level::extract(Addr lineAddr, Entry &out)
+{
+    auto &lst = table[setOf(lineAddr)];
+    for (auto it = lst.begin(); it != lst.end(); ++it) {
+        if (it->lineAddr == lineAddr) {
+            out = *it;
+            lst.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+RubyRefModel::Level::present(Addr lineAddr) const
+{
+    const auto &lst = table[setOf(lineAddr)];
+    for (const auto &e : lst) {
+        if (e.lineAddr == lineAddr)
+            return true;
+    }
+    return false;
+}
+
+RubyRefModel::Mesi8
+RubyRefModel::Level::stateOf(Addr lineAddr) const
+{
+    const auto &lst = table[setOf(lineAddr)];
+    for (const auto &e : lst) {
+        if (e.lineAddr == lineAddr)
+            return e.state;
+    }
+    return I8;
+}
+
+void
+RubyRefModel::Level::setState(Addr lineAddr, Mesi8 s)
+{
+    auto &lst = table[setOf(lineAddr)];
+    for (auto &e : lst) {
+        if (e.lineAddr == lineAddr) {
+            e.state = s;
+            return;
+        }
+    }
+}
+
+void
+RubyRefModel::Level::remove(Addr lineAddr)
+{
+    auto &lst = table[setOf(lineAddr)];
+    for (auto it = lst.begin(); it != lst.end(); ++it) {
+        if (it->lineAddr == lineAddr) {
+            lst.erase(it);
+            return;
+        }
+    }
+}
+
+bool
+RubyRefModel::Level::insert(const Entry &e, Entry &victim)
+{
+    auto &lst = table[setOf(e.lineAddr)];
+    lst.push_front(e);
+    if (lst.size() > ways) {
+        victim = lst.back();
+        lst.pop_back();
+        return true;
+    }
+    return false;
+}
+
+RubyRefModel::RubyRefModel(unsigned numNodes, const RubyGeometry &geom)
+    : nodes_(numNodes)
+{
+    for (auto &nc : nodes_) {
+        nc.l1i.init(geom.l1iBytes, geom.l1Ways);
+        nc.l1d.init(geom.l1dBytes, geom.l1Ways);
+        nc.l2.init(geom.l2Bytes, geom.l2Ways);
+        nc.l3.init(geom.l3Bytes, geom.l3Ways);
+    }
+}
+
+void
+RubyRefModel::invalidateAt(NodeId node, Addr lineAddr)
+{
+    NodeCaches &nc = nodes_[node];
+    nc.l1i.remove(lineAddr);
+    nc.l1d.remove(lineAddr);
+    nc.l2.remove(lineAddr);
+    nc.l3.remove(lineAddr);
+}
+
+void
+RubyRefModel::downgradeAt(NodeId node, Addr lineAddr)
+{
+    NodeCaches &nc = nodes_[node];
+    auto apply = [&](Level &l) {
+        Mesi8 s = l.stateOf(lineAddr);
+        if (s == E8 || s == M8)
+            l.setState(lineAddr, S8);
+    };
+    apply(nc.l1i);
+    apply(nc.l1d);
+    apply(nc.l2);
+    apply(nc.l3);
+}
+
+void
+RubyRefModel::installL1(NodeCaches &nc, bool inst, Addr lineAddr,
+                        Mesi8 st)
+{
+    // Exclusive hierarchy: install in L1, spill victims down.
+    Entry v1;
+    Level &l1 = inst ? nc.l1i : nc.l1d;
+    if (l1.insert({lineAddr, st}, v1)) {
+        Entry v2;
+        if (nc.l2.insert(v1, v2)) {
+            Entry v3;
+            if (nc.l3.insert(v2, v3)) {
+                // v3 leaves the node entirely.
+                if (v3.state != I8) {
+                    // Drop from the directory.
+                    auto it = directory_.find(v3.lineAddr);
+                    if (it != directory_.end()) {
+                        NodeId self =
+                            static_cast<NodeId>(&nc - nodes_.data());
+                        it->second.sharers &= ~(1u << self);
+                        if (it->second.owner == self)
+                            it->second.owner = invalidNode;
+                        if (it->second.sharers == 0)
+                            directory_.erase(it);
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+RubyRefModel::access(NodeId node, AccessType type, Addr addr)
+{
+    panic_if(node >= nodes_.size(), "ruby: unknown node");
+    NodeCaches &nc = nodes_[node];
+    Addr lineAddr = lineBase(addr);
+    bool inst = type == AccessType::InstFetch;
+    bool store = type == AccessType::Store;
+
+    Level &l1 = inst ? nc.l1i : nc.l1d;
+    RubyLevelStats &s1 = nc.stats[inst ? 0 : 1];
+
+    DirEntry &dir = directory_[lineAddr];
+    std::uint32_t selfBit = 1u << node;
+
+    auto coherenceOnStore = [&]() {
+        // Invalidate every other sharer.
+        for (NodeId n = 0; n < nodes_.size(); ++n) {
+            if (n != node && (dir.sharers & (1u << n)))
+                invalidateAt(n, lineAddr);
+        }
+        dir.sharers = selfBit;
+        dir.owner = node;
+    };
+    auto coherenceOnLoad = [&]() {
+        if (dir.owner != invalidNode && dir.owner != node) {
+            downgradeAt(dir.owner, lineAddr);
+            dir.owner = invalidNode;
+        }
+        dir.sharers |= selfBit;
+    };
+
+    // L1 lookup.
+    ++s1.accesses;
+    Entry e;
+    if (l1.extract(lineAddr, e)) {
+        ++s1.hits;
+        if (store) {
+            coherenceOnStore();
+            e.state = M8;
+        } else {
+            coherenceOnLoad();
+        }
+        Entry victim;
+        // Cannot overflow: we just extracted this entry from the set.
+        l1.insert(e, victim);
+        return;
+    }
+
+    // L2 lookup.
+    ++nc.stats[2].accesses;
+    if (nc.l2.extract(lineAddr, e)) {
+        ++nc.stats[2].hits;
+        if (store) {
+            coherenceOnStore();
+            e.state = M8;
+        } else {
+            coherenceOnLoad();
+        }
+        installL1(nc, inst, e.lineAddr, e.state);
+        return;
+    }
+
+    // L3 lookup.
+    ++nc.stats[3].accesses;
+    if (nc.l3.extract(lineAddr, e)) {
+        ++nc.stats[3].hits;
+        if (store) {
+            coherenceOnStore();
+            e.state = M8;
+        } else {
+            coherenceOnLoad();
+        }
+        installL1(nc, inst, e.lineAddr, e.state);
+        return;
+    }
+
+    // Miss everywhere: fetch from memory.
+    Mesi8 st;
+    if (store) {
+        coherenceOnStore();
+        st = M8;
+    } else {
+        coherenceOnLoad();
+        st = (dir.sharers == selfBit) ? E8 : S8;
+    }
+    installL1(nc, inst, lineAddr, st);
+}
+
+const RubyLevelStats &
+RubyRefModel::levelStats(NodeId node, int level) const
+{
+    panic_if(node >= nodes_.size() || level < 0 || level > 3,
+             "ruby: bad stats index");
+    return nodes_[node].stats[level];
+}
+
+void
+RubyRefModel::flushAll()
+{
+    for (auto &nc : nodes_) {
+        for (auto &set : nc.l1i.table)
+            set.clear();
+        for (auto &set : nc.l1d.table)
+            set.clear();
+        for (auto &set : nc.l2.table)
+            set.clear();
+        for (auto &set : nc.l3.table)
+            set.clear();
+    }
+    directory_.clear();
+}
+
+} // namespace stramash

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * An independent reference cache model in the style of gem5 Ruby's
+ * MESI_Three_Level protocol, used to validate the primary Cache
+ * plugin model (paper Figure 8).
+ *
+ * This is a deliberately separate implementation — different storage
+ * (list-based true-LRU sets), different hierarchy policy (exclusive:
+ * lines live in exactly one level; L1 victims spill to L2, L2 victims
+ * spill to L3), and a directory for cross-node coherence — so that
+ * agreement between the two models is evidence of correctness rather
+ * than shared code.
+ */
+
+#ifndef STRAMASH_CACHE_RUBY_REF_HH
+#define STRAMASH_CACHE_RUBY_REF_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "stramash/common/stats.hh"
+#include "stramash/common/types.hh"
+
+namespace stramash
+{
+
+/** Per-level hit/access tallies reported by the reference model. */
+struct RubyLevelStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t accesses = 0;
+
+    double
+    hitRate() const
+    {
+        return accesses ? static_cast<double>(hits) / accesses : 0.0;
+    }
+};
+
+/** Cache shape for the reference model. */
+struct RubyGeometry
+{
+    Addr l1iBytes;
+    Addr l1dBytes;
+    Addr l2Bytes;
+    Addr l3Bytes;
+    unsigned l1Ways;
+    unsigned l2Ways;
+    unsigned l3Ways;
+
+    /** Match HierarchyGeometry::paperDefault. */
+    static RubyGeometry paperDefault(Addr l3Size);
+};
+
+class RubyRefModel
+{
+  public:
+    RubyRefModel(unsigned numNodes, const RubyGeometry &geom);
+
+    /** Simulate one access; updates hit/access tallies. */
+    void access(NodeId node, AccessType type, Addr addr);
+
+    /** Tallies: level 0 = L1I, 1 = L1D, 2 = L2, 3 = L3. */
+    const RubyLevelStats &levelStats(NodeId node, int level) const;
+
+    void flushAll();
+
+  private:
+    /** Mesi states, kept distinct from the primary model's enum. */
+    enum Mesi8 : std::uint8_t { I8, S8, E8, M8 };
+
+    struct Entry
+    {
+        Addr lineAddr;
+        Mesi8 state;
+    };
+
+    /** One exclusive cache level: per-set LRU lists. */
+    struct Level
+    {
+        unsigned ways = 0;
+        Addr sets = 0;
+        // set index -> MRU-ordered entries
+        std::vector<std::list<Entry>> table;
+
+        void init(Addr bytes, unsigned w);
+        std::size_t setOf(Addr lineAddr) const;
+        /** Find and remove the entry if present. */
+        bool extract(Addr lineAddr, Entry &out);
+        bool present(Addr lineAddr) const;
+        Mesi8 stateOf(Addr lineAddr) const;
+        void setState(Addr lineAddr, Mesi8 s);
+        void remove(Addr lineAddr);
+        /** Insert at MRU; returns displaced LRU entry if any. */
+        bool insert(const Entry &e, Entry &victim);
+    };
+
+    struct NodeCaches
+    {
+        Level l1i, l1d, l2, l3;
+        RubyLevelStats stats[4];
+    };
+
+    /** Directory entry tracking which nodes hold a line. */
+    struct DirEntry
+    {
+        std::uint32_t sharers = 0; // bitmask by node
+        NodeId owner = invalidNode; // modified owner, if any
+    };
+
+    std::vector<NodeCaches> nodes_;
+    std::unordered_map<Addr, DirEntry> directory_;
+
+    void invalidateAt(NodeId node, Addr lineAddr);
+    void downgradeAt(NodeId node, Addr lineAddr);
+    void installL1(NodeCaches &nc, bool inst, Addr lineAddr, Mesi8 st);
+};
+
+} // namespace stramash
+
+#endif // STRAMASH_CACHE_RUBY_REF_HH

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Half-open address ranges and an interval set over them.
+ *
+ * Used by the physical memory map (which regions belong to which node
+ * under each memory model) and by allocators to track free extents.
+ */
+
+#ifndef STRAMASH_COMMON_ADDR_RANGE_HH
+#define STRAMASH_COMMON_ADDR_RANGE_HH
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "stramash/common/logging.hh"
+#include "stramash/common/types.hh"
+
+namespace stramash
+{
+
+/** A half-open address range [start, end). */
+struct AddrRange
+{
+    Addr start = 0;
+    Addr end = 0;
+
+    constexpr AddrRange() = default;
+
+    constexpr AddrRange(Addr s, Addr e) : start(s), end(e) {}
+
+    constexpr Addr size() const { return end - start; }
+    constexpr bool empty() const { return end <= start; }
+
+    constexpr bool
+    contains(Addr a) const
+    {
+        return a >= start && a < end;
+    }
+
+    constexpr bool
+    containsRange(const AddrRange &o) const
+    {
+        return o.start >= start && o.end <= end;
+    }
+
+    constexpr bool
+    overlaps(const AddrRange &o) const
+    {
+        return start < o.end && o.start < end;
+    }
+
+    constexpr bool
+    operator==(const AddrRange &o) const
+    {
+        return start == o.start && end == o.end;
+    }
+};
+
+/**
+ * A set of disjoint address ranges with coalescing insert and
+ * splitting erase. Operations are O(log n) in the number of disjoint
+ * extents.
+ */
+class IntervalSet
+{
+  public:
+    /** Add [start, end), merging with any adjacent/overlapping extent. */
+    void
+    insert(Addr start, Addr end)
+    {
+        panic_if(start >= end, "IntervalSet::insert empty range");
+        // Find the first extent whose end >= start (could merge).
+        auto it = map_.lower_bound(start);
+        if (it != map_.begin()) {
+            auto prev = std::prev(it);
+            if (prev->second >= start) {
+                it = prev;
+                start = std::min(start, it->first);
+            }
+        }
+        while (it != map_.end() && it->first <= end) {
+            end = std::max(end, it->second);
+            start = std::min(start, it->first);
+            it = map_.erase(it);
+        }
+        map_.emplace(start, end);
+    }
+
+    void insert(const AddrRange &r) { insert(r.start, r.end); }
+
+    /** Remove [start, end), splitting extents as needed. */
+    void
+    erase(Addr start, Addr end)
+    {
+        panic_if(start >= end, "IntervalSet::erase empty range");
+        auto it = map_.lower_bound(start);
+        if (it != map_.begin()) {
+            auto prev = std::prev(it);
+            if (prev->second > start)
+                it = prev;
+        }
+        while (it != map_.end() && it->first < end) {
+            Addr eStart = it->first;
+            Addr eEnd = it->second;
+            it = map_.erase(it);
+            if (eStart < start)
+                map_.emplace(eStart, start);
+            if (eEnd > end) {
+                map_.emplace(end, eEnd);
+                break;
+            }
+        }
+    }
+
+    /** True if addr is covered by some extent. */
+    bool
+    contains(Addr a) const
+    {
+        auto it = map_.upper_bound(a);
+        if (it == map_.begin())
+            return false;
+        --it;
+        return a < it->second;
+    }
+
+    /** True if the whole range [start, end) is covered. */
+    bool
+    containsRange(Addr start, Addr end) const
+    {
+        auto it = map_.upper_bound(start);
+        if (it == map_.begin())
+            return false;
+        --it;
+        return start >= it->first && end <= it->second;
+    }
+
+    /**
+     * Find the lowest extent of at least @p size bytes and carve it
+     * out of the set.
+     * @return the carved range, or nullopt if nothing fits.
+     */
+    std::optional<AddrRange>
+    allocate(Addr size)
+    {
+        for (auto it = map_.begin(); it != map_.end(); ++it) {
+            if (it->second - it->first >= size) {
+                AddrRange r{it->first, it->first + size};
+                Addr eEnd = it->second;
+                map_.erase(it);
+                if (r.end < eEnd)
+                    map_.emplace(r.end, eEnd);
+                return r;
+            }
+        }
+        return std::nullopt;
+    }
+
+    /** Total bytes covered. */
+    Addr
+    totalBytes() const
+    {
+        Addr total = 0;
+        for (const auto &kv : map_)
+            total += kv.second - kv.first;
+        return total;
+    }
+
+    bool empty() const { return map_.empty(); }
+    std::size_t extentCount() const { return map_.size(); }
+
+    /** Snapshot of the disjoint extents in ascending order. */
+    std::vector<AddrRange>
+    extents() const
+    {
+        std::vector<AddrRange> out;
+        out.reserve(map_.size());
+        for (const auto &kv : map_)
+            out.push_back({kv.first, kv.second});
+        return out;
+    }
+
+  private:
+    // start -> end of each disjoint extent.
+    std::map<Addr, Addr> map_;
+};
+
+} // namespace stramash
+
+#endif // STRAMASH_COMMON_ADDR_RANGE_HH

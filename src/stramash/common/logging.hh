@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Status and error reporting in the gem5 tradition.
+ *
+ * panic()  — an internal invariant was violated: a Stramash bug. Aborts.
+ * fatal()  — the simulation cannot continue due to user error (bad
+ *            configuration, invalid arguments). Exits with an error code.
+ * warn()   — something is off but the run may still be meaningful.
+ * inform() — routine status the user may want to see.
+ */
+
+#ifndef STRAMASH_COMMON_LOGGING_HH
+#define STRAMASH_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace stramash
+{
+
+namespace log_detail
+{
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void emit(const char *prefix, const std::string &msg);
+
+/** Build a message string from any streamable arguments. */
+template <typename... Args>
+std::string
+format(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace log_detail
+
+/** Globally silence warn()/inform() (used by benches for clean tables). */
+void setQuiet(bool quiet);
+bool quiet();
+
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    if (!quiet())
+        log_detail::emit("warn", log_detail::format(args...));
+}
+
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    if (!quiet())
+        log_detail::emit("info", log_detail::format(args...));
+}
+
+#define panic(...)                                                         \
+    ::stramash::log_detail::panicImpl(                                     \
+        __FILE__, __LINE__, ::stramash::log_detail::format(__VA_ARGS__))
+
+#define fatal(...)                                                         \
+    ::stramash::log_detail::fatalImpl(                                     \
+        __FILE__, __LINE__, ::stramash::log_detail::format(__VA_ARGS__))
+
+/** panic() unless the condition holds. */
+#define panic_if(cond, ...)                                                \
+    do {                                                                   \
+        if (cond)                                                          \
+            panic(__VA_ARGS__);                                            \
+    } while (0)
+
+#define fatal_if(cond, ...)                                                \
+    do {                                                                   \
+        if (cond)                                                          \
+            fatal(__VA_ARGS__);                                            \
+    } while (0)
+
+} // namespace stramash
+
+#endif // STRAMASH_COMMON_LOGGING_HH

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic choice in the simulator draws from a seeded PCG32
+ * stream so that experiments are reproducible bit-for-bit. PCG32 is
+ * used instead of std::mt19937 because its state is two words, it is
+ * trivially seedable per-component, and its output is identical across
+ * standard library implementations.
+ */
+
+#ifndef STRAMASH_COMMON_RNG_HH
+#define STRAMASH_COMMON_RNG_HH
+
+#include <cstdint>
+
+#include "stramash/common/logging.hh"
+
+namespace stramash
+{
+
+/** PCG32 (XSH-RR variant) deterministic random number generator. */
+class Rng
+{
+  public:
+    /**
+     * @param seed Stream initial state.
+     * @param seq  Stream selector; distinct seq values give independent
+     *             sequences even with the same seed.
+     */
+    explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                 std::uint64_t seq = 0xda3e39cb94b95bdbULL)
+    {
+        state_ = 0;
+        inc_ = (seq << 1) | 1u;
+        next();
+        state_ += seed;
+        next();
+    }
+
+    /** Next raw 32-bit value. */
+    std::uint32_t
+    next()
+    {
+        std::uint64_t old = state_;
+        state_ = old * 6364136223846793005ULL + inc_;
+        auto xorshifted =
+            static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+        auto rot = static_cast<std::uint32_t>(old >> 59u);
+        return (xorshifted >> rot) | (xorshifted << ((~rot + 1u) & 31));
+    }
+
+    /** Next 64-bit value. */
+    std::uint64_t
+    next64()
+    {
+        return (static_cast<std::uint64_t>(next()) << 32) | next();
+    }
+
+    /** Uniform integer in [0, bound) without modulo bias. */
+    std::uint32_t
+    below(std::uint32_t bound)
+    {
+        panic_if(bound == 0, "Rng::below(0)");
+        std::uint32_t threshold = (~bound + 1u) % bound;
+        for (;;) {
+            std::uint32_t r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform 64-bit integer in [0, bound). */
+    std::uint64_t
+    below64(std::uint64_t bound)
+    {
+        panic_if(bound == 0, "Rng::below64(0)");
+        if (bound <= UINT32_MAX)
+            return below(static_cast<std::uint32_t>(bound));
+        std::uint64_t threshold = (~bound + 1u) % bound;
+        for (;;) {
+            std::uint64_t r = next64();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        panic_if(lo > hi, "Rng::range with lo > hi");
+        return lo + static_cast<std::int64_t>(
+                        below64(static_cast<std::uint64_t>(hi - lo) + 1));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        // 27 random bits are exactly representable in a double mantissa.
+        return static_cast<double>(next() >> 5) * (1.0 / 134217728.0);
+    }
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    std::uint64_t state_;
+    std::uint64_t inc_;
+};
+
+} // namespace stramash
+
+#endif // STRAMASH_COMMON_RNG_HH

@@ -1,0 +1,49 @@
+#include "stramash/common/stats.hh"
+
+namespace stramash
+{
+
+Counter &
+StatGroup::counter(const std::string &name)
+{
+    return counters_[name];
+}
+
+bool
+StatGroup::has(const std::string &name) const
+{
+    return counters_.count(name) != 0;
+}
+
+std::uint64_t
+StatGroup::value(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &kv : counters_)
+        kv.second.reset();
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &kv : counters_)
+        os << name_ << '.' << kv.first << ' ' << kv.second.value()
+           << '\n';
+}
+
+std::map<std::string, std::uint64_t>
+StatGroup::snapshot() const
+{
+    std::map<std::string, std::uint64_t> out;
+    for (const auto &kv : counters_)
+        out.emplace(kv.first, kv.second.value());
+    return out;
+}
+
+} // namespace stramash

@@ -1,0 +1,60 @@
+#include "stramash/common/types.hh"
+
+#include "stramash/common/logging.hh"
+
+namespace stramash
+{
+
+const char *
+isaName(IsaType isa)
+{
+    switch (isa) {
+      case IsaType::X86_64: return "x86-64";
+      case IsaType::AArch64: return "aarch64";
+    }
+    panic("unknown IsaType");
+}
+
+const char *
+memoryModelName(MemoryModel model)
+{
+    switch (model) {
+      case MemoryModel::Separated: return "Separated";
+      case MemoryModel::Shared: return "Shared";
+      case MemoryModel::FullyShared: return "FullyShared";
+    }
+    panic("unknown MemoryModel");
+}
+
+const char *
+osDesignName(OsDesign design)
+{
+    switch (design) {
+      case OsDesign::MultipleKernel: return "MultipleKernel";
+      case OsDesign::FusedKernel: return "FusedKernel";
+    }
+    panic("unknown OsDesign");
+}
+
+const char *
+transportName(Transport t)
+{
+    switch (t) {
+      case Transport::SharedMemory: return "SHM";
+      case Transport::Network: return "TCP";
+    }
+    panic("unknown Transport");
+}
+
+const char *
+memoryClassName(MemoryClass c)
+{
+    switch (c) {
+      case MemoryClass::Local: return "Local";
+      case MemoryClass::Remote: return "Remote";
+      case MemoryClass::SharedPool: return "SharedPool";
+    }
+    panic("unknown MemoryClass");
+}
+
+} // namespace stramash

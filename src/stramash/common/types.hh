@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Fundamental scalar types and enumerations shared by every Stramash
+ * module. Nothing here allocates or depends on other modules.
+ */
+
+#ifndef STRAMASH_COMMON_TYPES_HH
+#define STRAMASH_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <string>
+
+namespace stramash
+{
+
+/** Guest physical or virtual address. */
+using Addr = std::uint64_t;
+
+/** Simulated time expressed in core clock cycles. */
+using Cycles = std::uint64_t;
+
+/** Retired-instruction count (the simulator's icount timebase). */
+using ICount = std::uint64_t;
+
+/** Identifier of a node (an island of homogeneous-ISA cores). */
+using NodeId = std::uint32_t;
+
+/** Identifier of a core within the whole machine. */
+using CoreId = std::uint32_t;
+
+/** Process identifier inside the fused namespace. */
+using Pid = std::uint32_t;
+
+/** An invalid / not-yet-assigned node. */
+inline constexpr NodeId invalidNode = ~NodeId{0};
+
+/** Page size used throughout (both modelled ISAs use 4 KiB pages). */
+inline constexpr Addr pageSize = 4096;
+inline constexpr Addr pageShift = 12;
+
+/** Cache line size shared by both modelled ISAs. */
+inline constexpr Addr cacheLineSize = 64;
+
+/** Round an address down to its containing page base. */
+constexpr Addr
+pageBase(Addr a)
+{
+    return a & ~(pageSize - 1);
+}
+
+/** Round an address up to the next page boundary. */
+constexpr Addr
+pageAlignUp(Addr a)
+{
+    return (a + pageSize - 1) & ~(pageSize - 1);
+}
+
+/** Byte offset of an address within its page. */
+constexpr Addr
+pageOffset(Addr a)
+{
+    return a & (pageSize - 1);
+}
+
+/** Round an address down to its containing cache-line base. */
+constexpr Addr
+lineBase(Addr a)
+{
+    return a & ~(cacheLineSize - 1);
+}
+
+/** Instruction-set architecture of a node. */
+enum class IsaType : std::uint8_t {
+    X86_64,
+    AArch64,
+};
+
+/** Human-readable ISA name. */
+const char *isaName(IsaType isa);
+
+/**
+ * Hardware memory configuration (paper Figure 3).
+ *
+ * Separated:   per-node memory, coherence via LLC snooping (NUMA-like).
+ * Shared:      per-node private memory plus a CXL-style coherent pool.
+ * FullyShared: one memory shared by all processors.
+ */
+enum class MemoryModel : std::uint8_t {
+    Separated,
+    Shared,
+    FullyShared,
+};
+
+/** Human-readable memory model name. */
+const char *memoryModelName(MemoryModel model);
+
+/**
+ * Operating-system design under test (paper Figure 2).
+ *
+ * MultipleKernel: shared-nothing Popcorn-style baseline (DSM page
+ *                 replication, message-based services).
+ * FusedKernel:    shared-mostly Stramash design (direct shared-memory
+ *                 access, remote walkers, fused address space).
+ */
+enum class OsDesign : std::uint8_t {
+    MultipleKernel,
+    FusedKernel,
+};
+
+/** Human-readable OS design name. */
+const char *osDesignName(OsDesign design);
+
+/** Transport used by the inter-kernel messaging layer. */
+enum class Transport : std::uint8_t {
+    /** Shared-memory ring buffers with cross-ISA IPI notification. */
+    SharedMemory,
+    /** TCP/IP network transport model (Popcorn "TCP"). */
+    Network,
+};
+
+/** Human-readable transport name. */
+const char *transportName(Transport t);
+
+/** Kind of memory access issued by a core. */
+enum class AccessType : std::uint8_t {
+    InstFetch,
+    Load,
+    Store,
+};
+
+/**
+ * Where a physical address lives relative to the accessing node, under
+ * the active memory model.
+ */
+enum class MemoryClass : std::uint8_t {
+    /** In the node's own local memory. */
+    Local,
+    /** In the other node's memory, reached over the coherent fabric. */
+    Remote,
+    /** In the CXL-style shared pool (Shared model only). */
+    SharedPool,
+};
+
+/** Human-readable memory class name. */
+const char *memoryClassName(MemoryClass c);
+
+} // namespace stramash
+
+#endif // STRAMASH_COMMON_TYPES_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Size and time unit helpers.
+ */
+
+#ifndef STRAMASH_COMMON_UNITS_HH
+#define STRAMASH_COMMON_UNITS_HH
+
+#include <cstdint>
+
+namespace stramash
+{
+
+inline namespace units
+{
+
+constexpr std::uint64_t operator""_KiB(unsigned long long v)
+{
+    return v << 10;
+}
+
+constexpr std::uint64_t operator""_MiB(unsigned long long v)
+{
+    return v << 20;
+}
+
+constexpr std::uint64_t operator""_GiB(unsigned long long v)
+{
+    return v << 30;
+}
+
+} // namespace units
+
+/**
+ * Convert microseconds to cycles at a given core clock.
+ * Used to express the measured 2 us cross-ISA IPI cost and the 75 us
+ * network round trip in the icount timebase.
+ */
+constexpr std::uint64_t
+usToCycles(double us, double ghz)
+{
+    return static_cast<std::uint64_t>(us * ghz * 1000.0);
+}
+
+/** Convert cycles back to microseconds at a given core clock. */
+constexpr double
+cyclesToUs(std::uint64_t cycles, double ghz)
+{
+    return static_cast<double>(cycles) / (ghz * 1000.0);
+}
+
+} // namespace stramash
+
+#endif // STRAMASH_COMMON_UNITS_HH

@@ -1,0 +1,107 @@
+#include "stramash/core/ae_report.hh"
+
+#include <iomanip>
+#include <sstream>
+
+namespace stramash
+{
+
+AeNodeReport
+collectAeReport(System &sys, NodeId node)
+{
+    AeNodeReport r;
+    const Node &n = sys.machine().node(node);
+    r.label = n.isa() == IsaType::X86_64 ? "x86" : "Arm";
+    auto &cs = sys.machine().caches().nodeStats(node);
+
+    r.l1Hits = cs.value("l1_hits");
+    r.l1Accesses = cs.value("l1_accesses");
+    r.l2Hits = cs.value("l2_hits");
+    r.l2Accesses = cs.value("l2_accesses");
+    r.l3Hits = cs.value("l3_hits");
+    r.l3Accesses = cs.value("l3_accesses");
+    auto rate = [](std::uint64_t h, std::uint64_t a) {
+        return a ? 100.0 * static_cast<double>(h) /
+                       static_cast<double>(a)
+                 : 0.0;
+    };
+    r.l1HitRate = rate(r.l1Hits, r.l1Accesses);
+    r.l2HitRate = rate(r.l2Hits, r.l2Accesses);
+    r.l3HitRate = rate(r.l3Hits, r.l3Accesses);
+
+    r.ipis = sys.machine().ipisReceived(node);
+    r.localMemHits = cs.value("local_mem_hits");
+    r.remoteMemHits = cs.value("remote_mem_hits");
+    r.remoteSharedMemHits = cs.value("remote_shared_mem_hits");
+    r.instructions = n.icount();
+    r.memAccesses = r.l1Accesses;
+    r.runtime = n.cycles();
+    return r;
+}
+
+void
+printAeReport(std::ostream &os, const AeNodeReport &r)
+{
+    auto pct = [&](double v) {
+        std::ostringstream s;
+        s << std::fixed << std::setprecision(2) << v << '%';
+        return s.str();
+    };
+    os << r.label << ":\n"
+       << "L1 Cache Hit Rate: " << pct(r.l1HitRate) << '\n'
+       << "L2 Cache Hit Rate: " << pct(r.l2HitRate) << '\n'
+       << "L3 Cache Hit Rate: " << pct(r.l3HitRate) << '\n'
+       << "L1 Cache Hits: " << r.l1Hits << '\n'
+       << "L2 Cache Hits: " << r.l2Hits << '\n'
+       << "L3 Cache Hits: " << r.l3Hits << '\n'
+       << "L1 Cache Accesses: " << r.l1Accesses << '\n'
+       << "L2 Cache Accesses: " << r.l2Accesses << '\n'
+       << "L3 Cache Accesses: " << r.l3Accesses << '\n'
+       << "IPI: " << r.ipis << '\n'
+       << "Local Memory Hits: " << r.localMemHits << '\n'
+       << ">>> Remote Memory Hits: " << r.remoteMemHits << " <<<\n"
+       << "Remote Shared Memory Hits: " << r.remoteSharedMemHits
+       << '\n'
+       << "Number of Instructions: " << r.instructions << '\n'
+       << "Number of mem_access: " << r.memAccesses << '\n'
+       << ">>> Runtime: " << r.runtime << " <<<\n";
+}
+
+void
+printAeReport(std::ostream &os, System &sys)
+{
+    Cycles total = 0;
+    for (NodeId n = 0; n < sys.nodeCount(); ++n) {
+        AeNodeReport r = collectAeReport(sys, n);
+        printAeReport(os, r);
+        os << '\n';
+        total += r.runtime;
+    }
+    os << "Final Runtime = sum of node runtimes = " << total << '\n';
+}
+
+Cycles
+approximateFullyShared(System &sys)
+{
+    Cycles runtime = 0;
+    double correction = 0.0;
+    for (NodeId n = 0; n < sys.nodeCount(); ++n) {
+        AeNodeReport r = collectAeReport(sys, n);
+        runtime += r.runtime;
+        const LatencyProfile &p =
+            sys.machine().node(n).profile();
+        // (remote - local) / remote, the artifact's 0.455 analogue,
+        // computed from this node's actual Table 2 latencies.
+        double ratio =
+            static_cast<double>(p.remoteMem - p.mem) /
+            static_cast<double>(p.remoteMem);
+        correction += static_cast<double>(r.remoteMemHits +
+                                          r.remoteSharedMemHits) *
+                      ratio * static_cast<double>(p.remoteMem);
+    }
+    if (correction >= static_cast<double>(runtime))
+        return 0;
+    return runtime - static_cast<Cycles>(correction);
+}
+
+} // namespace stramash

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The artifact-evaluation report (paper Appendix A.5): per-node
+ * counters in the exact shape of the AE's example output — cache hit
+ * rates per level, IPIs, local / remote / remote-shared memory hits,
+ * instruction and access counts, and the icount runtime — plus the
+ * appendix's Fully-Shared runtime approximation formula.
+ */
+
+#ifndef STRAMASH_CORE_AE_REPORT_HH
+#define STRAMASH_CORE_AE_REPORT_HH
+
+#include <ostream>
+#include <string>
+
+#include "stramash/core/system.hh"
+
+namespace stramash
+{
+
+/** The counters behind one node's AE report block. */
+struct AeNodeReport
+{
+    std::string label;
+    double l1HitRate = 0;
+    double l2HitRate = 0;
+    double l3HitRate = 0;
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l2Hits = 0;
+    std::uint64_t l3Hits = 0;
+    std::uint64_t l1Accesses = 0;
+    std::uint64_t l2Accesses = 0;
+    std::uint64_t l3Accesses = 0;
+    std::uint64_t ipis = 0;
+    std::uint64_t localMemHits = 0;
+    std::uint64_t remoteMemHits = 0;
+    std::uint64_t remoteSharedMemHits = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t memAccesses = 0;
+    Cycles runtime = 0;
+};
+
+/** Collect one node's counters. */
+AeNodeReport collectAeReport(System &sys, NodeId node);
+
+/** Print one node's block in the AE example-output format. */
+void printAeReport(std::ostream &os, const AeNodeReport &r);
+
+/** Print every node ("x86:" / "Arm:" blocks) plus the final
+ *  runtime = sum of node runtimes (the AE formula). */
+void printAeReport(std::ostream &os, System &sys);
+
+/**
+ * The appendix's Fully-Shared approximation: subtract the
+ * remote-vs-local latency difference for every remote hit,
+ *
+ *   Fully Shared Runtime = Final Runtime
+ *                        - Remote Memory Hits x remoteLocalRatio
+ *                          x local overhead
+ *
+ * where remoteLocalRatio = (remote - local) / remote (the artifact's
+ * 0.455 with its 660/360 cycle pair).
+ */
+Cycles approximateFullyShared(System &sys);
+
+} // namespace stramash
+
+#endif // STRAMASH_CORE_AE_REPORT_HH

@@ -1,0 +1,158 @@
+#include "stramash/core/app.hh"
+
+namespace stramash
+{
+
+App::App(System &sys, NodeId origin) : sys_(sys), origin_(origin)
+{
+    pid_ = sys_.spawn(origin);
+    KernelInstance &k = sys_.kernel(origin);
+    Task &t = k.task(pid_);
+
+    // Standard layout: code, stack. Heap regions come from mmap().
+    Vma code;
+    code.start = 0x400000;
+    code.end = 0x400000 + 2 * 1024 * 1024;
+    code.prot = {true, false, true, true, false, false};
+    code.kind = VmaKind::Code;
+    code.name = "code";
+    bool ok = t.as->vmas().insert(code);
+    panic_if(!ok, "code VMA insert failed");
+
+    Vma stack;
+    stack.start = stackTop - stackBytes;
+    stack.end = stackTop;
+    stack.prot = {true, true, true, false, false, false};
+    stack.kind = VmaKind::Stack;
+    stack.name = "stack";
+    ok = t.as->vmas().insert(stack);
+    panic_if(!ok, "stack VMA insert failed");
+
+    t.state.pc = code.start;
+    t.state.sp = stackTop - 64;
+    t.state.fp = t.state.sp;
+    t.state.pid = pid_;
+    t.heapBrk = heapBase;
+}
+
+App::~App()
+{
+    sys_.exit(pid_);
+}
+
+Addr
+App::mmap(Addr bytes, bool writable, VmaKind kind,
+          const std::string &name)
+{
+    panic_if(bytes == 0, "mmap of zero bytes");
+    Addr size = pageAlignUp(bytes);
+    Addr base = mmapCursor_;
+    // Guard gap between regions so a stray access faults loudly.
+    mmapCursor_ += size + 16 * pageSize;
+
+    KernelInstance &k = sys_.kernel(origin_);
+    Task &t = k.task(pid_);
+    Vma vma;
+    vma.start = base;
+    vma.end = base + size;
+    vma.prot.present = true;
+    vma.prot.user = true;
+    vma.prot.writable = writable;
+    vma.prot.executable = false;
+    vma.kind = kind;
+    vma.name = name;
+    bool ok = t.as->vmas().insert(vma);
+    panic_if(!ok, "mmap VMA overlap");
+    return base;
+}
+
+void
+App::migrate(NodeId dest)
+{
+    sys_.migrate(pid_, dest);
+}
+
+void
+App::migrateToOther()
+{
+    NodeId cur = where();
+    for (NodeId n = 0; n < sys_.nodeCount(); ++n) {
+        if (n != cur) {
+            migrate(n);
+            return;
+        }
+    }
+    panic("no other node to migrate to");
+}
+
+void
+App::retireForAccess(KernelInstance &k)
+{
+    // A memory instruction retires alongside its access.
+    double exp = isaDescriptor(k.isa()).instExpansion;
+    k.machine().retire(k.nodeId(),
+                       static_cast<ICount>(exp < 1.0 ? 1.0 : exp));
+}
+
+void
+App::readBuf(Addr va, void *dst, std::size_t size)
+{
+    KernelInstance &k = currentKernel();
+    // One instruction per cache line moved.
+    k.machine().retire(k.nodeId(), (size + cacheLineSize - 1) /
+                                       cacheLineSize);
+    k.userRead(currentTask(), va, dst, size);
+}
+
+void
+App::writeBuf(Addr va, const void *src, std::size_t size)
+{
+    KernelInstance &k = currentKernel();
+    k.machine().retire(k.nodeId(), (size + cacheLineSize - 1) /
+                                       cacheLineSize);
+    k.userWrite(currentTask(), va, src, size);
+}
+
+void
+App::compute(std::uint64_t units)
+{
+    KernelInstance &k = currentKernel();
+    double exp = isaDescriptor(k.isa()).instExpansion;
+    k.machine().retire(k.nodeId(), static_cast<ICount>(
+                                       static_cast<double>(units) *
+                                       exp));
+}
+
+bool
+App::futexWait(Addr uaddr, std::uint32_t expected)
+{
+    KernelInstance &k = currentKernel();
+    return sys_.futexPolicy().wait(k, currentTask(), uaddr, expected);
+}
+
+unsigned
+App::futexWake(Addr uaddr, unsigned count)
+{
+    KernelInstance &k = currentKernel();
+    return sys_.futexPolicy().wake(k, currentTask(), uaddr, count);
+}
+
+std::uint32_t
+App::fetchAdd(Addr uaddr, std::uint32_t delta)
+{
+    KernelInstance &k = currentKernel();
+    retireForAccess(k);
+    return k.userFetchAdd(currentTask(), uaddr, delta);
+}
+
+bool
+App::cas(Addr uaddr, std::uint32_t expected, std::uint32_t desired)
+{
+    KernelInstance &k = currentKernel();
+    retireForAccess(k);
+    bool ok = false;
+    k.userCas(currentTask(), uaddr, expected, desired, ok);
+    return ok;
+}
+
+} // namespace stramash

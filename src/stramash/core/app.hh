@@ -1,0 +1,98 @@
+/**
+ * @file
+ * A migratable single-threaded application, compiled (conceptually)
+ * with the Popcorn toolchain: one virtual address layout valid on
+ * both ISAs, migration points at call boundaries, and state
+ * transformation handled by the OS migration service.
+ *
+ * All data accesses go through the current kernel's user-access path
+ * — translation, demand faults, cache/coherence charging — and land
+ * in real guest memory, so workloads compute real answers while the
+ * timing model runs underneath.
+ */
+
+#ifndef STRAMASH_CORE_APP_HH
+#define STRAMASH_CORE_APP_HH
+
+#include "stramash/core/system.hh"
+
+namespace stramash
+{
+
+class App
+{
+  public:
+    /** Standard layout bases (identical on both ISAs). */
+    static constexpr Addr heapBase = 0x0000100000000000ULL;
+    static constexpr Addr stackTop = 0x00007ffffffff000ULL;
+    static constexpr Addr stackBytes = 8 * 1024 * 1024;
+
+    App(System &sys, NodeId origin);
+    ~App();
+
+    App(const App &) = delete;
+    App &operator=(const App &) = delete;
+
+    Pid pid() const { return pid_; }
+    NodeId where() const { return sys_.whereIs(pid_); }
+    System &system() { return sys_; }
+
+    /** Map an anonymous region; returns its base address. */
+    Addr mmap(Addr bytes, bool writable = true,
+              VmaKind kind = VmaKind::Anon,
+              const std::string &name = "anon");
+
+    /** Migrate to @p dest (no-op if already there). */
+    void migrate(NodeId dest);
+
+    /** Migrate to the other node (two-node machines). */
+    void migrateToOther();
+
+    // ---- memory access (charged, faulting, real data) ----
+
+    template <typename T>
+    T
+    read(Addr va)
+    {
+        KernelInstance &k = currentKernel();
+        retireForAccess(k);
+        return k.userLoad<T>(currentTask(), va);
+    }
+
+    template <typename T>
+    void
+    write(Addr va, const T &v)
+    {
+        KernelInstance &k = currentKernel();
+        retireForAccess(k);
+        k.userStore<T>(currentTask(), va, v);
+    }
+
+    void readBuf(Addr va, void *dst, std::size_t size);
+    void writeBuf(Addr va, const void *src, std::size_t size);
+
+    /** Retire @p units of non-memory work (ISA-expanded). */
+    void compute(std::uint64_t units);
+
+    // ---- synchronisation ----
+
+    bool futexWait(Addr uaddr, std::uint32_t expected);
+    unsigned futexWake(Addr uaddr, unsigned count = 1);
+    std::uint32_t fetchAdd(Addr uaddr, std::uint32_t delta);
+    bool cas(Addr uaddr, std::uint32_t expected, std::uint32_t desired);
+
+    KernelInstance &currentKernel() { return sys_.kernel(where()); }
+    Task &currentTask() { return currentKernel().task(pid_); }
+
+  private:
+    System &sys_;
+    Pid pid_;
+    NodeId origin_;
+    Addr mmapCursor_ = heapBase;
+
+    void retireForAccess(KernelInstance &k);
+};
+
+} // namespace stramash
+
+#endif // STRAMASH_CORE_APP_HH

@@ -1,0 +1,203 @@
+#include "stramash/core/system.hh"
+
+namespace stramash
+{
+
+KernelLookup
+System::lookup()
+{
+    return [this](NodeId n) -> KernelInstance & { return kernel(n); };
+}
+
+System::System(const SystemConfig &cfg) : cfg_(cfg)
+{
+    MachineConfig mc = MachineConfig::paperPair(cfg.memoryModel,
+                                                cfg.l3Size);
+    mc.crossIsaIpiUs = cfg.crossIsaIpiUs;
+    mc.cachePluginEnabled = cfg.cachePluginEnabled;
+    mc.streamMlp = cfg.streamMlp;
+    mc.snoopCosts = cfg.snoopCosts;
+    machine_ = std::make_unique<Machine>(mc);
+
+    // Messaging area (SHM transport): placed per the paper's rules,
+    // reserved from kernel allocators.
+    std::vector<AddrRange> reserved;
+    if (cfg.transport == Transport::SharedMemory) {
+        Addr base = ShmMessageLayer::paperAreaBase(cfg.memoryModel);
+        reserved.push_back(
+            {base, base + ShmMessageLayer::paperAreaBytes});
+        msg_ = std::make_unique<ShmMessageLayer>(
+            *machine_, base, ShmMessageLayer::paperAreaBytes,
+            cfg.useIpiNotification, cfg.msgCosts);
+    } else {
+        msg_ = std::make_unique<TcpMessageLayer>(*machine_,
+                                                 cfg.msgCosts);
+    }
+
+    guard_ = std::make_unique<RemoteAccessGuard>(cfg.remoteGuard);
+    for (NodeId n = 0; n < machine_->nodeCount(); ++n) {
+        kernels_.push_back(std::make_unique<KernelInstance>(
+            *machine_, n, *msg_, reserved));
+        KernelInstance *k = kernels_.back().get();
+        k->attachGuard(guard_.get());
+        msg_->registerHandler(n,
+                              [k](const Message &m) { k->pump(m); });
+    }
+
+    if (cfg.osDesign == OsDesign::MultipleKernel) {
+        dsmEngine_ = std::make_unique<DsmEngine>(*msg_, lookup());
+        popcornFault_ =
+            std::make_unique<PopcornFaultHandler>(*dsmEngine_);
+        popcornFutex_ =
+            std::make_unique<PopcornFutexPolicy>(*msg_, lookup());
+        popcornMigration_ = std::make_unique<PopcornMigrationPolicy>(
+            *msg_, lookup(), *dsmEngine_);
+        for (auto &k : kernels_) {
+            dsmEngine_->installHandlers(*k);
+            popcornFutex_->installHandlers(*k);
+            popcornMigration_->installHandlers(*k);
+            k->setFaultHandler(popcornFault_.get());
+            // Shared-nothing: each kernel has distinct namespaces.
+            k->namespaces().pidNs = 0x1000 + k->nodeId();
+            k->namespaces().mountNs = 0x2000 + k->nodeId();
+            k->namespaces().netNs = 0x3000 + k->nodeId();
+            k->namespaces().utsNs = 0x4000 + k->nodeId();
+            k->namespaces().userNs = 0x5000 + k->nodeId();
+            k->namespaces().cgroupNs = 0x6000 + k->nodeId();
+        }
+        futexPolicy_ = popcornFutex_.get();
+        migrationPolicy_ = popcornMigration_.get();
+        // Write-backs of dirty lines on replicated pages trigger the
+        // DSM consistency policy (paper §9.2.2).
+        machine_->caches().setWritebackHook(
+            [this](NodeId n, Addr line) {
+                dsmEngine_->onWriteback(n, line);
+            });
+    } else {
+        stramashShared_ = std::make_unique<StramashShared>();
+        stramashFault_ = std::make_unique<StramashFaultHandler>(
+            *msg_, lookup(), *stramashShared_);
+        stramashFutex_ = std::make_unique<StramashFutexPolicy>(
+            lookup(), *stramashShared_);
+        stramashMigration_ = std::make_unique<StramashMigrationPolicy>(
+            *msg_, lookup(), *stramashShared_);
+        for (auto &k : kernels_) {
+            stramashFault_->installHandlers(*k);
+            stramashMigration_->installHandlers(*k);
+            k->setFaultHandler(stramashFault_.get());
+            // Fused namespaces: identical ids everywhere (§6.6).
+            k->namespaces().pidNs = 0x77;
+            k->namespaces().mountNs = 0x78;
+            k->namespaces().netNs = 0x79;
+            k->namespaces().utsNs = 0x7a;
+            k->namespaces().userNs = 0x7b;
+            k->namespaces().cgroupNs = 0x7c;
+        }
+        futexPolicy_ = stramashFutex_.get();
+        migrationPolicy_ = stramashMigration_.get();
+
+        if (cfg.enableGlobalAllocator) {
+            std::vector<KernelInstance *> ks;
+            for (auto &k : kernels_)
+                ks.push_back(k.get());
+            gma_ = std::make_unique<GlobalMemoryAllocator>(
+                *machine_, ks, cfg.gma, reserved);
+            for (auto &k : kernels_) {
+                k->setLowMemoryHook([this](KernelInstance &ki) {
+                    return gma_->onLowMemory(ki);
+                });
+            }
+        }
+    }
+}
+
+System::~System() = default;
+
+KernelInstance &
+System::kernel(NodeId node)
+{
+    for (auto &k : kernels_) {
+        if (k->nodeId() == node)
+            return *k;
+    }
+    panic("unknown kernel node ", node);
+}
+
+KernelInstance &
+System::kernelByIsa(IsaType isa)
+{
+    for (auto &k : kernels_) {
+        if (k->isa() == isa)
+            return *k;
+    }
+    panic("no kernel with ISA ", isaName(isa));
+}
+
+Pid
+System::spawn(NodeId origin)
+{
+    Pid pid = nextPid_++;
+    kernel(origin).createTask(pid, origin);
+    if (popcornMigration_)
+        popcornMigration_->trackTask(pid, origin);
+    if (stramashMigration_)
+        stramashMigration_->trackTask(pid, origin);
+    return pid;
+}
+
+void
+System::exit(Pid pid)
+{
+    // Frames borrowed from another kernel's allocator go home
+    // before the task records disappear.
+    std::vector<std::pair<NodeId, Addr>> borrowed;
+    for (auto &k : kernels_) {
+        if (Task *t = k->findTask(pid)) {
+            borrowed.insert(borrowed.end(), t->borrowedPages.begin(),
+                            t->borrowedPages.end());
+            t->borrowedPages.clear();
+        }
+    }
+    for (auto &k : kernels_) {
+        if (k->hasTask(pid))
+            k->destroyTask(pid);
+    }
+    for (auto [home, pa] : borrowed)
+        kernel(home).freeUserPage(pa);
+}
+
+void
+System::migrate(Pid pid, NodeId dest)
+{
+    migrationPolicy_->migrate(pid, dest);
+}
+
+void
+System::migrateProcess(Pid pid, NodeId dest)
+{
+    migrationPolicy_->migrateProcess(pid, dest);
+}
+
+NodeId
+System::whereIs(Pid pid) const
+{
+    if (popcornMigration_)
+        return popcornMigration_->currentNode(pid);
+    return stramashMigration_->currentNode(pid);
+}
+
+void
+System::resetExperimentCounters(bool flushCaches)
+{
+    machine_->resetTiming(flushCaches);
+    msg_->resetCounters();
+    migrationPolicy_->resetCounters();
+}
+
+std::uint64_t
+System::replicatedPages() const
+{
+    return migrationPolicy_->replicatedPages();
+}
+
+} // namespace stramash

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * The top-level Stramash library entry point.
+ *
+ * A System assembles the full stack for one experiment: the fused
+ * machine (Stramash-QEMU analogue), the messaging transport, one
+ * kernel instance per node, and the OS-design policy set — either
+ * the Popcorn multiple-kernel baseline or the Stramash fused-kernel
+ * design. Workloads interact through core::App.
+ */
+
+#ifndef STRAMASH_CORE_SYSTEM_HH
+#define STRAMASH_CORE_SYSTEM_HH
+
+#include <memory>
+
+#include "stramash/dsm/popcorn.hh"
+#include "stramash/fused/global_alloc.hh"
+#include "stramash/fused/stramash.hh"
+
+namespace stramash
+{
+
+/** Everything needed to stand up one experiment configuration. */
+struct SystemConfig
+{
+    OsDesign osDesign = OsDesign::FusedKernel;
+    MemoryModel memoryModel = MemoryModel::Shared;
+    Transport transport = Transport::SharedMemory;
+    /** Per-node L3 (4 MiB default; 32 MiB in Fig. 10). */
+    Addr l3Size = 4 * 1024 * 1024;
+    /** IPI notification (true) or polling (false) for SHM rings. */
+    bool useIpiNotification = true;
+    /** Disable for functional-only runs (kv-store experiment). */
+    bool cachePluginEnabled = true;
+    double crossIsaIpiUs = 2.0;
+    /** Bulk kernel-copy memory-level parallelism (ablation knob). */
+    unsigned streamMlp = 8;
+    /** CXL coherence action costs (ablation knob). */
+    SnoopCosts snoopCosts{};
+    /** Remote kernel-memory guard (paper §5 security postulate;
+     *  Enforce = the MPU/capability behaviour of the future-work
+     *  mechanism). */
+    GuardMode remoteGuard = GuardMode::Audit;
+    /** Wire the fused global memory allocator (fused design only). */
+    bool enableGlobalAllocator = true;
+    GmaConfig gma{};
+    MsgCosts msgCosts{};
+};
+
+class System
+{
+  public:
+    explicit System(const SystemConfig &cfg);
+    ~System();
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    const SystemConfig &config() const { return cfg_; }
+    Machine &machine() { return *machine_; }
+    MessageLayer &msg() { return *msg_; }
+
+    KernelInstance &kernel(NodeId node);
+    KernelInstance &kernelByIsa(IsaType isa);
+    std::size_t nodeCount() const { return kernels_.size(); }
+
+    // ---- process lifecycle ----
+
+    /** Create a process at @p origin. VMAs are added via App. */
+    Pid spawn(NodeId origin);
+
+    /** Terminate the process on every kernel hosting it. */
+    void exit(Pid pid);
+
+    /** Migrate one thread (policy-specific mechanics). */
+    void migrate(Pid pid, NodeId dest);
+
+    /**
+     * Whole-process migration (paper §5: "Inter-kernel process
+     * migration is simpler because there is no kernel state to be
+     * kept consistent after migration"): the destination becomes the
+     * process's new origin and the source kernel forgets it.
+     */
+    void migrateProcess(Pid pid, NodeId dest);
+
+    /** Node the process currently runs on. */
+    NodeId whereIs(Pid pid) const;
+
+    // ---- policy access ----
+
+    FutexPolicy &futexPolicy() { return *futexPolicy_; }
+    MigrationPolicy &migrationPolicy() { return *migrationPolicy_; }
+
+    /** Non-null for the MultipleKernel design. */
+    DsmEngine *dsmEngine() { return dsmEngine_.get(); }
+    RemoteAccessGuard &remoteGuard() { return *guard_; }
+    /** Non-null for the FusedKernel design. */
+    StramashShared *stramashState() { return stramashShared_.get(); }
+    GlobalMemoryAllocator *globalAllocator() { return gma_.get(); }
+
+    // ---- experiment bookkeeping ----
+
+    /** Zero message/replication counters and node clocks. */
+    void resetExperimentCounters(bool flushCaches = true);
+
+    std::uint64_t messagesSent() const { return msg_->messagesSent(); }
+    std::uint64_t replicatedPages() const;
+    Cycles runtime() const { return machine_->totalRuntime(); }
+
+  private:
+    SystemConfig cfg_;
+    std::unique_ptr<Machine> machine_;
+    std::unique_ptr<MessageLayer> msg_;
+    // Must outlive the kernels: their frame-free callbacks revoke
+    // page-table frames from the guard during teardown.
+    std::unique_ptr<RemoteAccessGuard> guard_;
+    std::vector<std::unique_ptr<KernelInstance>> kernels_;
+
+    // Popcorn policy set.
+    std::unique_ptr<DsmEngine> dsmEngine_;
+    std::unique_ptr<PopcornFaultHandler> popcornFault_;
+    std::unique_ptr<PopcornFutexPolicy> popcornFutex_;
+    std::unique_ptr<PopcornMigrationPolicy> popcornMigration_;
+
+    // Stramash policy set.
+    std::unique_ptr<StramashShared> stramashShared_;
+    std::unique_ptr<StramashFaultHandler> stramashFault_;
+    std::unique_ptr<StramashFutexPolicy> stramashFutex_;
+    std::unique_ptr<StramashMigrationPolicy> stramashMigration_;
+
+    std::unique_ptr<GlobalMemoryAllocator> gma_;
+
+    FutexPolicy *futexPolicy_ = nullptr;
+    MigrationPolicy *migrationPolicy_ = nullptr;
+
+    Pid nextPid_ = 100;
+
+    KernelLookup lookup();
+};
+
+} // namespace stramash
+
+#endif // STRAMASH_CORE_SYSTEM_HH

@@ -1,0 +1,403 @@
+#include "stramash/dsm/dsm_engine.hh"
+
+namespace stramash
+{
+
+namespace
+{
+
+constexpr std::uint64_t flagWrite = 1;
+constexpr std::uint64_t flagAllocOnly = 2;
+
+std::uint64_t
+metaKey(Pid pid, Addr vpage)
+{
+    return (static_cast<std::uint64_t>(pid) << 44) ^ (vpage >> 12);
+}
+
+} // namespace
+
+DsmEngine::DsmEngine(MessageLayer &msg, KernelLookup kernels)
+    : msg_(msg), kernels_(std::move(kernels))
+{
+}
+
+void
+DsmEngine::installHandlers(KernelInstance &k)
+{
+    k.registerMsgHandler(MsgType::PageRequest,
+                         [this, &k](const Message &m) {
+                             onPageRequest(k, m);
+                         });
+    k.registerMsgHandler(MsgType::PageInvalidate,
+                         [this, &k](const Message &m) {
+                             onPageInvalidate(k, m);
+                         });
+    k.registerMsgHandler(MsgType::VmaRequest,
+                         [this, &k](const Message &m) {
+                             onVmaRequest(k, m);
+                         });
+}
+
+DsmEngine::PageState &
+DsmEngine::state(Pid pid, Addr vpage, NodeId defaultOwner)
+{
+    auto key = std::make_pair(pid, vpage);
+    auto it = pages_.find(key);
+    if (it == pages_.end())
+        it = pages_.emplace(key, PageState{defaultOwner, 0}).first;
+    return it->second;
+}
+
+bool
+DsmEngine::isManaged(Pid pid, Addr vpage) const
+{
+    return pages_.count({pid, vpage}) != 0;
+}
+
+void
+DsmEngine::adopt(Pid pid, Addr vpage, NodeId owner)
+{
+    state(pid, vpage, owner).owner = owner;
+}
+
+void
+DsmEngine::forgetTask(Pid pid)
+{
+    auto it = pages_.lower_bound({pid, 0});
+    while (it != pages_.end() && it->first.first == pid)
+        it = pages_.erase(it);
+    for (auto fit = frameIndex_.begin(); fit != frameIndex_.end();) {
+        if (fit->second.first == pid)
+            fit = frameIndex_.erase(fit);
+        else
+            ++fit;
+    }
+}
+
+void
+DsmEngine::indexFrame(Addr frame, Pid pid, Addr vpage)
+{
+    frameIndex_[pageBase(frame)] = {pid, vpage};
+}
+
+void
+DsmEngine::onWriteback(NodeId node, Addr lineAddr)
+{
+    auto it = frameIndex_.find(pageBase(lineAddr));
+    if (it == frameIndex_.end())
+        return;
+    auto [pid, vpage] = it->second;
+    auto pit = pages_.find({pid, vpage});
+    if (pit == pages_.end())
+        return;
+    // Only replicated pages (another node holds a copy) trigger the
+    // consistency policy on write-back (paper §9.2.2).
+    std::uint32_t others = pit->second.holders & ~(1u << node);
+    if (others == 0)
+        return;
+    kernels_(node).machine().stall(node, writebackActionCycles);
+    ++wbActions_;
+}
+
+void
+DsmEngine::touchMeta(KernelInstance &k, Pid pid, Addr vpage,
+                     AccessType type)
+{
+    k.machine().dataAccess(k.nodeId(), type,
+                           k.dataAddrFor(metaKey(pid, vpage)), 8);
+}
+
+std::vector<std::uint8_t>
+DsmEngine::readPageContent(KernelInstance &k, Task &t, Addr vpage)
+{
+    XlateResult x = t.as->translate(vpage, AccessType::Load);
+    panic_if(x.status != XlateStatus::Ok,
+             "DSM owner has no mapping to read");
+    std::vector<std::uint8_t> content(pageSize);
+    k.machine().streamAccess(k.nodeId(), AccessType::Load,
+                             pageBase(x.pa), pageSize);
+    k.machine().memory().read(pageBase(x.pa), content.data(), pageSize);
+    return content;
+}
+
+void
+DsmEngine::installCopy(KernelInstance &k, Task &t, Addr vpage,
+                       const std::vector<std::uint8_t> &content,
+                       bool writable)
+{
+    panic_if(content.size() != pageSize, "bad page payload");
+    const Vma *vma = t.as->vmas().find(vpage);
+    panic_if(!vma, "installCopy without a VMA");
+
+    Addr frame;
+    XlateResult existing = t.as->translate(vpage, AccessType::Load);
+    if (existing.status == XlateStatus::Ok) {
+        // Re-use the replica frame we already hold.
+        frame = pageBase(existing.pa);
+        t.as->protectPage(vpage, vmaPageAttrs(*vma, writable));
+    } else {
+        frame = k.allocUserPage(false);
+        t.ownedPages.push_back(frame);
+        bool ok = t.as->mapPage(vpage, frame, vmaPageAttrs(*vma, writable));
+        panic_if(!ok, "installCopy: mapping already present");
+    }
+    indexFrame(frame, t.pid, vpage);
+    k.machine().streamAccess(k.nodeId(), AccessType::Store, frame,
+                             pageSize);
+    k.machine().memory().write(frame, content.data(), pageSize);
+    // The install writes through: the frame's memory copy *is* the
+    // just-received content, so the cached lines are clean
+    // (Exclusive). Only application stores re-dirty them.
+    if (k.machine().config().cachePluginEnabled) {
+        CacheHierarchy &hier =
+            k.machine().caches().hierarchy(k.nodeId());
+        for (Addr line = frame; line < frame + pageSize;
+             line += cacheLineSize)
+            hier.setState(line, Mesi::Exclusive);
+    }
+}
+
+void
+DsmEngine::ensureVma(KernelInstance &k, Task &t, Addr va)
+{
+    if (t.as->vmas().find(va))
+        return;
+    panic_if(t.origin == k.nodeId(),
+             "origin fault outside every VMA (segfault) at 0x",
+             std::hex, va);
+    Message req;
+    req.type = MsgType::VmaRequest;
+    req.from = k.nodeId();
+    req.to = t.origin;
+    req.arg0 = t.pid;
+    req.arg1 = va;
+    Message resp = msg_.rpc(req, MsgType::VmaResponse);
+    panic_if(resp.arg1 == 0, "remote fault outside every VMA at 0x",
+             std::hex, va);
+    Vma vma;
+    vma.start = resp.arg0;
+    vma.end = resp.arg1;
+    vma.prot.present = true;
+    vma.prot.user = true;
+    vma.prot.writable = resp.arg2 & 1;
+    vma.prot.executable = resp.arg2 & 2;
+    vma.kind = static_cast<VmaKind>((resp.arg2 >> 8) & 0xff);
+    bool ok = t.as->vmas().insert(vma);
+    panic_if(!ok, "remote VMA overlaps local tree");
+}
+
+void
+DsmEngine::onVmaRequest(KernelInstance &k, const Message &m)
+{
+    Task &t = k.task(static_cast<Pid>(m.arg0));
+    const Vma *vma = t.as->vmas().find(m.arg1);
+    // Charge the lookup (a handful of tree-node reads).
+    k.machine().dataAccess(k.nodeId(), AccessType::Load,
+                           k.dataAddrFor(metaKey(t.pid, m.arg1)), 64);
+    Message resp;
+    resp.type = MsgType::VmaResponse;
+    resp.from = k.nodeId();
+    resp.to = m.from;
+    if (vma) {
+        resp.arg0 = vma->start;
+        resp.arg1 = vma->end;
+        resp.arg2 = (vma->prot.writable ? 1 : 0) |
+                    (vma->prot.executable ? 2 : 0) |
+                    (static_cast<std::uint64_t>(vma->kind) << 8);
+    }
+    msg_.send(resp);
+}
+
+void
+DsmEngine::handlePageFault(KernelInstance &kernel, Task &task, Addr va,
+                           XlateStatus kind, AccessType type)
+{
+    Addr vpage = pageBase(va);
+    NodeId self = kernel.nodeId();
+    std::uint32_t selfBit = 1u << self;
+    Pid pid = task.pid;
+
+    ensureVma(kernel, task, va);
+    bool fresh = !pages_.count({pid, vpage});
+    PageState &st = state(pid, vpage, task.origin);
+    touchMeta(kernel, pid, vpage, AccessType::Load);
+    // The Linux fault path + DSM protocol machine on the requester.
+    kernel.machine().stall(self, faultCpuCycles);
+
+    bool wantWrite = type == AccessType::Store;
+
+    if (kind == XlateStatus::NotMapped) {
+        if (st.owner == self) {
+            // First touch at the owner: plain anonymous fault.
+            bool ok = kernel.handleLocalAnonFault(task, va, type);
+            panic_if(!ok, "anon fault outside VMA");
+            st.holders |= selfBit;
+            return;
+        }
+
+        // Popcorn allocates anonymous pages at the origin: a fresh
+        // remote touch costs an allocation round before replication
+        // (paper §6.4: "at least 2 rounds of message passing").
+        if (fresh) {
+            Message alloc;
+            alloc.type = MsgType::PageRequest;
+            alloc.from = self;
+            alloc.to = st.owner;
+            alloc.arg0 = pid;
+            alloc.arg1 = vpage;
+            alloc.arg2 = flagAllocOnly;
+            msg_.rpc(alloc, MsgType::PageResponse);
+        }
+
+        Message req;
+        req.type = MsgType::PageRequest;
+        req.from = self;
+        req.to = st.owner;
+        req.arg0 = pid;
+        req.arg1 = vpage;
+        req.arg2 = wantWrite ? flagWrite : 0;
+        Message resp = msg_.rpc(req, MsgType::PageResponse);
+
+        installCopy(kernel, task, vpage, resp.payload, wantWrite);
+        ++replicated_;
+        touchMeta(kernel, pid, vpage, AccessType::Store);
+        if (wantWrite) {
+            st.owner = self;
+            st.holders = selfBit;
+        } else {
+            st.holders |= selfBit;
+        }
+        return;
+    }
+
+    // NoWrite: upgrade an existing read-only copy.
+    panic_if(kind != XlateStatus::NoWrite, "unexpected fault kind");
+    const Vma *vma = task.as->vmas().find(va);
+    panic_if(!vma, "upgrade fault without VMA");
+    panic_if(!vma->prot.writable,
+             "write to read-only VMA at 0x", std::hex, va);
+
+    if (st.owner == self) {
+        // We own it; invalidate the other read copies.
+        for (NodeId n = 0; n < 32; ++n) {
+            if (n == self || !(st.holders & (1u << n)))
+                continue;
+            Message inv;
+            inv.type = MsgType::PageInvalidate;
+            inv.from = self;
+            inv.to = n;
+            inv.arg0 = pid;
+            inv.arg1 = vpage;
+            msg_.rpc(inv, MsgType::PageInvalidateAck);
+            ++invalidations_;
+        }
+        st.holders = selfBit;
+        task.as->protectPage(vpage, vmaPageAttrs(*vma, true));
+        touchMeta(kernel, pid, vpage, AccessType::Store);
+        return;
+    }
+
+    // Someone else owns it: request write ownership (ships content —
+    // the owner may have newer data than our stale read copy).
+    Message req;
+    req.type = MsgType::PageRequest;
+    req.from = self;
+    req.to = st.owner;
+    req.arg0 = pid;
+    req.arg1 = vpage;
+    req.arg2 = flagWrite;
+    Message resp = msg_.rpc(req, MsgType::PageResponse);
+    installCopy(kernel, task, vpage, resp.payload, true);
+    ++replicated_;
+    st.owner = self;
+    st.holders = selfBit;
+    touchMeta(kernel, pid, vpage, AccessType::Store);
+}
+
+void
+DsmEngine::onPageRequest(KernelInstance &k, const Message &m)
+{
+    Pid pid = static_cast<Pid>(m.arg0);
+    Addr vpage = m.arg1;
+    NodeId self = k.nodeId();
+    std::uint32_t selfBit = 1u << self;
+    Task &t = k.task(pid);
+    PageState &st = state(pid, vpage, t.origin);
+    touchMeta(k, pid, vpage, AccessType::Load);
+    k.machine().stall(self, faultCpuCycles);
+
+    Message resp;
+    resp.type = MsgType::PageResponse;
+    resp.from = self;
+    resp.to = m.from;
+    resp.arg0 = pid;
+    resp.arg1 = vpage;
+
+    if (m.arg2 & flagAllocOnly) {
+        // Allocation round: materialise the page at the origin.
+        XlateResult x = t.as->translate(vpage, AccessType::Load);
+        if (x.status != XlateStatus::Ok) {
+            bool ok = k.handleLocalAnonFault(t, vpage, AccessType::Load);
+            panic_if(!ok, "alloc round outside VMA");
+        }
+        st.holders |= selfBit;
+        msg_.send(resp);
+        return;
+    }
+
+    // The owner may itself have lost the mapping (it was created
+    // fresh by the alloc round above, or this kernel re-gained
+    // ownership without re-touching).
+    XlateResult x = t.as->translate(vpage, AccessType::Load);
+    if (x.status != XlateStatus::Ok) {
+        bool ok = k.handleLocalAnonFault(t, vpage, AccessType::Load);
+        panic_if(!ok, "owner cannot materialise page");
+        st.holders |= selfBit;
+    }
+
+    resp.payload = readPageContent(k, t, vpage);
+    {
+        XlateResult owned = t.as->translate(vpage, AccessType::Load);
+        if (owned.status == XlateStatus::Ok)
+            indexFrame(pageBase(owned.pa), pid, vpage);
+    }
+
+    const Vma *vma = t.as->vmas().find(vpage);
+    panic_if(!vma, "owner has mapping but no VMA");
+
+    if (m.arg2 & flagWrite) {
+        // Ownership transfer: drop our copy entirely.
+        t.as->unmapPage(vpage);
+        st.owner = m.from;
+        st.holders = 1u << m.from;
+        ++invalidations_;
+    } else {
+        // Keep a read-only copy alongside the new replica.
+        t.as->protectPage(vpage, vmaPageAttrs(*vma, false));
+        st.holders |= selfBit | (1u << m.from);
+    }
+    touchMeta(k, pid, vpage, AccessType::Store);
+    msg_.send(resp);
+}
+
+void
+DsmEngine::onPageInvalidate(KernelInstance &k, const Message &m)
+{
+    Pid pid = static_cast<Pid>(m.arg0);
+    Addr vpage = m.arg1;
+    Task *t = k.findTask(pid);
+    if (t)
+        t->as->unmapPage(vpage);
+    touchMeta(k, pid, vpage, AccessType::Store);
+
+    Message ack;
+    ack.type = MsgType::PageInvalidateAck;
+    ack.from = k.nodeId();
+    ack.to = m.from;
+    ack.arg0 = pid;
+    ack.arg1 = vpage;
+    msg_.send(ack);
+}
+
+} // namespace stramash

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * The software DSM page-coherence engine — Popcorn-Linux's mechanism
+ * for providing a single application address space across
+ * shared-nothing kernels (paper §2, §6.4, §9.2.3).
+ *
+ * Home-based write-invalidate protocol at page granularity:
+ *
+ *  - every page has an owner (initially the task's origin kernel);
+ *  - a read fault replicates the page: the owner downgrades to
+ *    read-only and ships the 4 KiB content; the requester maps a
+ *    local copy (the "Replicated Pages" of Table 3);
+ *  - a write fault (or upgrade) invalidates every other copy and
+ *    transfers ownership;
+ *  - first touch of an anonymous page at a non-origin kernel costs
+ *    two message rounds — allocation at the origin, then replication
+ *    — exactly as the paper describes Popcorn's behaviour.
+ *
+ * The engine is also reused by the Stramash policies for their
+ * slow-path pages (upper page-table level missing, §9.2.3), which is
+ * why it is a standalone class rather than part of the Popcorn
+ * fault handler.
+ */
+
+#ifndef STRAMASH_DSM_DSM_ENGINE_HH
+#define STRAMASH_DSM_DSM_ENGINE_HH
+
+#include <functional>
+#include <map>
+#include <unordered_map>
+
+#include "stramash/kernel/kernel.hh"
+
+namespace stramash
+{
+
+/** Resolve a node id to its kernel instance. */
+using KernelLookup = std::function<KernelInstance &(NodeId)>;
+
+class DsmEngine
+{
+  public:
+    DsmEngine(MessageLayer &msg, KernelLookup kernels);
+
+    /** Register the protocol's message handlers on a kernel. */
+    void installHandlers(KernelInstance &k);
+
+    /**
+     * Resolve a DSM fault raised at @p kernel. Covers NotMapped
+     * (fetch/replicate) and NoWrite (upgrade/invalidate).
+     */
+    void handlePageFault(KernelInstance &kernel, Task &task, Addr va,
+                         XlateStatus kind, AccessType type);
+
+    /** True if this (pid, page) is under DSM management. */
+    bool isManaged(Pid pid, Addr vpage) const;
+
+    /** Mark a page DSM-managed without faulting (Stramash slow path
+     *  entry). */
+    void adopt(Pid pid, Addr vpage, NodeId owner);
+
+    /**
+     * CPU cost of one traversal of the Linux fault path plus the DSM
+     * protocol state machine, charged at the faulting kernel and at
+     * the owner serving the request.
+     */
+    static constexpr Cycles faultCpuCycles = 8000;
+
+    /** Pages whose content was copied across kernels (Table 3). */
+    std::uint64_t replicatedPages() const { return replicated_; }
+
+    /** Invalidation rounds performed (write upgrades). */
+    std::uint64_t invalidations() const { return invalidations_; }
+
+    void
+    resetCounters()
+    {
+        replicated_ = 0;
+        invalidations_ = 0;
+    }
+
+    /** Drop all metadata for an exiting task. */
+    void forgetTask(Pid pid);
+
+    /**
+     * Cache write-back interplay (§9.2.2): a dirty line leaving a
+     * node's LLC that belongs to a replicated page (another node
+     * holds a copy) triggers the DSM consistency policy. Wired to
+     * CoherenceDomain's writeback hook by the System.
+     */
+    void onWriteback(NodeId node, Addr lineAddr);
+
+    /** Cost of one writeback-triggered consistency action. */
+    static constexpr Cycles writebackActionCycles = 2000;
+
+    std::uint64_t writebackActions() const { return wbActions_; }
+
+  private:
+    struct PageState
+    {
+        NodeId owner;
+        /** Nodes holding a (read-only or owning) copy. */
+        std::uint32_t holders;
+    };
+
+    MessageLayer &msg_;
+    KernelLookup kernels_;
+    /** (pid, vpage) -> coherence state. Mutated only inside message
+     *  handlers / the faulting kernel's code path. */
+    std::map<std::pair<Pid, Addr>, PageState> pages_;
+    /** Physical frame -> (pid, vpage) for every frame backing a
+     *  DSM-managed page on any node (writeback interplay). */
+    std::unordered_map<Addr, std::pair<Pid, Addr>> frameIndex_;
+    std::uint64_t replicated_ = 0;
+    std::uint64_t invalidations_ = 0;
+    std::uint64_t wbActions_ = 0;
+
+    void indexFrame(Addr frame, Pid pid, Addr vpage);
+
+    PageState &state(Pid pid, Addr vpage, NodeId defaultOwner);
+
+    /** Charge @p kernel a metadata access for (pid, vpage). */
+    void touchMeta(KernelInstance &k, Pid pid, Addr vpage,
+                   AccessType type);
+
+    // Message handlers (run on the receiving kernel).
+    void onPageRequest(KernelInstance &k, const Message &m);
+    void onPageInvalidate(KernelInstance &k, const Message &m);
+
+    /** Ship 4 KiB of page content out of @p k's mapping. */
+    std::vector<std::uint8_t> readPageContent(KernelInstance &k,
+                                              Task &t, Addr vpage);
+
+    /** Install @p content into a local frame for (task, vpage). */
+    void installCopy(KernelInstance &k, Task &t, Addr vpage,
+                     const std::vector<std::uint8_t> &content,
+                     bool writable);
+
+    /** Ensure the requester knows the VMA covering @p va. */
+    void ensureVma(KernelInstance &k, Task &t, Addr va);
+
+    void onVmaRequest(KernelInstance &k, const Message &m);
+};
+
+} // namespace stramash
+
+#endif // STRAMASH_DSM_DSM_ENGINE_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The Fused Kernel Virtual Address Space (paper §6.4).
+ *
+ * Stramash aligns the kernel virtual ranges of the two instances so
+ * each kernel can address the other's memory directly: x86's vmalloc
+ * range is adjusted to alias the Arm instance's direct map and vice
+ * versa. We model the result: a shared direct map at a fixed offset,
+ * identical on both kernels, with helpers to convert between kernel
+ * virtual and guest physical addresses and to verify the alignment
+ * invariant that makes remote accessor functions plain loads/stores.
+ */
+
+#ifndef STRAMASH_FUSED_FUSED_VAS_HH
+#define STRAMASH_FUSED_FUSED_VAS_HH
+
+#include "stramash/common/logging.hh"
+#include "stramash/mem/phys_map.hh"
+
+namespace stramash
+{
+
+class FusedVas
+{
+  public:
+    /** Direct-map base shared by every kernel instance. */
+    static constexpr Addr directMapBase = 0xffff800000000000ULL;
+
+    explicit FusedVas(const PhysMap &map) : map_(map) {}
+
+    /** Kernel virtual address of a physical address. */
+    Addr
+    physToKv(Addr pa) const
+    {
+        panic_if(!map_.isDram(pa), "physToKv of non-DRAM address");
+        return directMapBase + pa;
+    }
+
+    /** Physical address behind a kernel virtual address. */
+    Addr
+    kvToPhys(Addr kv) const
+    {
+        panic_if(kv < directMapBase, "not a direct-map address");
+        Addr pa = kv - directMapBase;
+        panic_if(!map_.isDram(pa), "direct-map address beyond DRAM");
+        return pa;
+    }
+
+    /**
+     * The fused-VAS invariant: every DRAM byte of every node is
+     * addressable at the same kernel virtual address from every
+     * kernel instance. With a single shared direct map this reduces
+     * to round-tripping each region boundary.
+     */
+    bool
+    checkAlignment() const
+    {
+        for (const auto &r : map_.regions()) {
+            if (kvToPhys(physToKv(r.range.start)) != r.range.start)
+                return false;
+            if (kvToPhys(physToKv(r.range.end - 1)) != r.range.end - 1)
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    const PhysMap &map_;
+};
+
+} // namespace stramash
+
+#endif // STRAMASH_FUSED_FUSED_VAS_HH

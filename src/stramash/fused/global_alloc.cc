@@ -1,0 +1,216 @@
+#include "stramash/fused/global_alloc.hh"
+
+namespace stramash
+{
+
+GlobalMemoryAllocator::GlobalMemoryAllocator(
+    Machine &machine, std::vector<KernelInstance *> kernels,
+    GmaConfig cfg, const std::vector<AddrRange> &excluded)
+    : machine_(machine),
+      kernels_(std::move(kernels)),
+      cfg_(cfg),
+      stats_("gma")
+{
+    panic_if(cfg_.blockSize < 32 * 1024 * 1024 ||
+                 cfg_.blockSize > Addr{4} * 1024 * 1024 * 1024,
+             "block size outside the 32 MiB - 4 GiB range");
+    IntervalSet pool;
+    for (const auto &r : machine_.physMap().poolRanges())
+        pool.insert(r);
+    for (const auto &r : excluded) {
+        if (!r.empty())
+            pool.erase(r.start, r.end);
+    }
+    for (const auto &r : pool.extents())
+        addPoolRange(r);
+}
+
+void
+GlobalMemoryAllocator::addPoolRange(const AddrRange &r)
+{
+    for (Addr b = r.start; b + cfg_.blockSize <= r.end;
+         b += cfg_.blockSize) {
+        blocks_.emplace(
+            b, std::make_pair(AddrRange{b, b + cfg_.blockSize},
+                              invalidNode));
+    }
+}
+
+std::size_t
+GlobalMemoryAllocator::freeBlocks() const
+{
+    std::size_t n = 0;
+    for (const auto &kv : blocks_) {
+        if (kv.second.second == invalidNode)
+            ++n;
+    }
+    return n;
+}
+
+std::size_t
+GlobalMemoryAllocator::blocksOwnedBy(NodeId node) const
+{
+    std::size_t n = 0;
+    for (const auto &kv : blocks_) {
+        if (kv.second.second == node)
+            ++n;
+    }
+    return n;
+}
+
+std::vector<AddrRange>
+GlobalMemoryAllocator::ownedBlocks(NodeId node) const
+{
+    std::vector<AddrRange> out;
+    for (const auto &kv : blocks_) {
+        if (kv.second.second == node)
+            out.push_back(kv.second.first);
+    }
+    return out;
+}
+
+KernelInstance &
+GlobalMemoryAllocator::kernelOf(NodeId node)
+{
+    for (auto *k : kernels_) {
+        if (k->nodeId() == node)
+            return *k;
+    }
+    panic("global allocator: unknown node ", node);
+}
+
+void
+GlobalMemoryAllocator::chargePagePass(KernelInstance &k, Addr pa,
+                                      bool store, ICount inst)
+{
+    // struct-page metadata access in the kernel's data region...
+    machine_.dataAccess(k.nodeId(),
+                        store ? AccessType::Store : AccessType::Load,
+                        k.dataAddrFor(pa >> pageShift), 64);
+    if (!store) {
+        // The offline isolation pass also rewrites the page state
+        // (reserved/isolated flags) on a second metadata line — this
+        // is why offlining dominates (§9.2.7, Table 4).
+        machine_.dataAccess(k.nodeId(), AccessType::Store,
+                            k.dataAddrFor((pa >> pageShift) ^
+                                          0x150147eULL), 64);
+    }
+    // ...plus the fixed per-page bookkeeping work.
+    machine_.retire(k.nodeId(), inst);
+}
+
+Cycles
+GlobalMemoryAllocator::onlineBlock(KernelInstance &kernel,
+                                   const AddrRange &block)
+{
+    auto it = blocks_.find(block.start);
+    panic_if(it == blocks_.end(), "onlining an unknown block");
+    panic_if(it->second.second != invalidNode,
+             "onlining a block owned by node ", it->second.second);
+
+    Cycles before = machine_.node(kernel.nodeId()).cycles();
+    for (Addr pa = block.start; pa < block.end; pa += pageSize)
+        chargePagePass(kernel, pa, true, cfg_.onlinePerPageInst);
+    kernel.palloc().addRange(block);
+    it->second.second = kernel.nodeId();
+    stats_.counter("blocks_onlined") += 1;
+    return machine_.node(kernel.nodeId()).cycles() - before;
+}
+
+Cycles
+GlobalMemoryAllocator::offlineBlock(KernelInstance &kernel,
+                                    const AddrRange &block,
+                                    const RemapFn &remap)
+{
+    auto it = blocks_.find(block.start);
+    panic_if(it == blocks_.end(), "offlining an unknown block");
+    panic_if(it->second.second != kernel.nodeId(),
+             "offlining a block this kernel does not own");
+
+    Cycles before = machine_.node(kernel.nodeId()).cycles();
+
+    // Evacuation: move live frames out of the block (paper §6.3:
+    // "it first evacuates the memory block and then isolates the
+    // pages").
+    auto live = kernel.palloc().allocatedIn(block);
+    if (!live.empty()) {
+        if (!remap)
+            return 0;
+        for (Addr oldPa : live) {
+            // The replacement frame must come from outside the block
+            // being withdrawn; retry a bounded number of times.
+            std::vector<Addr> inBlock;
+            Addr newPa = 0;
+            for (int tries = 0; tries < 64; ++tries) {
+                Addr cand = kernel.allocUserPage(false);
+                if (!block.contains(cand)) {
+                    newPa = cand;
+                    break;
+                }
+                inBlock.push_back(cand);
+            }
+            for (Addr p : inBlock)
+                kernel.freeUserPage(p);
+            panic_if(!newPa, "no frame outside the offlining block");
+            machine_.memory().copy(newPa, oldPa, pageSize);
+            machine_.streamAccess(kernel.nodeId(), AccessType::Load,
+                                  oldPa, pageSize);
+            machine_.streamAccess(kernel.nodeId(), AccessType::Store,
+                                  newPa, pageSize);
+            remap(oldPa, newPa);
+            kernel.freeUserPage(oldPa);
+            stats_.counter("pages_evacuated") += 1;
+        }
+    }
+
+    // Isolation pass over every page in the block.
+    for (Addr pa = block.start; pa < block.end; pa += pageSize)
+        chargePagePass(kernel, pa, false, cfg_.offlinePerPageInst);
+
+    bool ok = kernel.palloc().removeRange(block);
+    panic_if(!ok, "offline failed after evacuation");
+    it->second.second = invalidNode;
+    stats_.counter("blocks_offlined") += 1;
+    return machine_.node(kernel.nodeId()).cycles() - before;
+}
+
+bool
+GlobalMemoryAllocator::onLowMemory(KernelInstance &kernel)
+{
+    // A free block is assigned directly.
+    for (auto &kv : blocks_) {
+        if (kv.second.second == invalidNode) {
+            onlineBlock(kernel, kv.second.first);
+            return true;
+        }
+    }
+
+    // Otherwise evict from another kernel until pressure balances
+    // (paper §6.3).
+    double myPressure = kernel.palloc().pressure();
+    KernelInstance *donor = nullptr;
+    for (auto *k : kernels_) {
+        if (k->nodeId() == kernel.nodeId())
+            continue;
+        if (k->palloc().pressure() < myPressure &&
+            (!donor || k->palloc().pressure() <
+                           donor->palloc().pressure())) {
+            donor = k;
+        }
+    }
+    if (!donor)
+        return false;
+    for (const auto &block : ownedBlocks(donor->nodeId())) {
+        if (donor->palloc().allocatedIn(block).empty()) {
+            Cycles c = offlineBlock(*donor, block);
+            if (c == 0)
+                continue;
+            onlineBlock(kernel, block);
+            stats_.counter("blocks_migrated") += 1;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace stramash

@@ -1,0 +1,116 @@
+#include "stramash/fused/packing.hh"
+
+#include <algorithm>
+
+namespace stramash
+{
+
+namespace
+{
+
+/** Resident pages of the VMA, ascending by virtual address. */
+std::vector<std::pair<Addr, WalkResult>>
+residentPages(Task &task, const Vma &vma)
+{
+    std::vector<std::pair<Addr, WalkResult>> out;
+    for (Addr va = vma.start; va < vma.end; va += pageSize) {
+        auto w = task.as->pageTable().walk(va);
+        if (w)
+            out.emplace_back(va, *w);
+    }
+    return out;
+}
+
+} // namespace
+
+std::optional<PackResult>
+packVmaContiguous(KernelInstance &kernel, Task &task, Addr vaInVma)
+{
+    const Vma *vma = task.as->vmas().find(vaInVma);
+    if (!vma)
+        return std::nullopt;
+
+    auto resident = residentPages(task, *vma);
+    if (resident.empty())
+        return std::nullopt;
+
+    // Only frames this kernel allocated may move (the other kernel
+    // owns its frames; §6.4's recycling discipline).
+    std::vector<Addr> &owned = task.ownedPages;
+    auto ownsFrame = [&](Addr pa) {
+        return std::find(owned.begin(), owned.end(), pa) !=
+               owned.end();
+    };
+
+    std::uint64_t movable = 0;
+    for (const auto &[va, w] : resident) {
+        (void)va;
+        if (ownsFrame(w.pte.frame))
+            ++movable;
+    }
+    if (movable == 0)
+        return std::nullopt;
+
+    auto extent = kernel.palloc().allocContiguous(movable);
+    if (!extent)
+        return std::nullopt;
+
+    PackResult res;
+    res.base = extent->start;
+    res.bytes = extent->size();
+
+    Machine &machine = kernel.machine();
+    Addr next = extent->start;
+    for (const auto &[va, w] : resident) {
+        Addr oldPa = w.pte.frame;
+        if (!ownsFrame(oldPa)) {
+            ++res.pagesSkipped;
+            continue;
+        }
+        // Move the content (bulk kernel copy), remap, shoot down the
+        // stale translation, release the scattered frame.
+        machine.memory().copy(next, oldPa, pageSize);
+        machine.streamAccess(kernel.nodeId(), AccessType::Load, oldPa,
+                             pageSize);
+        machine.streamAccess(kernel.nodeId(), AccessType::Store, next,
+                             pageSize);
+        bool ok = task.as->unmapPage(va);
+        panic_if(!ok, "packing lost a mapping");
+        ok = task.as->mapPage(va, next, w.pte.attrs);
+        panic_if(!ok, "packing could not remap");
+        *std::find(owned.begin(), owned.end(), oldPa) = next;
+        kernel.freeUserPage(oldPa);
+        next += pageSize;
+        ++res.pagesMoved;
+        kernel.stats().counter("pages_packed") += 1;
+    }
+
+    // Release the tail of the extent if skipped pages left it
+    // partially unused.
+    for (Addr pa = next; pa < extent->end; pa += pageSize)
+        kernel.freeUserPage(pa);
+    res.bytes = next - extent->start;
+    return res;
+}
+
+bool
+vmaIsPacked(KernelInstance &kernel, Task &task, Addr vaInVma)
+{
+    (void)kernel;
+    const Vma *vma = task.as->vmas().find(vaInVma);
+    if (!vma)
+        return false;
+    auto resident = residentPages(task, *vma);
+    if (resident.empty())
+        return true;
+    Addr expect = resident.front().second.pte.frame;
+    for (const auto &[va, w] : resident) {
+        (void)va;
+        if (w.pte.frame != expect)
+            return false;
+        expect += pageSize;
+    }
+    return true;
+}
+
+} // namespace stramash

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Data packing in contiguous physical memory (paper §5, §6).
+ *
+ * The fused design proposes packing data structures' backing pages
+ * into contiguous physical memory "so it is simple to categorize and
+ * share between kernels" (and to make MPU/IOMMU-style hardware
+ * protection effective). The prototype paper implements exactly this
+ * — "including moving pages to reorganize data" — and so do we: the
+ * packer allocates one contiguous extent, migrates every
+ * kernel-owned page of a VMA into it in virtual-address order
+ * (copying content, remapping, shooting down the TLB entry) and
+ * releases the scattered frames.
+ */
+
+#ifndef STRAMASH_FUSED_PACKING_HH
+#define STRAMASH_FUSED_PACKING_HH
+
+#include <optional>
+
+#include "stramash/kernel/kernel.hh"
+
+namespace stramash
+{
+
+/** Outcome of one packing pass. */
+struct PackResult
+{
+    /** Base of the new contiguous physical extent. */
+    Addr base = 0;
+    /** Extent size in bytes. */
+    Addr bytes = 0;
+    /** Pages whose content was moved. */
+    std::uint64_t pagesMoved = 0;
+    /** Pages skipped because this kernel does not own their frame
+     *  (shared frames of the other kernel stay put). */
+    std::uint64_t pagesSkipped = 0;
+};
+
+/**
+ * Pack the resident, kernel-owned pages of the VMA containing
+ * @p vaInVma into one physically contiguous extent, in ascending
+ * virtual order.
+ *
+ * @return nullopt if the VMA does not exist, nothing is resident, or
+ *         no contiguous extent of the required size is free.
+ */
+std::optional<PackResult> packVmaContiguous(KernelInstance &kernel,
+                                            Task &task, Addr vaInVma);
+
+/** True if every resident page of the VMA sits in one ascending
+ *  contiguous physical extent (the packing invariant). */
+bool vmaIsPacked(KernelInstance &kernel, Task &task, Addr vaInVma);
+
+} // namespace stramash
+
+#endif // STRAMASH_FUSED_PACKING_HH

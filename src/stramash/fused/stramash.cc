@@ -1,0 +1,483 @@
+#include "stramash/fused/stramash.hh"
+
+#include "stramash/isa/isa.hh"
+
+namespace stramash
+{
+
+// ===================== StramashFaultHandler ==========================
+
+StramashFaultHandler::StramashFaultHandler(MessageLayer &msg,
+                                           KernelLookup kernels,
+                                           StramashShared &shared)
+    : msg_(msg), kernels_(std::move(kernels)), shared_(shared)
+{
+}
+
+void
+StramashFaultHandler::installHandlers(KernelInstance &k)
+{
+    k.registerMsgHandler(MsgType::RemoteFaultRequest,
+                         [this, &k](const Message &m) {
+                             onRemoteFaultRequest(k, m);
+                         });
+}
+
+void
+StramashFaultHandler::lockWord(KernelInstance &k, NodeId owner,
+                               Addr addr)
+{
+    // Cross-ISA CAS acquisition (LSE, §6.5): exclusive-ownership
+    // store on the lock word. Remote lock words pay remote latency;
+    // the guard verifies the word is in the owner's shared set.
+    k.remoteAccess(owner, AccessType::Store, addr, 8);
+}
+
+void
+StramashFaultHandler::unlockWord(KernelInstance &k, NodeId owner,
+                                 Addr addr)
+{
+    k.remoteAccess(owner, AccessType::Store, addr, 8);
+}
+
+void
+StramashFaultHandler::remoteVmaWalk(KernelInstance &k, Task &t, Addr va)
+{
+    KernelInstance &origin = kernels_(t.origin);
+    Task &ot = origin.task(t.pid);
+
+    // "each kernel can access the other kernel's VMA lists, with
+    // appropriate VMA locks acquired" (§6.4).
+    lockWord(k, t.origin, ot.as->vmaLockAddr());
+    unsigned visited = 0;
+    const Vma *vma = ot.as->vmas().findCounting(va, visited);
+    // Each visited tree node is a (remote) cache-line read in the
+    // origin's kernel data region.
+    for (unsigned i = 0; i < visited; ++i) {
+        std::uint64_t key = (static_cast<std::uint64_t>(t.pid) << 40) ^
+                            0x564d41 ^ (static_cast<std::uint64_t>(i)
+                                        << 20) ^
+                            (va >> 30);
+        k.remoteAccess(t.origin, AccessType::Load,
+                       origin.dataAddrFor(key), 64);
+    }
+    unlockWord(k, t.origin, ot.as->vmaLockAddr());
+
+    panic_if(!vma, "remote fault outside every origin VMA at 0x",
+             std::hex, va);
+    bool ok = t.as->vmas().insert(*vma);
+    panic_if(!ok, "remote VMA conflicts with local tree");
+}
+
+void
+StramashFaultHandler::handleFault(KernelInstance &kernel, Task &task,
+                                  Addr va, XlateStatus kind,
+                                  AccessType type)
+{
+    NodeId self = kernel.nodeId();
+    Addr vpage = pageBase(va);
+
+    panic_if(kind == XlateStatus::NoWrite,
+             "Stramash maps with full VMA permissions; write-protect "
+             "fault at 0x", std::hex, va);
+
+    if (task.origin == self) {
+        bool ok = kernel.handleLocalAnonFault(task, va, type);
+        panic_if(!ok, "origin fault outside every VMA at 0x", std::hex,
+                 va);
+        return;
+    }
+
+    // ---- Remote-side fault ----
+    if (!task.as->vmas().find(va))
+        remoteVmaWalk(kernel, task, va);
+    const Vma *vma = task.as->vmas().find(va);
+    panic_if(!vma, "no VMA after remote walk");
+
+    KernelInstance &origin = kernels_(task.origin);
+    Task &ot = origin.task(task.pid);
+    const PteFormat &ofmt = ot.as->pageTable().format();
+    const PteFormat &sfmt = task.as->pageTable().format();
+    GuestMemory &mem = kernel.machine().memory();
+    auto touch = [&](AccessType at, Addr a) {
+        kernel.remoteAccess(task.origin, at, a, 8);
+    };
+
+    // Cross-ISA page table lock (Stramash-PTL, §6.4).
+    lockWord(kernel, task.origin, ot.as->ptlAddr());
+
+    // Software remote page table walk in the origin's format, with
+    // per-level masks re-defined by the format object (§6.4).
+    Addr table = ot.as->pageTable().rootAddr();
+    bool chainComplete = true;
+    for (int level = ofmt.levels() - 1; level > 0; --level) {
+        Addr ea = table + ofmt.indexOf(vpage, level) * 8;
+        touch(AccessType::Load, ea);
+        std::uint64_t raw = mem.load<std::uint64_t>(ea);
+        DecodedPte d = ofmt.decode(raw, level);
+        if (!d.attrs.present) {
+            chainComplete = false;
+            break;
+        }
+        table = d.frame;
+    }
+
+    if (!chainComplete) {
+        // Slow path (§9.2.3): only PTE-level insertion is allowed
+        // remotely; a missing upper level is the origin's problem.
+        unlockWord(kernel, task.origin, ot.as->ptlAddr());
+        ++shared_.slowPathFaults;
+        Message req;
+        req.type = MsgType::RemoteFaultRequest;
+        req.from = self;
+        req.to = task.origin;
+        req.arg0 = task.pid;
+        req.arg1 = vpage;
+        msg_.rpc(req, MsgType::RemoteFaultResponse);
+        // The chain now exists; retry resolves via the fast path.
+        handleFault(kernel, task, va, kind, type);
+        return;
+    }
+
+    Addr leafEa = table + ofmt.indexOf(vpage, 0) * 8;
+    touch(AccessType::Load, leafEa);
+    std::uint64_t raw = mem.load<std::uint64_t>(leafEa);
+    DecodedPte leaf = (raw & foreignFormatTag)
+                          ? sfmt.decode(raw & ~foreignFormatTag, 0)
+                          : ofmt.decode(raw, 0);
+
+    PteAttrs attrs = vmaPageAttrs(*vma, vma->prot.writable);
+
+    if (leaf.attrs.present) {
+        // The origin already backs this page: point our page table
+        // at the *same* physical frame — cache-coherent shared
+        // memory does the rest. No copy, no message.
+        bool ok = task.as->mapPage(vpage, leaf.frame, attrs);
+        panic_if(!ok, "shared mapping raced");
+        ++shared_.sharedMappings;
+        kernel.stats().counter("stramash_shared_maps") += 1;
+    } else {
+        // Fast path: allocate from our own memory, map locally, and
+        // insert into the origin's table in *our* format, tagged for
+        // reconciliation at migrate-back.
+        Addr pa = kernel.allocUserPage(true);
+        task.ownedPages.push_back(pa);
+        bool ok = task.as->mapPage(vpage, pa, attrs);
+        panic_if(!ok, "fast-path mapping raced");
+        touch(AccessType::Store, leafEa);
+        mem.store<std::uint64_t>(leafEa, sfmt.encodeLeaf(pa, attrs) |
+                                             foreignFormatTag);
+        shared_.foreignMapped[task.pid].push_back(vpage);
+        ++shared_.foreignInsertions;
+        kernel.stats().counter("stramash_foreign_inserts") += 1;
+    }
+    unlockWord(kernel, task.origin, ot.as->ptlAddr());
+}
+
+void
+StramashFaultHandler::onRemoteFaultRequest(KernelInstance &k,
+                                           const Message &m)
+{
+    Task &t = k.task(static_cast<Pid>(m.arg0));
+    // Build the table chain; a few local table-frame writes.
+    t.as->pageTable().buildChain(m.arg1);
+    k.machine().dataAccess(k.nodeId(), AccessType::Store,
+                           k.dataAddrFor(m.arg1 ^ 0x510), 64);
+    Message resp;
+    resp.type = MsgType::RemoteFaultResponse;
+    resp.from = k.nodeId();
+    resp.to = m.from;
+    resp.arg0 = m.arg0;
+    resp.arg1 = m.arg1;
+    msg_.send(resp);
+}
+
+void
+StramashFaultHandler::onTaskExit(KernelInstance &kernel, Task &task)
+{
+    // "the origin kernel only invalidates the PTE and does not
+    // attempt to release the page" — frames are freed by whichever
+    // kernel allocated them (Task::ownedPages), so only the foreign
+    // bookkeeping needs dropping here.
+    if (task.origin == kernel.nodeId())
+        shared_.foreignMapped.erase(task.pid);
+}
+
+// ===================== StramashFutexPolicy ===========================
+
+StramashFutexPolicy::StramashFutexPolicy(KernelLookup kernels,
+                                         StramashShared &shared)
+    : kernels_(std::move(kernels)), shared_(shared)
+{
+}
+
+bool
+StramashFutexPolicy::wait(KernelInstance &kernel, Task &task, Addr uaddr,
+                          std::uint32_t expected)
+{
+    std::uint32_t v = kernel.userLoad<std::uint32_t>(task, uaddr);
+    if (v != expected)
+        return false;
+
+    // Direct access to the origin kernel's futex list (§6.5): lock
+    // the hash bucket, link the waiter — plain (possibly remote)
+    // memory traffic, no messages.
+    KernelInstance &origin = kernels_(task.origin);
+    Addr bucket = origin.dataAddrFor(uaddr ^ 0xf07e);
+    kernel.remoteAccess(task.origin, AccessType::Store, bucket,
+                        8); // bucket lock (CAS)
+    kernel.remoteAccess(task.origin, AccessType::Store, bucket + 64,
+                        16); // queue link
+    origin.futexTable().enqueue(uaddr, {kernel.nodeId(), task.pid});
+    kernel.remoteAccess(task.origin, AccessType::Store, bucket,
+                        8); // unlock
+    return true;
+}
+
+unsigned
+StramashFutexPolicy::wake(KernelInstance &kernel, Task &task, Addr uaddr,
+                          unsigned count)
+{
+    KernelInstance &origin = kernels_(task.origin);
+    Addr bucket = origin.dataAddrFor(uaddr ^ 0xf07e);
+    kernel.remoteAccess(task.origin, AccessType::Store, bucket, 8);
+    kernel.remoteAccess(task.origin, AccessType::Load, bucket + 64,
+                        16);
+    auto woken = origin.futexTable().wake(uaddr, count);
+    kernel.remoteAccess(task.origin, AccessType::Store, bucket, 8);
+    for (const auto &w : woken) {
+        if (w.node != kernel.nodeId()) {
+            // "only one cross-ISA IPI is needed to wake up the
+            // waiting thread" (§9.2.6).
+            kernel.machine().sendIpi(kernel.nodeId(), w.node);
+        }
+    }
+    return static_cast<unsigned>(woken.size());
+}
+
+// ===================== StramashMigrationPolicy =======================
+
+StramashMigrationPolicy::StramashMigrationPolicy(MessageLayer &msg,
+                                                 KernelLookup kernels,
+                                                 StramashShared &shared)
+    : msg_(msg), kernels_(std::move(kernels)), shared_(shared)
+{
+}
+
+void
+StramashMigrationPolicy::installHandlers(KernelInstance &k)
+{
+    k.registerMsgHandler(MsgType::TaskMigrate,
+                         [this, &k](const Message &m) {
+                             onTaskMigrate(k, m);
+                         });
+    k.registerMsgHandler(MsgType::ProcessMigrate,
+                         [&k](const Message &) {
+                             // Source-side retirement notification.
+                             k.stats().counter(
+                                 "process_migrations_out") += 1;
+                         });
+}
+
+void
+StramashMigrationPolicy::trackTask(Pid pid, NodeId origin)
+{
+    current_[pid] = origin;
+}
+
+NodeId
+StramashMigrationPolicy::currentNode(Pid pid) const
+{
+    auto it = current_.find(pid);
+    panic_if(it == current_.end(), "untracked task ", pid);
+    return it->second;
+}
+
+void
+StramashMigrationPolicy::migrate(Pid pid, NodeId dest)
+{
+    NodeId src = currentNode(pid);
+    if (src == dest)
+        return;
+    KernelInstance &ks = kernels_(src);
+    Task &ts = ks.task(pid);
+
+    ks.machine().stall(src, transformCycles);
+
+    // Hand the transformed state over through shared memory: write
+    // the mailbox (charged), then one notification message.
+    if (shared_.mailbox == 0) {
+        shared_.mailbox = ks.allocDataArea(256);
+        shared_.mailboxOwner = src;
+    }
+    std::vector<std::uint8_t> wire(migrationStateWireSize());
+    serializeMigrationState(ts.state, wire.data());
+    ks.machine().memory().write(shared_.mailbox, wire.data(),
+                                wire.size());
+    ks.remoteAccess(shared_.mailboxOwner, AccessType::Store,
+                    shared_.mailbox,
+                    static_cast<unsigned>(wire.size()));
+
+    Message m;
+    m.type = MsgType::TaskMigrate;
+    m.from = src;
+    m.to = dest;
+    m.arg0 = pid;
+    m.arg1 = ts.origin;
+    m.arg2 = shared_.mailbox;
+    msg_.send(m);
+    msg_.dispatchPending(dest);
+
+    current_[pid] = dest;
+}
+
+void
+StramashMigrationPolicy::migrateProcess(Pid pid, NodeId dest)
+{
+    NodeId src = currentNode(pid);
+    if (src == dest)
+        return;
+    KernelInstance &ks = kernels_(src);
+    KernelInstance &kd = kernels_(dest);
+    Task &ts = ks.task(pid);
+    panic_if(src != ts.origin,
+             "process migration must start from the origin (migrate "
+             "the thread home first)");
+    Machine &machine = ks.machine();
+    GuestMemory &mem = machine.memory();
+
+    machine.stall(src, transformCycles);
+
+    // Fresh task at the destination — it becomes the new origin.
+    if (kd.hasTask(pid))
+        kd.destroyTask(pid);
+    Task &td = kd.createTask(pid, dest);
+    td.state = ts.state;
+    td.heapBrk = ts.heapBrk;
+    machine.stall(dest, transformCycles);
+
+    // The destination reads the source's VMA tree directly (charged
+    // remote walks under the VMA lock).
+    kd.remoteAccess(src, AccessType::Store, ts.as->vmaLockAddr(), 8);
+    std::vector<Vma> vmas;
+    ts.as->vmas().forEach([&](const Vma &v) { vmas.push_back(v); });
+    for (std::size_t i = 0; i < vmas.size(); ++i) {
+        kd.remoteAccess(src, AccessType::Load,
+                        ks.dataAddrFor((Addr{pid} << 32) ^ i), 64);
+        bool ok = td.as->vmas().insert(vmas[i]);
+        panic_if(!ok, "process migration: VMA conflict");
+    }
+    kd.remoteAccess(src, AccessType::Store, ts.as->vmaLockAddr(), 8);
+
+    // Adopt every resident page by walking the source's table in its
+    // format (software remote page table walker) and pointing the
+    // new table at the *same* frame — no content moves.
+    const PteFormat &sfmt = ts.as->pageTable().format();
+    auto touch = [&](AccessType at, Addr a) {
+        kd.remoteAccess(src, at, a, 8);
+    };
+    kd.remoteAccess(src, AccessType::Store, ts.as->ptlAddr(), 8);
+    for (const Vma &v : vmas) {
+        for (Addr va = v.start; va < v.end; va += pageSize) {
+            auto w = walkForeign(mem, sfmt,
+                                 ts.as->pageTable().rootAddr(), va,
+                                 touch, &td.as->pageTable().format());
+            if (!w)
+                continue;
+            bool ok = td.as->mapPage(
+                va, w->pte.frame,
+                vmaPageAttrs(v, v.prot.writable));
+            panic_if(!ok, "process migration: duplicate page");
+        }
+    }
+    kd.remoteAccess(src, AccessType::Store, ts.as->ptlAddr(), 8);
+
+    // Frame ownership: the frames stay in whichever kernel's memory
+    // they were allocated from; the new task borrows them and
+    // System::exit routes them home.
+    for (Addr pa : ts.ownedPages)
+        td.borrowedPages.emplace_back(src, pa);
+    for (auto bp : ts.borrowedPages)
+        td.borrowedPages.push_back(bp);
+    ts.ownedPages.clear();
+    ts.borrowedPages.clear();
+
+    // One notification so the source-side scheduler retires the
+    // task; then the source forgets it (§5).
+    Message note;
+    note.type = MsgType::ProcessMigrate;
+    note.from = dest;
+    note.to = src;
+    note.arg0 = pid;
+    msg_.send(note);
+    msg_.dispatchPending(src);
+
+    shared_.foreignMapped.erase(pid);
+    ks.destroyTask(pid);
+    current_[pid] = dest;
+    kd.stats().counter("process_migrations_in") += 1;
+}
+
+void
+StramashMigrationPolicy::onTaskMigrate(KernelInstance &k,
+                                       const Message &m)
+{
+    Pid pid = static_cast<Pid>(m.arg0);
+    NodeId origin = static_cast<NodeId>(m.arg1);
+
+    // Read the state out of the shared mailbox (guard-checked,
+    // charged loads).
+    std::vector<std::uint8_t> wire(migrationStateWireSize());
+    k.remoteAccess(shared_.mailboxOwner, AccessType::Load, m.arg2,
+                   static_cast<unsigned>(wire.size()));
+    k.machine().memory().read(m.arg2, wire.data(), wire.size());
+
+    Task *t = k.findTask(pid);
+    if (!t)
+        t = &k.createTask(pid, origin);
+    t->state = deserializeMigrationState(wire.data());
+    k.machine().stall(k.nodeId(), transformCycles);
+    k.stats().counter("migrations_in") += 1;
+
+    if (k.nodeId() == origin)
+        reconcile(k, pid);
+}
+
+void
+StramashMigrationPolicy::reconcile(KernelInstance &origin, Pid pid)
+{
+    auto it = shared_.foreignMapped.find(pid);
+    if (it == shared_.foreignMapped.end() || it->second.empty())
+        return;
+    Task &t = origin.task(pid);
+    GuestMemory &mem = origin.machine().memory();
+    const PteFormat &ofmt = t.as->pageTable().format();
+
+    for (Addr vpage : it->second) {
+        auto w = t.as->pageTable().walk(vpage);
+        if (!w)
+            continue; // entry was unmapped meanwhile
+        std::uint64_t raw = mem.load<std::uint64_t>(w->pteAddr);
+        if (!(raw & foreignFormatTag))
+            continue;
+        // "the origin kernel can simply reconfigure the PTE to its
+        // own format" (§6.4). The writer's format is the other
+        // node's.
+        NodeId other = invalidNode;
+        for (NodeId n = 0; n < origin.machine().nodeCount(); ++n) {
+            if (n != origin.nodeId())
+                other = n;
+        }
+        const PteFormat &wfmt =
+            *isaDescriptor(origin.machine().node(other).isa()).pteFormat;
+        bool ok = reconcileForeign(mem, ofmt, wfmt,
+                                   t.as->pageTable().rootAddr(), vpage);
+        panic_if(!ok, "tagged PTE vanished during reconcile");
+        origin.machine().dataAccess(origin.nodeId(), AccessType::Store,
+                                    w->pteAddr, 8);
+        origin.stats().counter("ptes_reconciled") += 1;
+    }
+    it->second.clear();
+}
+
+} // namespace stramash

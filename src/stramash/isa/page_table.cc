@@ -1,0 +1,297 @@
+#include "stramash/isa/page_table.hh"
+
+#include "stramash/common/logging.hh"
+
+namespace stramash
+{
+
+namespace
+{
+
+/** Decode an entry, honouring the foreign-format tag when present. */
+DecodedPte
+decodeRaw(std::uint64_t raw, int level, const PteFormat &fmt,
+          const PteFormat *taggedFmt)
+{
+    if (raw & foreignFormatTag) {
+        panic_if(!taggedFmt,
+                 "foreign-format PTE encountered without a remote CPU "
+                 "driver to decode it");
+        return taggedFmt->decode(raw & ~foreignFormatTag, level);
+    }
+    return fmt.decode(raw, level);
+}
+
+} // namespace
+
+PageTable::PageTable(GuestMemory &mem, const PteFormat &fmt,
+                     FrameAlloc alloc, FrameFree free,
+                     const PteFormat *foreignFmt)
+    : mem_(mem),
+      fmt_(fmt),
+      foreignFmt_(foreignFmt),
+      alloc_(std::move(alloc)),
+      free_(std::move(free))
+{
+    panic_if(!alloc_ || !free_, "PageTable needs frame callbacks");
+    root_ = newTable();
+}
+
+PageTable::~PageTable()
+{
+    for (Addr f : frames_)
+        free_(f);
+}
+
+Addr
+PageTable::newTable()
+{
+    Addr f = alloc_();
+    panic_if(pageOffset(f) != 0, "table frame not page aligned");
+    mem_.zero(f, pageSize);
+    frames_.push_back(f);
+    return f;
+}
+
+bool
+PageTable::map(Addr va, Addr pa, const PteAttrs &attrs)
+{
+    Addr table = root_;
+    for (int level = fmt_.levels() - 1; level > 0; --level) {
+        Addr ea = entryAddr(table, va, level);
+        std::uint64_t raw = mem_.load<std::uint64_t>(ea);
+        DecodedPte d = decodeRaw(raw, level, fmt_, foreignFmt_);
+        if (!d.attrs.present) {
+            Addr child = newTable();
+            mem_.store<std::uint64_t>(ea, fmt_.encodeTable(child));
+            table = child;
+        } else {
+            panic_if(!d.table, "huge pages are not modelled");
+            table = d.frame;
+        }
+    }
+    Addr leaf = entryAddr(table, va, 0);
+    std::uint64_t raw = mem_.load<std::uint64_t>(leaf);
+    if (decodeRaw(raw, 0, fmt_, foreignFmt_).attrs.present)
+        return false;
+    mem_.store<std::uint64_t>(leaf, fmt_.encodeLeaf(pa, attrs));
+    ++mapped_;
+    return true;
+}
+
+void
+PageTable::buildChain(Addr va)
+{
+    Addr table = root_;
+    for (int level = fmt_.levels() - 1; level > 0; --level) {
+        Addr ea = entryAddr(table, va, level);
+        std::uint64_t raw = mem_.load<std::uint64_t>(ea);
+        DecodedPte d = decodeRaw(raw, level, fmt_, foreignFmt_);
+        if (!d.attrs.present) {
+            Addr child = newTable();
+            mem_.store<std::uint64_t>(ea, fmt_.encodeTable(child));
+            table = child;
+        } else {
+            panic_if(!d.table, "huge pages are not modelled");
+            table = d.frame;
+        }
+    }
+}
+
+bool
+PageTable::unmap(Addr va)
+{
+    auto w = walk(va);
+    if (!w)
+        return false;
+    mem_.store<std::uint64_t>(w->pteAddr, fmt_.encodeEmpty());
+    // Foreign-inserted PTEs never incremented our counter; do not let
+    // their removal underflow it.
+    if (mapped_ > 0)
+        --mapped_;
+    return true;
+}
+
+std::optional<WalkResult>
+PageTable::walk(Addr va) const
+{
+    Addr table = root_;
+    for (int level = fmt_.levels() - 1; level > 0; --level) {
+        Addr ea = entryAddr(table, va, level);
+        std::uint64_t raw = mem_.load<std::uint64_t>(ea);
+        DecodedPte d = decodeRaw(raw, level, fmt_, foreignFmt_);
+        if (!d.attrs.present)
+            return std::nullopt;
+        table = d.frame;
+    }
+    Addr leaf = entryAddr(table, va, 0);
+    std::uint64_t raw = mem_.load<std::uint64_t>(leaf);
+    DecodedPte d = decodeRaw(raw, 0, fmt_, foreignFmt_);
+    if (!d.attrs.present)
+        return std::nullopt;
+    return WalkResult{d, leaf};
+}
+
+bool
+PageTable::protect(Addr va, const PteAttrs &attrs)
+{
+    auto w = walk(va);
+    if (!w)
+        return false;
+    mem_.store<std::uint64_t>(w->pteAddr,
+                              fmt_.encodeLeaf(w->pte.frame, attrs));
+    return true;
+}
+
+int
+PageTable::presentDepth(Addr va) const
+{
+    Addr table = root_;
+    int depth = 1;
+    for (int level = fmt_.levels() - 1; level > 0; --level) {
+        Addr ea = entryAddr(table, va, level);
+        std::uint64_t raw = mem_.load<std::uint64_t>(ea);
+        DecodedPte d = decodeRaw(raw, level, fmt_, foreignFmt_);
+        if (!d.attrs.present)
+            return depth;
+        table = d.frame;
+        ++depth;
+    }
+    return depth;
+}
+
+// ===================== Remote walker =================================
+
+std::optional<WalkResult>
+walkForeign(const GuestMemory &mem, const PteFormat &fmt, Addr root,
+            Addr va, const TouchFn &touch, const PteFormat *taggedFmt)
+{
+    Addr table = root;
+    for (int level = fmt.levels() - 1; level > 0; --level) {
+        Addr ea = table + fmt.indexOf(va, level) * 8;
+        if (touch)
+            touch(AccessType::Load, ea);
+        std::uint64_t raw = mem.load<std::uint64_t>(ea);
+        DecodedPte d = decodeRaw(raw, level, fmt, taggedFmt);
+        if (!d.attrs.present)
+            return std::nullopt;
+        table = d.frame;
+    }
+    Addr leaf = table + fmt.indexOf(va, 0) * 8;
+    if (touch)
+        touch(AccessType::Load, leaf);
+    std::uint64_t raw = mem.load<std::uint64_t>(leaf);
+    DecodedPte d = decodeRaw(raw, 0, fmt, taggedFmt);
+    if (!d.attrs.present)
+        return std::nullopt;
+    return WalkResult{d, leaf};
+}
+
+int
+foreignPresentDepth(const GuestMemory &mem, const PteFormat &fmt,
+                    Addr root, Addr va, const TouchFn &touch)
+{
+    Addr table = root;
+    int depth = 1;
+    for (int level = fmt.levels() - 1; level > 0; --level) {
+        Addr ea = table + fmt.indexOf(va, level) * 8;
+        if (touch)
+            touch(AccessType::Load, ea);
+        std::uint64_t raw = mem.load<std::uint64_t>(ea);
+        DecodedPte d = fmt.decode(raw, level);
+        if (!d.attrs.present)
+            return depth;
+        table = d.frame;
+        ++depth;
+    }
+    return depth;
+}
+
+bool
+mapForeign(GuestMemory &mem, const PteFormat &tableFmt,
+           const PteFormat &writerFmt, Addr root, Addr va, Addr pa,
+           const PteAttrs &attrs, bool asForeignFormat,
+           const TouchFn &touch)
+{
+    Addr table = root;
+    for (int level = tableFmt.levels() - 1; level > 0; --level) {
+        Addr ea = table + tableFmt.indexOf(va, level) * 8;
+        if (touch)
+            touch(AccessType::Load, ea);
+        std::uint64_t raw = mem.load<std::uint64_t>(ea);
+        DecodedPte d = tableFmt.decode(raw, level);
+        if (!d.attrs.present) {
+            // Fast path only inserts at the PTE level; a missing
+            // upper level means the origin must handle the fault.
+            return false;
+        }
+        table = d.frame;
+    }
+    Addr leaf = table + tableFmt.indexOf(va, 0) * 8;
+    if (touch)
+        touch(AccessType::Load, leaf);
+    std::uint64_t raw = mem.load<std::uint64_t>(leaf);
+    if (tableFmt.decode(raw & ~foreignFormatTag, 0).attrs.present ||
+        writerFmt.decode(raw & ~foreignFormatTag, 0).attrs.present) {
+        return false;
+    }
+    std::uint64_t enc = asForeignFormat
+                            ? (writerFmt.encodeLeaf(pa, attrs) |
+                               foreignFormatTag)
+                            : tableFmt.encodeLeaf(pa, attrs);
+    if (touch)
+        touch(AccessType::Store, leaf);
+    mem.store<std::uint64_t>(leaf, enc);
+    return true;
+}
+
+bool
+unmapForeign(GuestMemory &mem, const PteFormat &tableFmt, Addr root,
+             Addr va, const TouchFn &touch)
+{
+    Addr table = root;
+    for (int level = tableFmt.levels() - 1; level > 0; --level) {
+        Addr ea = table + tableFmt.indexOf(va, level) * 8;
+        if (touch)
+            touch(AccessType::Load, ea);
+        std::uint64_t raw = mem.load<std::uint64_t>(ea);
+        DecodedPte d = tableFmt.decode(raw, level);
+        if (!d.attrs.present)
+            return false;
+        table = d.frame;
+    }
+    Addr leaf = table + tableFmt.indexOf(va, 0) * 8;
+    if (touch)
+        touch(AccessType::Store, leaf);
+    std::uint64_t raw = mem.load<std::uint64_t>(leaf);
+    if (raw == 0)
+        return false;
+    mem.store<std::uint64_t>(leaf, 0);
+    return true;
+}
+
+bool
+reconcileForeign(GuestMemory &mem, const PteFormat &tableFmt,
+                 const PteFormat &writerFmt, Addr root, Addr va)
+{
+    Addr table = root;
+    for (int level = tableFmt.levels() - 1; level > 0; --level) {
+        Addr ea = table + tableFmt.indexOf(va, level) * 8;
+        std::uint64_t raw = mem.load<std::uint64_t>(ea);
+        DecodedPte d = tableFmt.decode(raw, level);
+        if (!d.attrs.present)
+            return false;
+        table = d.frame;
+    }
+    Addr leaf = table + tableFmt.indexOf(va, 0) * 8;
+    std::uint64_t raw = mem.load<std::uint64_t>(leaf);
+    if (!(raw & foreignFormatTag))
+        return false;
+    DecodedPte d = writerFmt.decode(raw & ~foreignFormatTag, 0);
+    panic_if(!d.attrs.present, "tagged PTE decodes as not-present");
+    mem.store<std::uint64_t>(leaf,
+                             tableFmt.encodeLeaf(d.frame, d.attrs));
+    return true;
+}
+
+} // namespace stramash

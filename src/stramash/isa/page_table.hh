@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Multi-level page tables resident in guest physical memory.
+ *
+ * Tables are real: each level is a 4 KiB frame of 512 eight-byte
+ * entries in the fused GuestMemory, allocated from the owning
+ * kernel's physical allocator. Because they live in the coherent
+ * shared memory, *another* kernel can walk them — that is exactly the
+ * paper's "Software Remote Page Table Walker" (§6.4), implemented
+ * here as walkForeign()/mapForeign(), which decode a foreign format
+ * through PteFormat accessor functions and charge every table access
+ * to a caller-supplied cost hook.
+ */
+
+#ifndef STRAMASH_ISA_PAGE_TABLE_HH
+#define STRAMASH_ISA_PAGE_TABLE_HH
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "stramash/isa/pte_format.hh"
+#include "stramash/mem/guest_memory.hh"
+
+namespace stramash
+{
+
+/** Allocate a zeroed, page-aligned guest frame; returns its address. */
+using FrameAlloc = std::function<Addr()>;
+/** Release a frame previously returned by FrameAlloc. */
+using FrameFree = std::function<void(Addr)>;
+/** Charge one guest memory access made during a walk. */
+using TouchFn = std::function<void(AccessType, Addr)>;
+
+/** Result of a successful walk. */
+struct WalkResult
+{
+    DecodedPte pte;
+    /** Guest-physical address of the leaf entry itself. */
+    Addr pteAddr;
+};
+
+/** A page table in one architecture's format. */
+class PageTable
+{
+  public:
+    /**
+     * @param foreignFmt The other ISA's format ("remote CPU driver"),
+     *        needed to decode entries a remote kernel wrote in its
+     *        own format before they are reconciled. May be null in
+     *        single-ISA tests.
+     */
+    PageTable(GuestMemory &mem, const PteFormat &fmt, FrameAlloc alloc,
+              FrameFree free, const PteFormat *foreignFmt = nullptr);
+    ~PageTable();
+
+    PageTable(const PageTable &) = delete;
+    PageTable &operator=(const PageTable &) = delete;
+
+    /** Physical address of the root table (CR3 / TTBR analogue). */
+    Addr rootAddr() const { return root_; }
+
+    const PteFormat &format() const { return fmt_; }
+
+    /**
+     * Map one page. Intermediate tables are allocated as needed.
+     * @return false if the page was already mapped.
+     */
+    bool map(Addr va, Addr pa, const PteAttrs &attrs);
+
+    /** Remove a leaf mapping. @return false if it was not mapped. */
+    bool unmap(Addr va);
+
+    /**
+     * Materialise the intermediate-table chain for @p va down to the
+     * leaf table without touching the leaf entry itself — the origin
+     * side of Stramash's slow-path fault (§9.2.3).
+     */
+    void buildChain(Addr va);
+
+    /** Translate; nullopt if not present. Does not charge costs. */
+    std::optional<WalkResult> walk(Addr va) const;
+
+    /** Rewrite a leaf's attributes. @return false if not mapped. */
+    bool protect(Addr va, const PteAttrs &attrs);
+
+    /**
+     * Number of levels of the table chain that exist for @p va, from
+     * 1 (only the root) to levels() (the leaf *table* exists; the
+     * leaf entry itself may still be empty). Stramash's fault
+     * handler takes the fast path only when the leaf table exists
+     * (paper §9.2.3).
+     */
+    int presentDepth(Addr va) const;
+
+    /** Count of currently mapped leaf pages. */
+    std::uint64_t mappedPages() const { return mapped_; }
+
+    /** Guest frames consumed by table structure (for stats). */
+    std::size_t tableFrames() const { return frames_.size(); }
+
+  private:
+    GuestMemory &mem_;
+    const PteFormat &fmt_;
+    const PteFormat *foreignFmt_;
+    FrameAlloc alloc_;
+    FrameFree free_;
+    Addr root_;
+    std::vector<Addr> frames_;
+    std::uint64_t mapped_ = 0;
+
+    Addr newTable();
+
+    /** Address of the entry for @p va in the @p level table. */
+    Addr
+    entryAddr(Addr tableAddr, Addr va, int level) const
+    {
+        return tableAddr + fmt_.indexOf(va, level) * 8;
+    }
+};
+
+/**
+ * The Software Remote Page Table Walker (paper §6.4): walk another
+ * kernel's page table given its root and format. Each 8-byte table
+ * read is charged through @p touch so the remote-access cost is
+ * modelled faithfully.
+ */
+std::optional<WalkResult>
+walkForeign(const GuestMemory &mem, const PteFormat &fmt, Addr root,
+            Addr va, const TouchFn &touch,
+            const PteFormat *taggedFmt = nullptr);
+
+/** presentDepth() over a foreign table, charging through @p touch. */
+int
+foreignPresentDepth(const GuestMemory &mem, const PteFormat &fmt,
+                    Addr root, Addr va, const TouchFn &touch);
+
+/**
+ * Insert a leaf PTE into a foreign table whose leaf-level table
+ * already exists (the Stramash fast-path constraint: "it only allows
+ * remote kernel allocation at the PTE level").
+ *
+ * @param asForeignFormat If true the entry is written in @p writerFmt
+ *        (the writer's native format) and tagged, reproducing the
+ *        paper's "adds it to the origin kernel's page table with the
+ *        remote node ISA format"; reconcileForeign() later rewrites
+ *        it into the table's own format.
+ * @return false if the leaf table chain is incomplete or the entry
+ *         is already present.
+ */
+bool
+mapForeign(GuestMemory &mem, const PteFormat &tableFmt,
+           const PteFormat &writerFmt, Addr root, Addr va, Addr pa,
+           const PteAttrs &attrs, bool asForeignFormat,
+           const TouchFn &touch);
+
+/** Clear a leaf PTE in a foreign table. @return false if absent. */
+bool
+unmapForeign(GuestMemory &mem, const PteFormat &tableFmt, Addr root,
+             Addr va, const TouchFn &touch);
+
+/**
+ * Rewrite one foreign-format (tagged) leaf entry into the table's own
+ * format — the "origin kernel reconfigures the PTE to its own format"
+ * step at migration-back. @return true if the entry was tagged and
+ * got rewritten.
+ */
+bool
+reconcileForeign(GuestMemory &mem, const PteFormat &tableFmt,
+                 const PteFormat &writerFmt, Addr root, Addr va);
+
+/** The tag bit marking an entry encoded in the writer's format. */
+inline constexpr std::uint64_t foreignFormatTag = std::uint64_t{1} << 62;
+
+} // namespace stramash
+
+#endif // STRAMASH_ISA_PAGE_TABLE_HH

@@ -1,0 +1,190 @@
+#include "stramash/isa/pte_format.hh"
+
+#include "stramash/common/logging.hh"
+
+namespace stramash
+{
+
+namespace
+{
+
+constexpr std::uint64_t bit(int n)
+{
+    return std::uint64_t{1} << n;
+}
+
+// --- x86 layout -----------------------------------------------------
+constexpr std::uint64_t x86P = bit(0);
+constexpr std::uint64_t x86RW = bit(1);
+constexpr std::uint64_t x86US = bit(2);
+constexpr std::uint64_t x86A = bit(5);
+constexpr std::uint64_t x86D = bit(6);
+constexpr std::uint64_t x86FrameMask = 0x000ffffffffff000ULL; // 51:12
+constexpr std::uint64_t x86NX = bit(63);
+// Software bit marking a non-leaf entry (real x86 infers it from the
+// level; keeping it explicit makes cross-format decoding honest).
+constexpr std::uint64_t x86TableBit = bit(9); // ignored by HW (AVL)
+
+// --- Arm layout ------------------------------------------------------
+constexpr std::uint64_t armValid = bit(0);
+constexpr std::uint64_t armType = bit(1); // 1 = table/page descriptor
+constexpr std::uint64_t armApEl0 = bit(6); // AP[1]: EL0 accessible
+constexpr std::uint64_t armApRo = bit(7); // AP[2]: read-only
+constexpr std::uint64_t armAf = bit(10); // access flag
+constexpr std::uint64_t armFrameMask = 0x0000fffffffff000ULL; // 47:12
+constexpr std::uint64_t armPxn = bit(53);
+constexpr std::uint64_t armUxn = bit(54);
+constexpr std::uint64_t armSoftDirty = bit(55);
+// Software bit distinguishing a next-level table from a leaf page at
+// intermediate levels (real AArch64 uses descriptor type per level).
+constexpr std::uint64_t armSoftTable = bit(58);
+
+} // namespace
+
+// ===================== X86PteFormat ==================================
+
+int
+X86PteFormat::levelShift(int level) const
+{
+    panic_if(level < 0 || level >= levels(), "x86: bad level ", level);
+    return 12 + 9 * level;
+}
+
+int
+X86PteFormat::levelBits(int level) const
+{
+    panic_if(level < 0 || level >= levels(), "x86: bad level ", level);
+    return 9;
+}
+
+std::uint64_t
+X86PteFormat::encodeLeaf(Addr frame, const PteAttrs &attrs) const
+{
+    panic_if(frame & ~x86FrameMask, "x86: frame out of range");
+    std::uint64_t raw = frame & x86FrameMask;
+    if (attrs.present)
+        raw |= x86P;
+    if (attrs.writable)
+        raw |= x86RW;
+    if (attrs.user)
+        raw |= x86US;
+    if (attrs.accessed)
+        raw |= x86A;
+    if (attrs.dirty)
+        raw |= x86D;
+    if (!attrs.executable)
+        raw |= x86NX;
+    return raw;
+}
+
+std::uint64_t
+X86PteFormat::encodeTable(Addr tableAddr) const
+{
+    // Intermediate entries are present+writable+user so leaf
+    // permissions govern.
+    return (tableAddr & x86FrameMask) | x86P | x86RW | x86US |
+           x86TableBit;
+}
+
+DecodedPte
+X86PteFormat::decode(std::uint64_t raw, int level) const
+{
+    DecodedPte d;
+    d.attrs.present = raw & x86P;
+    if (!d.attrs.present)
+        return d;
+    d.attrs.writable = raw & x86RW;
+    d.attrs.user = raw & x86US;
+    d.attrs.accessed = raw & x86A;
+    d.attrs.dirty = raw & x86D;
+    d.attrs.executable = !(raw & x86NX);
+    d.frame = raw & x86FrameMask;
+    d.table = (raw & x86TableBit) && level > 0;
+    return d;
+}
+
+const X86PteFormat &
+X86PteFormat::instance()
+{
+    static const X86PteFormat f;
+    return f;
+}
+
+// ===================== ArmPteFormat ==================================
+
+int
+ArmPteFormat::levelShift(int level) const
+{
+    panic_if(level < 0 || level >= levels(), "arm: bad level ", level);
+    return 12 + 9 * level;
+}
+
+int
+ArmPteFormat::levelBits(int level) const
+{
+    panic_if(level < 0 || level >= levels(), "arm: bad level ", level);
+    return 9;
+}
+
+std::uint64_t
+ArmPteFormat::encodeLeaf(Addr frame, const PteAttrs &attrs) const
+{
+    panic_if(frame & ~armFrameMask, "arm: frame out of range");
+    std::uint64_t raw = frame & armFrameMask;
+    if (attrs.present)
+        raw |= armValid | armType;
+    if (!attrs.writable)
+        raw |= armApRo; // inverted sense vs x86
+    if (attrs.user)
+        raw |= armApEl0;
+    if (attrs.accessed)
+        raw |= armAf;
+    if (attrs.dirty)
+        raw |= armSoftDirty;
+    if (!attrs.executable)
+        raw |= armUxn | armPxn;
+    return raw;
+}
+
+std::uint64_t
+ArmPteFormat::encodeTable(Addr tableAddr) const
+{
+    return (tableAddr & armFrameMask) | armValid | armType |
+           armSoftTable;
+}
+
+DecodedPte
+ArmPteFormat::decode(std::uint64_t raw, int level) const
+{
+    DecodedPte d;
+    d.attrs.present = (raw & armValid) && (raw & armType);
+    if (!d.attrs.present)
+        return d;
+    d.attrs.writable = !(raw & armApRo);
+    d.attrs.user = raw & armApEl0;
+    d.attrs.accessed = raw & armAf;
+    d.attrs.dirty = raw & armSoftDirty;
+    d.attrs.executable = !(raw & armUxn);
+    d.frame = raw & armFrameMask;
+    d.table = (raw & armSoftTable) && level > 0;
+    return d;
+}
+
+const ArmPteFormat &
+ArmPteFormat::instance()
+{
+    static const ArmPteFormat f;
+    return f;
+}
+
+const PteFormat &
+pteFormatFor(IsaType isa)
+{
+    switch (isa) {
+      case IsaType::X86_64: return X86PteFormat::instance();
+      case IsaType::AArch64: return ArmPteFormat::instance();
+    }
+    panic("unknown IsaType");
+}
+
+} // namespace stramash

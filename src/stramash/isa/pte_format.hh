@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Architecture-dependent page-table entry formats.
+ *
+ * The fused-kernel design's "accessor function" pattern (paper §5)
+ * exists because shared data cannot always be shared as-is: a page
+ * table is the canonical architecture-dependent structure. We model
+ * two genuinely different 64-bit PTE encodings:
+ *
+ *  x86-64 style:  P=bit0, RW=bit1, US=bit2, A=bit5, D=bit6,
+ *                 frame=bits[51:12], NX=bit63
+ *  AArch64 style: VALID=bit0, TYPE=bit1 (1=table/page),
+ *                 AP[1]=bit6 (EL0), AP[2]=bit7 (read-only — note the
+ *                 *inverted* sense vs x86 RW), AF=bit10,
+ *                 frame=bits[47:12], PXN=bit53, UXN=bit54,
+ *                 soft-dirty=bit55
+ *
+ * A PteFormat instance is exactly the paper's "remote CPU driver": a
+ * collection of accessor functions that lets one kernel decode and
+ * encode the other kernel's entries.
+ */
+
+#ifndef STRAMASH_ISA_PTE_FORMAT_HH
+#define STRAMASH_ISA_PTE_FORMAT_HH
+
+#include <cstdint>
+
+#include "stramash/common/types.hh"
+
+namespace stramash
+{
+
+/** Architecture-independent view of a leaf PTE's attributes. */
+struct PteAttrs
+{
+    bool present = false;
+    bool writable = false;
+    bool user = false;
+    bool executable = false;
+    bool accessed = false;
+    bool dirty = false;
+
+    bool
+    operator==(const PteAttrs &o) const
+    {
+        return present == o.present && writable == o.writable &&
+               user == o.user && executable == o.executable &&
+               accessed == o.accessed && dirty == o.dirty;
+    }
+};
+
+/** A decoded entry: attributes plus the physical frame it points at. */
+struct DecodedPte
+{
+    PteAttrs attrs;
+    Addr frame = 0; ///< physical address, page-aligned
+    bool table = false; ///< points at a next-level table (non-leaf)
+};
+
+/**
+ * Abstract PTE codec + level geometry for one architecture.
+ * All methods are pure functions of their inputs.
+ */
+class PteFormat
+{
+  public:
+    virtual ~PteFormat() = default;
+
+    virtual IsaType isa() const = 0;
+
+    /** Number of translation levels (both modelled ISAs use 5). */
+    virtual int levels() const = 0;
+
+    /**
+     * Bit shift of the index for @p level, where level 0 is the
+     * *leaf* level. The paper's remote walker "re-defines each level
+     * page mask if it is different between x86 and Arm".
+     */
+    virtual int levelShift(int level) const = 0;
+
+    /** Number of index bits at @p level. */
+    virtual int levelBits(int level) const = 0;
+
+    /** Index into the @p level table for virtual address @p va. */
+    std::uint64_t
+    indexOf(Addr va, int level) const
+    {
+        return (va >> levelShift(level)) &
+               ((std::uint64_t{1} << levelBits(level)) - 1);
+    }
+
+    /** Encode a leaf entry. */
+    virtual std::uint64_t encodeLeaf(Addr frame,
+                                     const PteAttrs &attrs) const = 0;
+
+    /** Encode a non-leaf (table) entry pointing at @p tableAddr. */
+    virtual std::uint64_t encodeTable(Addr tableAddr) const = 0;
+
+    /** Decode any entry. */
+    virtual DecodedPte decode(std::uint64_t raw, int level) const = 0;
+
+    /** The "not present" encoding. */
+    std::uint64_t encodeEmpty() const { return 0; }
+};
+
+/** x86-64 flavoured format. */
+class X86PteFormat final : public PteFormat
+{
+  public:
+    IsaType isa() const override { return IsaType::X86_64; }
+    int levels() const override { return 5; }
+    int levelShift(int level) const override;
+    int levelBits(int level) const override;
+    std::uint64_t encodeLeaf(Addr frame,
+                             const PteAttrs &attrs) const override;
+    std::uint64_t encodeTable(Addr tableAddr) const override;
+    DecodedPte decode(std::uint64_t raw, int level) const override;
+
+    static const X86PteFormat &instance();
+};
+
+/** AArch64 flavoured format. */
+class ArmPteFormat final : public PteFormat
+{
+  public:
+    IsaType isa() const override { return IsaType::AArch64; }
+    int levels() const override { return 5; }
+    int levelShift(int level) const override;
+    int levelBits(int level) const override;
+    std::uint64_t encodeLeaf(Addr frame,
+                             const PteAttrs &attrs) const override;
+    std::uint64_t encodeTable(Addr tableAddr) const override;
+    DecodedPte decode(std::uint64_t raw, int level) const override;
+
+    static const ArmPteFormat &instance();
+};
+
+/** The format used natively by @p isa. */
+const PteFormat &pteFormatFor(IsaType isa);
+
+} // namespace stramash
+
+#endif // STRAMASH_ISA_PTE_FORMAT_HH

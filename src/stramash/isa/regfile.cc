@@ -1,0 +1,124 @@
+#include "stramash/isa/regfile.hh"
+
+#include <cstring>
+
+namespace stramash
+{
+
+MigrationState
+captureX86(const X86RegFile &r)
+{
+    MigrationState s;
+    s.pc = r.rip;
+    s.sp = r.rsp;
+    s.fp = r.rbp;
+    s.retVal = r.rax;
+    // SysV argument registers: rdi, rsi, rdx, rcx, r8, r9.
+    s.args = {r.rdi, r.rsi, r.rdx, r.rcx, r.r8_15[0], r.r8_15[1]};
+    // Callee-saved: rbx, r12..r15 (rbp already carried as fp).
+    s.calleeSaved = {r.rbx, r.r8_15[4], r.r8_15[5], r.r8_15[6],
+                     r.r8_15[7], 0};
+    return s;
+}
+
+X86RegFile
+materializeX86(const MigrationState &s)
+{
+    X86RegFile r;
+    r.rip = s.pc;
+    r.rsp = s.sp;
+    r.rbp = s.fp;
+    r.rax = s.retVal;
+    r.rdi = s.args[0];
+    r.rsi = s.args[1];
+    r.rdx = s.args[2];
+    r.rcx = s.args[3];
+    r.r8_15[0] = s.args[4];
+    r.r8_15[1] = s.args[5];
+    r.rbx = s.calleeSaved[0];
+    r.r8_15[4] = s.calleeSaved[1];
+    r.r8_15[5] = s.calleeSaved[2];
+    r.r8_15[6] = s.calleeSaved[3];
+    r.r8_15[7] = s.calleeSaved[4];
+    return r;
+}
+
+MigrationState
+captureArm(const ArmRegFile &r)
+{
+    MigrationState s;
+    s.pc = r.pc;
+    s.sp = r.sp;
+    s.fp = r.x[29];
+    s.retVal = r.x[0];
+    // AAPCS64 argument registers: x0..x5 (of x0..x7).
+    s.args = {r.x[0], r.x[1], r.x[2], r.x[3], r.x[4], r.x[5]};
+    // Callee-saved: x19..x24 (of x19..x28).
+    s.calleeSaved = {r.x[19], r.x[20], r.x[21], r.x[22], r.x[23],
+                     r.x[24]};
+    return s;
+}
+
+ArmRegFile
+materializeArm(const MigrationState &s)
+{
+    ArmRegFile r;
+    r.pc = s.pc;
+    r.sp = s.sp;
+    r.x[29] = s.fp;
+    for (int i = 0; i < 6; ++i)
+        r.x[i] = s.args[i];
+    // x0 doubles as the return register at a call boundary.
+    if (s.retVal)
+        r.x[0] = s.retVal;
+    for (int i = 0; i < 6; ++i)
+        r.x[19 + i] = s.calleeSaved[i];
+    return r;
+}
+
+namespace
+{
+constexpr std::size_t wireWords = 3 + 1 + 6 + 6 + 1; // +pid packed
+} // namespace
+
+std::size_t
+migrationStateWireSize()
+{
+    return wireWords * 8;
+}
+
+void
+serializeMigrationState(const MigrationState &s, std::uint8_t *out)
+{
+    std::uint64_t w[wireWords];
+    w[0] = s.pc;
+    w[1] = s.sp;
+    w[2] = s.fp;
+    w[3] = s.retVal;
+    for (int i = 0; i < 6; ++i)
+        w[4 + i] = s.args[i];
+    for (int i = 0; i < 6; ++i)
+        w[10 + i] = s.calleeSaved[i];
+    w[16] = s.pid;
+    std::memcpy(out, w, sizeof(w));
+}
+
+MigrationState
+deserializeMigrationState(const std::uint8_t *in)
+{
+    std::uint64_t w[wireWords];
+    std::memcpy(w, in, sizeof(w));
+    MigrationState s;
+    s.pc = w[0];
+    s.sp = w[1];
+    s.fp = w[2];
+    s.retVal = w[3];
+    for (int i = 0; i < 6; ++i)
+        s.args[i] = w[4 + i];
+    for (int i = 0; i < 6; ++i)
+        s.calleeSaved[i] = w[10 + i];
+    s.pid = static_cast<Pid>(w[16]);
+    return s;
+}
+
+} // namespace stramash

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Architectural register files and the migration-time state
+ * transformation.
+ *
+ * The Popcorn compiler toolchain (reused by Stramash, paper §5)
+ * compiles applications so that at *migration points* (function-call
+ * boundaries) the live state can be transformed between ISAs: the
+ * common logical state (program counter, stack pointer, frame
+ * pointer, argument and callee-saved values) is extracted from the
+ * source ISA's registers and re-materialised in the destination
+ * ISA's registers, while memory state needs no transformation thanks
+ * to a common data layout. We model exactly that contract.
+ */
+
+#ifndef STRAMASH_ISA_REGFILE_HH
+#define STRAMASH_ISA_REGFILE_HH
+
+#include <array>
+#include <cstdint>
+
+#include "stramash/common/types.hh"
+
+namespace stramash
+{
+
+/** x86-64 integer register file (subset relevant to migration). */
+struct X86RegFile
+{
+    std::uint64_t rax = 0, rbx = 0, rcx = 0, rdx = 0;
+    std::uint64_t rsi = 0, rdi = 0, rbp = 0, rsp = 0;
+    std::array<std::uint64_t, 8> r8_15{}; // r8..r15
+    std::uint64_t rip = 0;
+    std::uint64_t rflags = 0x202;
+};
+
+/** AArch64 integer register file (subset relevant to migration). */
+struct ArmRegFile
+{
+    std::array<std::uint64_t, 31> x{}; // x0..x30 (x29 fp, x30 lr)
+    std::uint64_t sp = 0;
+    std::uint64_t pc = 0;
+    std::uint64_t nzcv = 0;
+};
+
+/**
+ * The ISA-neutral logical state at a migration point — what the
+ * Popcorn state-transformation runtime reconstructs on the
+ * destination. Stack memory travels for free through the shared (or
+ * replicated) address space.
+ */
+struct MigrationState
+{
+    Addr pc = 0;
+    Addr sp = 0;
+    Addr fp = 0;
+    std::uint64_t retVal = 0;
+    std::array<std::uint64_t, 6> args{};
+    std::array<std::uint64_t, 6> calleeSaved{};
+    Pid pid = 0;
+
+    bool
+    operator==(const MigrationState &o) const
+    {
+        return pc == o.pc && sp == o.sp && fp == o.fp &&
+               retVal == o.retVal && args == o.args &&
+               calleeSaved == o.calleeSaved && pid == o.pid;
+    }
+};
+
+/** Extract logical state from x86 registers (SysV mapping). */
+MigrationState captureX86(const X86RegFile &r);
+/** Materialise logical state into x86 registers. */
+X86RegFile materializeX86(const MigrationState &s);
+
+/** Extract logical state from Arm registers (AAPCS64 mapping). */
+MigrationState captureArm(const ArmRegFile &r);
+/** Materialise logical state into Arm registers. */
+ArmRegFile materializeArm(const MigrationState &s);
+
+/**
+ * Size in bytes of the serialized MigrationState as carried by a
+ * Popcorn-style migration message.
+ */
+std::size_t migrationStateWireSize();
+
+/** Serialize/deserialize for the messaging layer. */
+void serializeMigrationState(const MigrationState &s, std::uint8_t *out);
+MigrationState deserializeMigrationState(const std::uint8_t *in);
+
+} // namespace stramash
+
+#endif // STRAMASH_ISA_REGFILE_HH

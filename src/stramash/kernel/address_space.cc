@@ -1,0 +1,68 @@
+#include "stramash/kernel/address_space.hh"
+
+namespace stramash
+{
+
+AddressSpace::AddressSpace(GuestMemory &mem, const PteFormat &fmt,
+                           const PteFormat *foreignFmt, FrameAlloc alloc,
+                           FrameFree free, Addr lockWordsBase)
+    : pt_(std::make_unique<PageTable>(mem, fmt, std::move(alloc),
+                                      std::move(free), foreignFmt)),
+      lockWordsBase_(lockWordsBase)
+{
+}
+
+XlateResult
+AddressSpace::translate(Addr va, AccessType type)
+{
+    Addr vpage = pageBase(va);
+    auto it = tlb_.find(vpage);
+    if (it != tlb_.end()) {
+        ++tlbHits_;
+        if (type == AccessType::Store && !it->second.writable)
+            return {XlateStatus::NoWrite, it->second.pa + pageOffset(va)};
+        return {XlateStatus::Ok, it->second.pa + pageOffset(va)};
+    }
+    ++tlbMisses_;
+    auto w = pt_->walk(vpage);
+    if (!w || !w->pte.attrs.present)
+        return {XlateStatus::NotMapped, 0};
+    tlb_[vpage] = {w->pte.frame, w->pte.attrs.writable};
+    if (type == AccessType::Store && !w->pte.attrs.writable)
+        return {XlateStatus::NoWrite, w->pte.frame + pageOffset(va)};
+    return {XlateStatus::Ok, w->pte.frame + pageOffset(va)};
+}
+
+bool
+AddressSpace::mapPage(Addr va, Addr pa, const PteAttrs &attrs)
+{
+    return pt_->map(pageBase(va), pageBase(pa), attrs);
+}
+
+bool
+AddressSpace::unmapPage(Addr va)
+{
+    tlbInvalidate(va);
+    return pt_->unmap(pageBase(va));
+}
+
+bool
+AddressSpace::protectPage(Addr va, const PteAttrs &attrs)
+{
+    tlbInvalidate(va);
+    return pt_->protect(pageBase(va), attrs);
+}
+
+void
+AddressSpace::tlbInvalidate(Addr va)
+{
+    tlb_.erase(pageBase(va));
+}
+
+void
+AddressSpace::tlbFlush()
+{
+    tlb_.clear();
+}
+
+} // namespace stramash

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The futex wait-queue table (paper §6.5).
+ *
+ * The table structure is shared by both OS designs; the *policies*
+ * differ: Popcorn keeps all futex instances at the origin kernel and
+ * reaches them by messaging, Stramash lets the remote kernel access
+ * the origin's futex list directly through shared memory, sending
+ * only a wake-up IPI when the woken thread waits on the other side.
+ */
+
+#ifndef STRAMASH_KERNEL_FUTEX_HH
+#define STRAMASH_KERNEL_FUTEX_HH
+
+#include <deque>
+#include <unordered_map>
+
+#include "stramash/common/types.hh"
+
+namespace stramash
+{
+
+/** One blocked waiter. */
+struct FutexWaiter
+{
+    NodeId node;
+    Pid pid;
+};
+
+/** Wait queues keyed by the futex word's user virtual address. */
+class FutexTable
+{
+  public:
+    /** Append a waiter to the queue for @p uaddr. */
+    void
+    enqueue(Addr uaddr, const FutexWaiter &w)
+    {
+        queues_[uaddr].push_back(w);
+    }
+
+    /**
+     * Pop up to @p count waiters (FUTEX_WAKE semantics).
+     * @return the woken waiters.
+     */
+    std::vector<FutexWaiter>
+    wake(Addr uaddr, unsigned count)
+    {
+        std::vector<FutexWaiter> out;
+        auto it = queues_.find(uaddr);
+        if (it == queues_.end())
+            return out;
+        auto &q = it->second;
+        while (!q.empty() && out.size() < count) {
+            out.push_back(q.front());
+            q.pop_front();
+        }
+        if (q.empty())
+            queues_.erase(it);
+        return out;
+    }
+
+    /** Number of waiters parked on @p uaddr. */
+    std::size_t
+    waiters(Addr uaddr) const
+    {
+        auto it = queues_.find(uaddr);
+        return it == queues_.end() ? 0 : it->second.size();
+    }
+
+    std::size_t activeFutexes() const { return queues_.size(); }
+
+  private:
+    std::unordered_map<Addr, std::deque<FutexWaiter>> queues_;
+};
+
+} // namespace stramash
+
+#endif // STRAMASH_KERNEL_FUTEX_HH

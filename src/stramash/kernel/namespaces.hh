@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The fused namespace set (paper §6.6): Stramash presents the same
+ * mount, PID, net, UTS, user and cgroup namespaces — plus the same
+ * CPU topology — on every kernel instance, so a migrated application
+ * observes an identical environment.
+ */
+
+#ifndef STRAMASH_KERNEL_NAMESPACES_HH
+#define STRAMASH_KERNEL_NAMESPACES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stramash/common/types.hh"
+
+namespace stramash
+{
+
+/** One CPU as listed in the fused topology. */
+struct CpuInfo
+{
+    CoreId id;
+    NodeId node;
+    IsaType isa;
+
+    bool
+    operator==(const CpuInfo &o) const
+    {
+        return id == o.id && node == o.node && isa == o.isa;
+    }
+};
+
+/** Namespace identifiers a task observes. */
+struct NamespaceSet
+{
+    std::uint64_t mountNs = 0;
+    std::uint64_t pidNs = 0;
+    std::uint64_t netNs = 0;
+    std::uint64_t utsNs = 0;
+    std::uint64_t userNs = 0;
+    std::uint64_t cgroupNs = 0;
+    std::string hostname;
+    std::vector<CpuInfo> cpus;
+
+    bool
+    operator==(const NamespaceSet &o) const
+    {
+        return mountNs == o.mountNs && pidNs == o.pidNs &&
+               netNs == o.netNs && utsNs == o.utsNs &&
+               userNs == o.userNs && cgroupNs == o.cgroupNs &&
+               hostname == o.hostname && cpus == o.cpus;
+    }
+};
+
+} // namespace stramash
+
+#endif // STRAMASH_KERNEL_NAMESPACES_HH

@@ -1,0 +1,115 @@
+#include "stramash/kernel/phys_alloc.hh"
+
+#include "stramash/common/logging.hh"
+
+namespace stramash
+{
+
+PhysAllocator::PhysAllocator(std::string name)
+    : stats_(std::move(name))
+{
+}
+
+void
+PhysAllocator::addRange(const AddrRange &r)
+{
+    panic_if(pageOffset(r.start) || pageOffset(r.end),
+             "allocator range must be page aligned");
+    free_.insert(r);
+    managed_.insert(r);
+    totalPages_ += r.size() / pageSize;
+    stats_.counter("ranges_added") += 1;
+}
+
+bool
+PhysAllocator::removeRange(const AddrRange &r)
+{
+    panic_if(pageOffset(r.start) || pageOffset(r.end),
+             "allocator range must be page aligned");
+    if (!managed_.containsRange(r.start, r.end))
+        return false;
+    if (!free_.containsRange(r.start, r.end))
+        return false; // still-allocated frames inside
+    free_.erase(r.start, r.end);
+    managed_.erase(r.start, r.end);
+    totalPages_ -= r.size() / pageSize;
+    stats_.counter("ranges_removed") += 1;
+    return true;
+}
+
+std::optional<Addr>
+PhysAllocator::allocPage()
+{
+    auto r = free_.allocate(pageSize);
+    if (!r)
+        return std::nullopt;
+    stats_.counter("pages_allocated") += 1;
+    return r->start;
+}
+
+std::optional<AddrRange>
+PhysAllocator::allocContiguous(std::uint64_t count)
+{
+    auto r = free_.allocate(count * pageSize);
+    if (!r)
+        return std::nullopt;
+    stats_.counter("pages_allocated") += count;
+    return r;
+}
+
+void
+PhysAllocator::freePage(Addr pa)
+{
+    panic_if(pageOffset(pa), "freePage: not page aligned");
+    panic_if(!managed_.contains(pa), "freePage: frame not managed");
+    panic_if(free_.contains(pa), "double free of frame 0x", std::hex,
+             pa);
+    free_.insert(pa, pa + pageSize);
+    stats_.counter("pages_freed") += 1;
+}
+
+bool
+PhysAllocator::isAllocated(Addr pa) const
+{
+    return managed_.contains(pa) && !free_.contains(pa);
+}
+
+bool
+PhysAllocator::manages(Addr pa) const
+{
+    return managed_.contains(pa);
+}
+
+std::uint64_t
+PhysAllocator::freePages() const
+{
+    return free_.totalBytes() / pageSize;
+}
+
+std::uint64_t
+PhysAllocator::usedPages() const
+{
+    return totalPages_ - freePages();
+}
+
+double
+PhysAllocator::pressure() const
+{
+    if (totalPages_ == 0)
+        return 1.0;
+    return static_cast<double>(usedPages()) /
+           static_cast<double>(totalPages_);
+}
+
+std::vector<Addr>
+PhysAllocator::allocatedIn(const AddrRange &r) const
+{
+    std::vector<Addr> out;
+    for (Addr pa = r.start; pa < r.end; pa += pageSize) {
+        if (isAllocated(pa))
+            out.push_back(pa);
+    }
+    return out;
+}
+
+} // namespace stramash

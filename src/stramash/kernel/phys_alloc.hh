@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Per-kernel physical page allocator.
+ *
+ * Each kernel instance boots with the ranges the firmware tables
+ * assign it (paper §6.1) and allocates 4 KiB frames from a free-extent
+ * set. The fused global memory allocator (fused/global_alloc) grows
+ * and shrinks this pool at block granularity via addRange() and
+ * removeRange(), mirroring Linux memory hot-plug online/offline.
+ */
+
+#ifndef STRAMASH_KERNEL_PHYS_ALLOC_HH
+#define STRAMASH_KERNEL_PHYS_ALLOC_HH
+
+#include <optional>
+
+#include "stramash/common/addr_range.hh"
+#include "stramash/common/stats.hh"
+#include "stramash/common/types.hh"
+
+namespace stramash
+{
+
+class PhysAllocator
+{
+  public:
+    explicit PhysAllocator(std::string name);
+
+    /** Donate a range (boot memory or an onlined block). */
+    void addRange(const AddrRange &r);
+
+    /**
+     * Withdraw a range (block offline). Every frame in the range
+     * must be free — evacuation is the caller's job.
+     * @return false if any frame in the range is still allocated.
+     */
+    bool removeRange(const AddrRange &r);
+
+    /** Allocate one zange-aligned frame. nullopt when exhausted. */
+    std::optional<Addr> allocPage();
+
+    /** Allocate @p count physically contiguous frames. */
+    std::optional<AddrRange> allocContiguous(std::uint64_t count);
+
+    /** Return a frame. */
+    void freePage(Addr pa);
+
+    /** True if @p pa lies in managed memory and is allocated. */
+    bool isAllocated(Addr pa) const;
+
+    /** True if @p pa lies in a managed range at all. */
+    bool manages(Addr pa) const;
+
+    std::uint64_t totalPages() const { return totalPages_; }
+    std::uint64_t freePages() const;
+    std::uint64_t usedPages() const;
+
+    /** Fraction of managed frames in use (global allocator's 70%
+     *  pressure trigger, paper §6.3). */
+    double pressure() const;
+
+    /** Allocated frames inside @p r (evacuation worklist). */
+    std::vector<Addr> allocatedIn(const AddrRange &r) const;
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    StatGroup stats_;
+    IntervalSet free_;
+    IntervalSet managed_;
+    std::uint64_t totalPages_ = 0;
+};
+
+} // namespace stramash
+
+#endif // STRAMASH_KERNEL_PHYS_ALLOC_HH

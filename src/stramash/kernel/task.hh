@@ -1,0 +1,46 @@
+/**
+ * @file
+ * A migratable task as seen by one kernel instance.
+ *
+ * Every kernel that has ever hosted the task keeps its own Task
+ * record with its own arch-format AddressSpace — Popcorn replicates
+ * the address space contents through DSM, Stramash points both page
+ * tables at the same physical pages (paper §6.4).
+ */
+
+#ifndef STRAMASH_KERNEL_TASK_HH
+#define STRAMASH_KERNEL_TASK_HH
+
+#include <memory>
+
+#include "stramash/isa/regfile.hh"
+#include "stramash/kernel/address_space.hh"
+
+namespace stramash
+{
+
+struct Task
+{
+    Pid pid = 0;
+    /** Kernel where the task was created (the "origin"). */
+    NodeId origin = 0;
+    /** Arch-format address space on this kernel. */
+    std::unique_ptr<AddressSpace> as;
+    /** Logical register state, valid while the task is paused here. */
+    MigrationState state;
+    /** Simple process heap bump pointer (managed by core::App). */
+    Addr heapBrk = 0;
+
+    /** Pages this kernel allocated for the task (for teardown and
+     *  the "remote kernel releases its own pages" rule, §6.4). */
+    std::vector<Addr> ownedPages;
+
+    /** Frames this task maps that belong to *another* kernel's
+     *  allocator (fused process migration keeps frames in place);
+     *  System::exit routes them home. */
+    std::vector<std::pair<NodeId, Addr>> borrowedPages;
+};
+
+} // namespace stramash
+
+#endif // STRAMASH_KERNEL_TASK_HH

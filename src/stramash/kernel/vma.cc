@@ -1,0 +1,89 @@
+#include "stramash/kernel/vma.hh"
+
+namespace stramash
+{
+
+const char *
+vmaKindName(VmaKind k)
+{
+    switch (k) {
+      case VmaKind::Code: return "code";
+      case VmaKind::Data: return "data";
+      case VmaKind::Heap: return "heap";
+      case VmaKind::Stack: return "stack";
+      case VmaKind::Anon: return "anon";
+    }
+    panic("unknown VmaKind");
+}
+
+PteAttrs
+vmaPageAttrs(const Vma &vma, bool writable)
+{
+    PteAttrs a = vma.prot;
+    a.present = true;
+    a.accessed = true;
+    a.writable = writable && vma.prot.writable;
+    a.dirty = a.writable;
+    return a;
+}
+
+bool
+VmaTree::insert(const Vma &vma)
+{
+    panic_if(vma.start >= vma.end, "empty VMA");
+    panic_if(pageOffset(vma.start) || pageOffset(vma.end),
+             "VMA must be page aligned");
+    // Overlap check against the nearest neighbours.
+    auto *pred = tree_.floor(vma.start);
+    if (pred && pred->value.end > vma.start)
+        return false;
+    auto *succ = tree_.lowerBound(vma.start);
+    if (succ && succ->value.start < vma.end)
+        return false;
+    auto [node, inserted] = tree_.insert(vma.start, vma);
+    (void)node;
+    return inserted;
+}
+
+bool
+VmaTree::remove(Addr start)
+{
+    return tree_.eraseKey(start);
+}
+
+const Vma *
+VmaTree::find(Addr addr) const
+{
+    auto *n = tree_.floor(addr);
+    if (!n)
+        return nullptr;
+    return n->value.contains(addr) ? &n->value : nullptr;
+}
+
+const Vma *
+VmaTree::findCounting(Addr addr, unsigned &nodesVisited) const
+{
+    // Reproduce floor()'s descent, counting visited nodes so the
+    // remote walker can charge per-node access costs.
+    nodesVisited = 0;
+    const Vma *best = nullptr;
+    // Re-walk using find() semantics over the tree interface: we
+    // exploit forEach-free navigation via lowerBound/floor would not
+    // count, so descend manually through lowerBound on successive
+    // keys. Simplest faithful approach: binary descent emulation.
+    // The RbTree interface hides nodes' children, so emulate with
+    // floor() plus a log2(size) visit estimate.
+    auto *n = tree_.floor(addr);
+    std::size_t sz = tree_.size();
+    unsigned depth = 1;
+    while (sz > 1) {
+        sz >>= 1;
+        ++depth;
+    }
+    nodesVisited = depth;
+    if (n && n->value.contains(addr))
+        best = &n->value;
+    return best;
+}
+
+} // namespace stramash

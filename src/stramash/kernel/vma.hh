@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Virtual memory areas, kept in a red-black tree exactly as the
+ * modelled Linux 5.2 kernel does (paper §6.4: "the VMA lists are
+ * still maintained using the RB-tree structure").
+ */
+
+#ifndef STRAMASH_KERNEL_VMA_HH
+#define STRAMASH_KERNEL_VMA_HH
+
+#include <string>
+
+#include "stramash/isa/pte_format.hh"
+#include "stramash/rbtree/rbtree.hh"
+
+namespace stramash
+{
+
+/** What backs a VMA. */
+enum class VmaKind : std::uint8_t {
+    Code,
+    Data,
+    Heap,
+    Stack,
+    Anon,
+};
+
+const char *vmaKindName(VmaKind k);
+
+/** One virtual memory area [start, end). */
+struct Vma
+{
+    Addr start = 0;
+    Addr end = 0;
+    PteAttrs prot;
+    VmaKind kind = VmaKind::Anon;
+    std::string name;
+
+    Addr size() const { return end - start; }
+    bool contains(Addr a) const { return a >= start && a < end; }
+};
+
+/** Leaf-PTE attributes for a user page mapped under @p vma. */
+PteAttrs vmaPageAttrs(const Vma &vma, bool writable);
+
+/** The per-address-space VMA tree. */
+class VmaTree
+{
+  public:
+    /**
+     * Insert a VMA.
+     * @return false on overlap with an existing area.
+     */
+    bool insert(const Vma &vma);
+
+    /** Remove the VMA starting exactly at @p start. */
+    bool remove(Addr start);
+
+    /** The VMA containing @p addr, or nullptr. */
+    const Vma *find(Addr addr) const;
+
+    /** Visit all VMAs in ascending order. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        tree_.forEach([&](const Addr &, const Vma &v) { fn(v); });
+    }
+
+    /**
+     * Like find(), but counts the tree nodes visited — the remote
+     * VMA walker charges one cache access per visited node.
+     */
+    const Vma *findCounting(Addr addr, unsigned &nodesVisited) const;
+
+    std::size_t size() const { return tree_.size(); }
+    bool checkInvariants() const { return tree_.checkInvariants(); }
+
+  private:
+    RbTree<Addr, Vma> tree_; // keyed by start address
+};
+
+} // namespace stramash
+
+#endif // STRAMASH_KERNEL_VMA_HH

@@ -1,0 +1,42 @@
+#include "stramash/mem/latency_profile.hh"
+
+#include "stramash/common/logging.hh"
+
+namespace stramash
+{
+
+const char *
+coreModelName(CoreModel m)
+{
+    switch (m) {
+      case CoreModel::CortexA72: return "Cortex-A72";
+      case CoreModel::ThunderX2: return "ThunderX2";
+      case CoreModel::E5_2620: return "E5-2620";
+      case CoreModel::XeonGold: return "Xeon Gold";
+    }
+    panic("unknown CoreModel");
+}
+
+const LatencyProfile &
+latencyProfile(CoreModel m)
+{
+    // Paper Table 2. The Cortex-A72 row has no L3 ("*"); we model it
+    // as 0 and the hierarchy builder simply omits the level.
+    static const LatencyProfile a72{CoreModel::CortexA72,
+                                    4, 9, 0, 300, 780, 3.0};
+    static const LatencyProfile tx2{CoreModel::ThunderX2,
+                                    4, 9, 30, 300, 620, 2.0};
+    static const LatencyProfile e5{CoreModel::E5_2620,
+                                   4, 12, 38, 300, 640, 2.1};
+    static const LatencyProfile gold{CoreModel::XeonGold,
+                                     4, 14, 50, 300, 640, 2.1};
+    switch (m) {
+      case CoreModel::CortexA72: return a72;
+      case CoreModel::ThunderX2: return tx2;
+      case CoreModel::E5_2620: return e5;
+      case CoreModel::XeonGold: return gold;
+    }
+    panic("unknown CoreModel");
+}
+
+} // namespace stramash

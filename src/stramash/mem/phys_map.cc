@@ -1,0 +1,127 @@
+#include "stramash/mem/phys_map.hh"
+
+#include <algorithm>
+
+#include "stramash/common/logging.hh"
+#include "stramash/common/units.hh"
+
+namespace stramash
+{
+
+PhysMap
+PhysMap::paperDefault(MemoryModel model, NodeId x86Node, NodeId armNode)
+{
+    const Addr gib = 1_GiB;
+    const Addr half = 512_MiB;
+    std::vector<PhysRegion> regions;
+
+    // Low memory: always the boot-local split.
+    regions.push_back({{0, gib + half}, x86Node, false});
+    regions.push_back({{gib + half, 3 * gib}, armNode, false});
+    // [3 GiB, 4 GiB) is the MMIO hole: deliberately absent.
+
+    switch (model) {
+      case MemoryModel::Separated:
+      case MemoryModel::FullyShared:
+        // High memory is split between the nodes. Under FullyShared
+        // the split only defines allocation ownership; every access
+        // is local-latency.
+        regions.push_back({{4 * gib, 6 * gib}, x86Node, false});
+        regions.push_back({{6 * gib, 8 * gib}, armNode, false});
+        break;
+      case MemoryModel::Shared:
+        // High memory is the CXL shared pool.
+        regions.push_back({{4 * gib, 8 * gib}, invalidNode, true});
+        break;
+    }
+    return PhysMap(model, std::move(regions));
+}
+
+PhysMap::PhysMap(MemoryModel model, std::vector<PhysRegion> regions)
+    : model_(model), regions_(std::move(regions))
+{
+    std::sort(regions_.begin(), regions_.end(),
+              [](const PhysRegion &a, const PhysRegion &b) {
+                  return a.range.start < b.range.start;
+              });
+    for (std::size_t i = 1; i < regions_.size(); ++i) {
+        panic_if(regions_[i - 1].range.overlaps(regions_[i].range),
+                 "overlapping physical regions");
+    }
+}
+
+const PhysRegion *
+PhysMap::regionOf(Addr addr) const
+{
+    for (const auto &r : regions_) {
+        if (r.range.contains(addr))
+            return &r;
+    }
+    return nullptr;
+}
+
+MemoryClass
+PhysMap::classify(Addr addr, NodeId accessor) const
+{
+    const PhysRegion *r = regionOf(addr);
+    panic_if(!r, "physical access to unmapped address 0x", std::hex,
+             addr);
+    if (model_ == MemoryModel::FullyShared)
+        return MemoryClass::Local;
+    if (r->sharedPool)
+        return MemoryClass::SharedPool;
+    return r->homeNode == accessor ? MemoryClass::Local
+                                   : MemoryClass::Remote;
+}
+
+bool
+PhysMap::isDram(Addr addr) const
+{
+    return regionOf(addr) != nullptr;
+}
+
+Addr
+PhysMap::localBytes(NodeId node) const
+{
+    Addr total = 0;
+    for (const auto &r : regions_) {
+        if (!r.sharedPool && r.homeNode == node)
+            total += r.range.size();
+    }
+    return total;
+}
+
+Addr
+PhysMap::poolBytes() const
+{
+    Addr total = 0;
+    for (const auto &r : regions_) {
+        if (r.sharedPool)
+            total += r.range.size();
+    }
+    return total;
+}
+
+std::vector<AddrRange>
+PhysMap::bootRanges(NodeId node) const
+{
+    std::vector<AddrRange> out;
+    for (const auto &r : regions_) {
+        if (!r.sharedPool && r.homeNode == node)
+            out.push_back(r.range);
+    }
+    return out;
+}
+
+std::vector<AddrRange>
+PhysMap::poolRanges() const
+{
+    std::vector<AddrRange> out;
+    for (const auto &r : regions_) {
+        if (r.sharedPool)
+            out.push_back(r.range);
+    }
+    return out;
+}
+
+} // namespace stramash

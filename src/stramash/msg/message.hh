@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Inter-kernel message types, mirroring Popcorn-Linux's pcn_kmsg
+ * vocabulary. Both OS designs use the same Message struct; they
+ * differ in *how many* messages they need (Table 3) and in what the
+ * transport charges for them.
+ */
+
+#ifndef STRAMASH_MSG_MESSAGE_HH
+#define STRAMASH_MSG_MESSAGE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "stramash/common/types.hh"
+
+namespace stramash
+{
+
+/** Message kinds exchanged between kernel instances. */
+enum class MsgType : std::uint8_t {
+    /** Thread migration request carrying transformed register state. */
+    TaskMigrate,
+    /** Migration-back notification. */
+    TaskMigrateBack,
+    /** DSM: fetch a page (request). */
+    PageRequest,
+    /** DSM: page content (response; carries the 4 KiB page). */
+    PageResponse,
+    /** DSM: invalidate replicas before a write. */
+    PageInvalidate,
+    /** DSM: acknowledge an invalidation. */
+    PageInvalidateAck,
+    /** VMA information request (Popcorn remote fault path). */
+    VmaRequest,
+    VmaResponse,
+    /** Origin-managed futex protocol. */
+    FutexWait,
+    FutexWake,
+    FutexResponse,
+    /** Global memory allocator block negotiation. */
+    MemBlockRequest,
+    MemBlockResponse,
+    /** Stramash slow-path fault (upper table level missing). */
+    RemoteFaultRequest,
+    RemoteFaultResponse,
+    /** Whole-process migration kick-off (new origin = receiver). */
+    ProcessMigrate,
+    /** Process migration: one VMA descriptor. */
+    ProcessVma,
+    /** Process migration: one page of content. */
+    ProcessPage,
+    /** kv-store request/response (network-serving experiment). */
+    AppRequest,
+    AppResponse,
+};
+
+const char *msgTypeName(MsgType t);
+
+/** One inter-kernel message. */
+struct Message
+{
+    MsgType type = MsgType::TaskMigrate;
+    NodeId from = 0;
+    NodeId to = 0;
+    std::uint64_t seq = 0;
+    /** Typed scalar arguments (addresses, pids, values). */
+    std::uint64_t arg0 = 0;
+    std::uint64_t arg1 = 0;
+    std::uint64_t arg2 = 0;
+    /** Bulk payload (page contents, register state, app data). */
+    std::vector<std::uint8_t> payload;
+
+    std::size_t
+    wireSize() const
+    {
+        return headerBytes + payload.size();
+    }
+
+    /** Fixed header size on the wire. */
+    static constexpr std::size_t headerBytes = 64;
+};
+
+} // namespace stramash
+
+#endif // STRAMASH_MSG_MESSAGE_HH

@@ -1,0 +1,220 @@
+#include "stramash/msg/transport.hh"
+
+#include "stramash/common/units.hh"
+
+namespace stramash
+{
+
+const char *
+msgTypeName(MsgType t)
+{
+    switch (t) {
+      case MsgType::TaskMigrate: return "task_migrate";
+      case MsgType::TaskMigrateBack: return "task_migrate_back";
+      case MsgType::PageRequest: return "page_request";
+      case MsgType::PageResponse: return "page_response";
+      case MsgType::PageInvalidate: return "page_invalidate";
+      case MsgType::PageInvalidateAck: return "page_invalidate_ack";
+      case MsgType::VmaRequest: return "vma_request";
+      case MsgType::VmaResponse: return "vma_response";
+      case MsgType::FutexWait: return "futex_wait";
+      case MsgType::FutexWake: return "futex_wake";
+      case MsgType::FutexResponse: return "futex_response";
+      case MsgType::MemBlockRequest: return "mem_block_request";
+      case MsgType::MemBlockResponse: return "mem_block_response";
+      case MsgType::RemoteFaultRequest: return "remote_fault_request";
+      case MsgType::RemoteFaultResponse: return "remote_fault_response";
+      case MsgType::ProcessMigrate: return "process_migrate";
+      case MsgType::ProcessVma: return "process_vma";
+      case MsgType::ProcessPage: return "process_page";
+      case MsgType::AppRequest: return "app_request";
+      case MsgType::AppResponse: return "app_response";
+    }
+    panic("unknown MsgType");
+}
+
+MessageLayer::MessageLayer(Machine &machine)
+    : machine_(machine), stats_("msg")
+{
+}
+
+void
+MessageLayer::registerHandler(NodeId node, MsgHandler handler)
+{
+    handlers_[node] = std::move(handler);
+}
+
+void
+MessageLayer::send(const Message &msg)
+{
+    panic_if(msg.from == msg.to, "message to self");
+    Message m = msg;
+    m.seq = ++seq_;
+    ++sent_;
+    bytes_ += m.wireSize();
+    stats_.counter("sent_total") += 1;
+    stats_.counter(std::string("sent.") + msgTypeName(m.type)) += 1;
+    stats_.counter("bytes_sent") += m.wireSize();
+    transportSend(m);
+}
+
+std::optional<Message>
+MessageLayer::tryReceive(NodeId node)
+{
+    return transportReceive(node);
+}
+
+void
+MessageLayer::dispatchPending(NodeId node)
+{
+    for (;;) {
+        auto m = transportReceive(node);
+        if (!m)
+            return;
+        auto it = handlers_.find(node);
+        panic_if(it == handlers_.end(), "no handler on node ", node);
+        it->second(*m);
+    }
+}
+
+Message
+MessageLayer::rpc(const Message &req, MsgType respType)
+{
+    send(req);
+    dispatchPending(req.to);
+    for (;;) {
+        auto m = transportReceive(req.from);
+        panic_if(!m, "rpc: destination produced no ",
+                 msgTypeName(respType), " response to ",
+                 msgTypeName(req.type));
+        if (m->type == respType)
+            return *m;
+        // Unrelated traffic: hand it to our own pump.
+        auto it = handlers_.find(req.from);
+        panic_if(it == handlers_.end(), "no handler on node ",
+                 req.from);
+        it->second(*m);
+    }
+}
+
+void
+MessageLayer::resetCounters()
+{
+    sent_ = 0;
+    bytes_ = 0;
+    stats_.resetAll();
+}
+
+// ===================== ShmMessageLayer ===============================
+
+ShmMessageLayer::ShmMessageLayer(Machine &machine, Addr areaBase,
+                                 Addr areaBytes, bool useIpi,
+                                 MsgCosts costs)
+    : MessageLayer(machine), useIpi_(useIpi), costs_(costs)
+{
+    // One ring per ordered node pair, splitting the area evenly.
+    std::size_t n = machine.nodeCount();
+    std::size_t pairs = n * (n - 1);
+    panic_if(pairs == 0, "SHM messaging needs >= 2 nodes");
+    Addr perRing = areaBytes / pairs;
+    Addr base = areaBase;
+    for (NodeId f = 0; f < n; ++f) {
+        for (NodeId t = 0; t < n; ++t) {
+            if (f == t)
+                continue;
+            rings_.emplace(std::make_pair(f, t),
+                           std::make_unique<MessageRing>(machine, base,
+                                                         perRing));
+            base += perRing;
+        }
+    }
+}
+
+Addr
+ShmMessageLayer::paperAreaBase(MemoryModel model)
+{
+    switch (model) {
+      case MemoryModel::Separated:
+        // In x86 local memory: local for x86, remote for Arm.
+        return 1_GiB;
+      case MemoryModel::Shared:
+        // In the CXL pool: remote for both.
+        return 4_GiB;
+      case MemoryModel::FullyShared:
+        // Everything is local anyway.
+        return 1_GiB;
+    }
+    panic("unknown MemoryModel");
+}
+
+MessageRing &
+ShmMessageLayer::ring(NodeId from, NodeId to)
+{
+    auto it = rings_.find({from, to});
+    panic_if(it == rings_.end(), "no ring ", from, "->", to);
+    return *it->second;
+}
+
+void
+ShmMessageLayer::transportSend(const Message &msg)
+{
+    machine_.stall(msg.from, costs_.sendSetupCycles);
+    bool ok = ring(msg.from, msg.to).enqueue(msg.from, msg);
+    panic_if(!ok, "message ring full");
+    if (useIpi_)
+        machine_.sendIpi(msg.from, msg.to);
+}
+
+std::optional<Message>
+ShmMessageLayer::transportReceive(NodeId node)
+{
+    // Check every ring that targets this node.
+    for (auto &kv : rings_) {
+        if (kv.first.second != node)
+            continue;
+        auto m = kv.second->dequeue(node);
+        if (m) {
+            machine_.stall(node, costs_.handlerCycles);
+            return m;
+        }
+    }
+    return std::nullopt;
+}
+
+// ===================== TcpMessageLayer ===============================
+
+TcpMessageLayer::TcpMessageLayer(Machine &machine, MsgCosts costs)
+    : MessageLayer(machine), costs_(costs)
+{
+}
+
+void
+TcpMessageLayer::transportSend(const Message &msg)
+{
+    // Sender: stack setup plus per-byte copy through the NIC path.
+    Cycles copy = static_cast<Cycles>(
+        static_cast<double>(msg.wireSize()) * costs_.tcpPerByteCycles);
+    machine_.stall(msg.from, costs_.sendSetupCycles + copy);
+    queues_[msg.to].push_back(msg);
+}
+
+std::optional<Message>
+TcpMessageLayer::transportReceive(NodeId node)
+{
+    auto &q = queues_[node];
+    if (q.empty())
+        return std::nullopt;
+    Message m = q.front();
+    q.pop_front();
+    // Receiver pays propagation (one way), stack copy, and handler
+    // dispatch. Two messages (request + response) sum to the paper's
+    // 75 us round trip.
+    const Node &n = machine_.node(node);
+    Cycles prop = usToCycles(costs_.tcpOneWayUs, n.profile().ghz);
+    Cycles copy = static_cast<Cycles>(
+        static_cast<double>(m.wireSize()) * costs_.tcpPerByteCycles);
+    machine_.stall(node, prop + copy + costs_.handlerCycles);
+    return m;
+}
+
+} // namespace stramash

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * The inter-kernel messaging layer (paper §6.2, §8.2).
+ *
+ * Two transports:
+ *
+ *  - ShmMessageLayer: a pair of guest-memory rings per kernel pair
+ *    plus a cross-ISA IPI (or polling) for notification. All costs
+ *    emerge from real ring reads/writes through the cache model and
+ *    the IPI latency.
+ *
+ *  - TcpMessageLayer: Popcorn's network transport; charges the
+ *    measured SmartNIC round-trip latency (75 us per round trip,
+ *    37.5 us per one-way message) plus per-byte stack costs. No
+ *    shared memory involved, so it performs identically on every
+ *    hardware memory model — exactly as the paper observes.
+ *
+ * The layer also provides the synchronous dispatch pump the kernels
+ * use: handlers registered per node are driven by dispatchPending(),
+ * and rpc() implements the request/response pattern every Popcorn
+ * protocol is built on.
+ */
+
+#ifndef STRAMASH_MSG_TRANSPORT_HH
+#define STRAMASH_MSG_TRANSPORT_HH
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "stramash/common/stats.hh"
+#include "stramash/msg/ring_buffer.hh"
+
+namespace stramash
+{
+
+/**
+ * Per-message CPU costs not covered by the memory system. The
+ * defaults reflect measured Popcorn-Linux messaging behaviour: a
+ * message is not just the IPI (2 us) but interrupt handling, work
+ * queue scheduling, handler execution and marshalling — of the order
+ * of 10 us of kernel time end to end.
+ */
+struct MsgCosts
+{
+    /** Handler dispatch cost on the receiver, per message. */
+    Cycles handlerCycles = 15000;
+    /** Enqueue/setup cost on the sender, per message. */
+    Cycles sendSetupCycles = 5000;
+    /** TCP one-way propagation (paper: 75 us per round trip). */
+    double tcpOneWayUs = 37.5;
+    /** TCP stack per-byte copy cost, each side. */
+    double tcpPerByteCycles = 0.5;
+};
+
+/** A kernel's message handler. */
+using MsgHandler = std::function<void(const Message &)>;
+
+class MessageLayer
+{
+  public:
+    explicit MessageLayer(Machine &machine);
+    virtual ~MessageLayer() = default;
+
+    /** Register the kernel message pump for @p node. */
+    void registerHandler(NodeId node, MsgHandler handler);
+
+    /** Send one message (msg.from/msg.to must be set). */
+    void send(const Message &msg);
+
+    /** Pop one pending message for @p node, charging receive costs. */
+    std::optional<Message> tryReceive(NodeId node);
+
+    /**
+     * Deliver every pending message for @p node to its handler.
+     * Handlers may send further messages (including back to the
+     * original sender); dispatch is re-entrant.
+     */
+    void dispatchPending(NodeId node);
+
+    /**
+     * Synchronous RPC: send @p req, drive the destination's pump,
+     * and return the first @p respType message that arrives back.
+     * Other messages arriving at the caller meanwhile are routed to
+     * the caller's own handler.
+     */
+    Message rpc(const Message &req, MsgType respType);
+
+    StatGroup &stats() { return stats_; }
+
+    /** Total messages sent since construction (Table 3). */
+    std::uint64_t messagesSent() const { return sent_; }
+    std::uint64_t bytesSent() const { return bytes_; }
+    void resetCounters();
+
+    Machine &machine() { return machine_; }
+
+  protected:
+    /** Transport-specific delivery; must charge sender-side costs. */
+    virtual void transportSend(const Message &msg) = 0;
+    /** Transport-specific fetch; must charge receiver-side costs. */
+    virtual std::optional<Message> transportReceive(NodeId node) = 0;
+
+    Machine &machine_;
+    StatGroup stats_;
+
+  private:
+    std::map<NodeId, MsgHandler> handlers_;
+    std::uint64_t sent_ = 0;
+    std::uint64_t bytes_ = 0;
+    std::uint64_t seq_ = 0;
+};
+
+/** Shared-memory rings + IPI/polling notification. */
+class ShmMessageLayer final : public MessageLayer
+{
+  public:
+    /**
+     * @param areaBase  guest-physical base of the 128 MiB messaging
+     *                  area (placement decides local vs remote!)
+     * @param areaBytes size of the area; split evenly per direction
+     * @param useIpi    IPI notification (true) or polling (false)
+     */
+    ShmMessageLayer(Machine &machine, Addr areaBase, Addr areaBytes,
+                    bool useIpi, MsgCosts costs = {});
+
+    /**
+     * The paper's placement rule for the messaging area under each
+     * hardware model (§8.2): Separated → x86-local (Arm pays remote),
+     * Shared → the pool (both pay remote), FullyShared → local to
+     * both.
+     */
+    static Addr paperAreaBase(MemoryModel model);
+    static constexpr Addr paperAreaBytes = 128 * 1024 * 1024;
+
+  protected:
+    void transportSend(const Message &msg) override;
+    std::optional<Message> transportReceive(NodeId node) override;
+
+  private:
+    bool useIpi_;
+    MsgCosts costs_;
+    /** (from, to) -> ring. */
+    std::map<std::pair<NodeId, NodeId>, std::unique_ptr<MessageRing>>
+        rings_;
+
+    MessageRing &ring(NodeId from, NodeId to);
+};
+
+/** Network (TCP/IP) transport model. */
+class TcpMessageLayer final : public MessageLayer
+{
+  public:
+    explicit TcpMessageLayer(Machine &machine, MsgCosts costs = {});
+
+  protected:
+    void transportSend(const Message &msg) override;
+    std::optional<Message> transportReceive(NodeId node) override;
+
+  private:
+    MsgCosts costs_;
+    std::map<NodeId, std::deque<Message>> queues_;
+};
+
+} // namespace stramash
+
+#endif // STRAMASH_MSG_TRANSPORT_HH

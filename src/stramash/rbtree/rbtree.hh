@@ -1,0 +1,508 @@
+/**
+ * @file
+ * A from-scratch red-black tree.
+ *
+ * Stramash-Linux (like the Linux 5.2 kernel it models) keeps each
+ * address space's VMA list in a red-black tree — the paper explicitly
+ * notes "the VMA lists are still maintained using the RB-tree structure
+ * not a Maple-tree". We implement the tree ourselves rather than using
+ * std::map so that (a) the remote VMA walker can traverse another
+ * kernel's tree through the same accessor-function pattern the paper
+ * describes, and (b) the structure invariants can be property-tested.
+ *
+ * The tree is an ordered map: unique keys, each holding a value.
+ * Iteration is in ascending key order. checkInvariants() verifies the
+ * five red-black properties and the BST ordering; tests call it after
+ * randomised operation sequences.
+ */
+
+#ifndef STRAMASH_RBTREE_RBTREE_HH
+#define STRAMASH_RBTREE_RBTREE_HH
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+
+#include "stramash/common/logging.hh"
+
+namespace stramash
+{
+
+template <typename Key, typename Value, typename Compare = std::less<Key>>
+class RbTree
+{
+  public:
+    enum class Color : unsigned char { Red, Black };
+
+    struct Node
+    {
+        Key key;
+        Value value;
+        Node *left = nullptr;
+        Node *right = nullptr;
+        Node *parent = nullptr;
+        Color color = Color::Red;
+
+        Node(Key k, Value v) : key(std::move(k)), value(std::move(v)) {}
+    };
+
+    RbTree() = default;
+
+    RbTree(const RbTree &) = delete;
+    RbTree &operator=(const RbTree &) = delete;
+
+    RbTree(RbTree &&other) noexcept
+        : root_(other.root_), size_(other.size_), cmp_(other.cmp_)
+    {
+        other.root_ = nullptr;
+        other.size_ = 0;
+    }
+
+    ~RbTree() { clear(); }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /** Remove every node. */
+    void
+    clear()
+    {
+        destroy(root_);
+        root_ = nullptr;
+        size_ = 0;
+    }
+
+    /**
+     * Insert a key/value pair.
+     * @return pointer to the node and whether it was newly inserted;
+     *         on a duplicate key the existing node is returned
+     *         unchanged.
+     */
+    std::pair<Node *, bool>
+    insert(Key key, Value value)
+    {
+        Node *parent = nullptr;
+        Node **link = &root_;
+        while (*link) {
+            parent = *link;
+            if (cmp_(key, parent->key)) {
+                link = &parent->left;
+            } else if (cmp_(parent->key, key)) {
+                link = &parent->right;
+            } else {
+                return {parent, false};
+            }
+        }
+        Node *n = new Node(std::move(key), std::move(value));
+        n->parent = parent;
+        *link = n;
+        ++size_;
+        insertFixup(n);
+        return {n, true};
+    }
+
+    /** Find the node with exactly this key, or nullptr. */
+    Node *
+    find(const Key &key) const
+    {
+        Node *n = root_;
+        while (n) {
+            if (cmp_(key, n->key))
+                n = n->left;
+            else if (cmp_(n->key, key))
+                n = n->right;
+            else
+                return n;
+        }
+        return nullptr;
+    }
+
+    /** First node whose key is >= @p key, or nullptr. */
+    Node *
+    lowerBound(const Key &key) const
+    {
+        Node *n = root_;
+        Node *best = nullptr;
+        while (n) {
+            if (!cmp_(n->key, key)) { // n->key >= key
+                best = n;
+                n = n->left;
+            } else {
+                n = n->right;
+            }
+        }
+        return best;
+    }
+
+    /** Last node whose key is <= @p key, or nullptr. */
+    Node *
+    floor(const Key &key) const
+    {
+        Node *n = root_;
+        Node *best = nullptr;
+        while (n) {
+            if (!cmp_(key, n->key)) { // n->key <= key
+                best = n;
+                n = n->right;
+            } else {
+                n = n->left;
+            }
+        }
+        return best;
+    }
+
+    /** Smallest-key node, or nullptr. */
+    Node *
+    first() const
+    {
+        Node *n = root_;
+        while (n && n->left)
+            n = n->left;
+        return n;
+    }
+
+    /** Largest-key node, or nullptr. */
+    Node *
+    last() const
+    {
+        Node *n = root_;
+        while (n && n->right)
+            n = n->right;
+        return n;
+    }
+
+    /** In-order successor. */
+    static Node *
+    next(Node *n)
+    {
+        if (n->right) {
+            n = n->right;
+            while (n->left)
+                n = n->left;
+            return n;
+        }
+        Node *p = n->parent;
+        while (p && n == p->right) {
+            n = p;
+            p = p->parent;
+        }
+        return p;
+    }
+
+    /** In-order predecessor. */
+    static Node *
+    prev(Node *n)
+    {
+        if (n->left) {
+            n = n->left;
+            while (n->right)
+                n = n->right;
+            return n;
+        }
+        Node *p = n->parent;
+        while (p && n == p->left) {
+            n = p;
+            p = p->parent;
+        }
+        return p;
+    }
+
+    /** Erase a node returned by find/lowerBound/first/... */
+    void
+    erase(Node *z)
+    {
+        panic_if(!z, "RbTree::erase(nullptr)");
+        Node *y = z;
+        Node *x = nullptr;
+        Node *xParent = nullptr;
+        Color yOriginal = y->color;
+
+        if (!z->left) {
+            x = z->right;
+            xParent = z->parent;
+            transplant(z, z->right);
+        } else if (!z->right) {
+            x = z->left;
+            xParent = z->parent;
+            transplant(z, z->left);
+        } else {
+            y = z->right;
+            while (y->left)
+                y = y->left;
+            yOriginal = y->color;
+            x = y->right;
+            if (y->parent == z) {
+                xParent = y;
+            } else {
+                xParent = y->parent;
+                transplant(y, y->right);
+                y->right = z->right;
+                y->right->parent = y;
+            }
+            transplant(z, y);
+            y->left = z->left;
+            y->left->parent = y;
+            y->color = z->color;
+        }
+        delete z;
+        --size_;
+        if (yOriginal == Color::Black)
+            eraseFixup(x, xParent);
+    }
+
+    /** Erase by key. @return true if a node was removed. */
+    bool
+    eraseKey(const Key &key)
+    {
+        Node *n = find(key);
+        if (!n)
+            return false;
+        erase(n);
+        return true;
+    }
+
+    /** Apply @p fn to every (key, value) pair in ascending key order. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (Node *n = first(); n; n = next(n))
+            fn(n->key, n->value);
+    }
+
+    /**
+     * Verify the red-black and BST invariants.
+     * @return true if all hold; used by property tests.
+     */
+    bool
+    checkInvariants() const
+    {
+        if (!root_)
+            return true;
+        if (root_->color != Color::Black)
+            return false;
+        int expected = -1;
+        return checkNode(root_, nullptr, nullptr, 0, expected) &&
+               checkParents(root_, nullptr);
+    }
+
+  private:
+    Node *root_ = nullptr;
+    std::size_t size_ = 0;
+    Compare cmp_{};
+
+    static void
+    destroy(Node *n)
+    {
+        if (!n)
+            return;
+        destroy(n->left);
+        destroy(n->right);
+        delete n;
+    }
+
+    void
+    rotateLeft(Node *x)
+    {
+        Node *y = x->right;
+        x->right = y->left;
+        if (y->left)
+            y->left->parent = x;
+        y->parent = x->parent;
+        if (!x->parent)
+            root_ = y;
+        else if (x == x->parent->left)
+            x->parent->left = y;
+        else
+            x->parent->right = y;
+        y->left = x;
+        x->parent = y;
+    }
+
+    void
+    rotateRight(Node *x)
+    {
+        Node *y = x->left;
+        x->left = y->right;
+        if (y->right)
+            y->right->parent = x;
+        y->parent = x->parent;
+        if (!x->parent)
+            root_ = y;
+        else if (x == x->parent->right)
+            x->parent->right = y;
+        else
+            x->parent->left = y;
+        y->right = x;
+        x->parent = y;
+    }
+
+    void
+    insertFixup(Node *z)
+    {
+        while (z->parent && z->parent->color == Color::Red) {
+            Node *gp = z->parent->parent;
+            if (z->parent == gp->left) {
+                Node *uncle = gp->right;
+                if (uncle && uncle->color == Color::Red) {
+                    z->parent->color = Color::Black;
+                    uncle->color = Color::Black;
+                    gp->color = Color::Red;
+                    z = gp;
+                } else {
+                    if (z == z->parent->right) {
+                        z = z->parent;
+                        rotateLeft(z);
+                    }
+                    z->parent->color = Color::Black;
+                    gp->color = Color::Red;
+                    rotateRight(gp);
+                }
+            } else {
+                Node *uncle = gp->left;
+                if (uncle && uncle->color == Color::Red) {
+                    z->parent->color = Color::Black;
+                    uncle->color = Color::Black;
+                    gp->color = Color::Red;
+                    z = gp;
+                } else {
+                    if (z == z->parent->left) {
+                        z = z->parent;
+                        rotateRight(z);
+                    }
+                    z->parent->color = Color::Black;
+                    gp->color = Color::Red;
+                    rotateLeft(gp);
+                }
+            }
+        }
+        root_->color = Color::Black;
+    }
+
+    void
+    transplant(Node *u, Node *v)
+    {
+        if (!u->parent)
+            root_ = v;
+        else if (u == u->parent->left)
+            u->parent->left = v;
+        else
+            u->parent->right = v;
+        if (v)
+            v->parent = u->parent;
+    }
+
+    static Color
+    colorOf(Node *n)
+    {
+        return n ? n->color : Color::Black;
+    }
+
+    void
+    eraseFixup(Node *x, Node *parent)
+    {
+        while (x != root_ && colorOf(x) == Color::Black) {
+            if (!parent)
+                break;
+            if (x == parent->left) {
+                Node *w = parent->right;
+                if (colorOf(w) == Color::Red) {
+                    w->color = Color::Black;
+                    parent->color = Color::Red;
+                    rotateLeft(parent);
+                    w = parent->right;
+                }
+                if (colorOf(w->left) == Color::Black &&
+                    colorOf(w->right) == Color::Black) {
+                    w->color = Color::Red;
+                    x = parent;
+                    parent = x->parent;
+                } else {
+                    if (colorOf(w->right) == Color::Black) {
+                        if (w->left)
+                            w->left->color = Color::Black;
+                        w->color = Color::Red;
+                        rotateRight(w);
+                        w = parent->right;
+                    }
+                    w->color = parent->color;
+                    parent->color = Color::Black;
+                    if (w->right)
+                        w->right->color = Color::Black;
+                    rotateLeft(parent);
+                    x = root_;
+                    parent = nullptr;
+                }
+            } else {
+                Node *w = parent->left;
+                if (colorOf(w) == Color::Red) {
+                    w->color = Color::Black;
+                    parent->color = Color::Red;
+                    rotateRight(parent);
+                    w = parent->left;
+                }
+                if (colorOf(w->right) == Color::Black &&
+                    colorOf(w->left) == Color::Black) {
+                    w->color = Color::Red;
+                    x = parent;
+                    parent = x->parent;
+                } else {
+                    if (colorOf(w->left) == Color::Black) {
+                        if (w->right)
+                            w->right->color = Color::Black;
+                        w->color = Color::Red;
+                        rotateLeft(w);
+                        w = parent->left;
+                    }
+                    w->color = parent->color;
+                    parent->color = Color::Black;
+                    if (w->left)
+                        w->left->color = Color::Black;
+                    rotateRight(parent);
+                    x = root_;
+                    parent = nullptr;
+                }
+            }
+        }
+        if (x)
+            x->color = Color::Black;
+    }
+
+    bool
+    checkNode(Node *n, const Key *lo, const Key *hi, int blackDepth,
+              int &expected) const
+    {
+        if (!n) {
+            if (expected < 0)
+                expected = blackDepth;
+            return blackDepth == expected;
+        }
+        if (lo && !cmp_(*lo, n->key))
+            return false;
+        if (hi && !cmp_(n->key, *hi))
+            return false;
+        if (n->color == Color::Red) {
+            if (colorOf(n->left) == Color::Red ||
+                colorOf(n->right) == Color::Red)
+                return false;
+        } else {
+            ++blackDepth;
+        }
+        return checkNode(n->left, lo, &n->key, blackDepth, expected) &&
+               checkNode(n->right, &n->key, hi, blackDepth, expected);
+    }
+
+    bool
+    checkParents(Node *n, Node *parent) const
+    {
+        if (!n)
+            return true;
+        if (n->parent != parent)
+            return false;
+        return checkParents(n->left, n) && checkParents(n->right, n);
+    }
+};
+
+} // namespace stramash
+
+#endif // STRAMASH_RBTREE_RBTREE_HH

@@ -1,0 +1,121 @@
+#include "stramash/sim/baremetal_ref.hh"
+
+#include "stramash/common/units.hh"
+
+namespace stramash
+{
+
+BareMetalConfig
+BareMetalConfig::smallArm()
+{
+    // Broadcom A72: 32K L1, 1M shared L2, no L3; modest OoO window.
+    HierarchyGeometry g;
+    g.l1i = {32_KiB, 2};
+    g.l1d = {32_KiB, 2};
+    g.l2 = {1_MiB, 16};
+    g.l3 = {0, 16};
+    return {"small_Arm", CoreModel::CortexA72, g, 0.95, 0.93};
+}
+
+BareMetalConfig
+BareMetalConfig::bigArm()
+{
+    // ThunderX2: 32K L1, 256K L2, 32M L3 per socket.
+    HierarchyGeometry g;
+    g.l1i = {32_KiB, 8};
+    g.l1d = {32_KiB, 8};
+    g.l2 = {256_KiB, 8};
+    g.l3 = {32_MiB, 16};
+    return {"big_Arm", CoreModel::ThunderX2, g, 0.92, 0.90};
+}
+
+BareMetalConfig
+BareMetalConfig::smallX86()
+{
+    // Broadwell E5-2620 v4: 32K L1, 256K L2, 20M L3.
+    HierarchyGeometry g;
+    g.l1i = {32_KiB, 8};
+    g.l1d = {32_KiB, 8};
+    g.l2 = {256_KiB, 8};
+    g.l3 = {16_MiB, 16};
+    return {"small_x86", CoreModel::E5_2620, g, 0.90, 0.90};
+}
+
+BareMetalConfig
+BareMetalConfig::bigX86()
+{
+    // Cascade Lake Xeon Gold 6230R: 32K L1, 1M L2, 35.75M L3.
+    HierarchyGeometry g;
+    g.l1i = {32_KiB, 8};
+    g.l1d = {32_KiB, 8};
+    g.l2 = {1_MiB, 16};
+    g.l3 = {32_MiB, 16};
+    return {"big_x86", CoreModel::XeonGold, g, 0.88, 0.88};
+}
+
+BareMetalRef::BareMetalRef(const BareMetalConfig &cfg)
+    : cfg_(cfg),
+      profile_(latencyProfile(cfg.core)),
+      stats_("baremetal." + cfg.name)
+{
+    HierarchyGeometry g = cfg_.caches;
+    if (profile_.l3 == 0)
+        g.l3.sizeBytes = 0;
+    hier_ = std::make_unique<CacheHierarchy>(0, g, stats_);
+}
+
+void
+BareMetalRef::retire(ICount n)
+{
+    inst_ += n;
+    cycles_ += static_cast<double>(n) * cfg_.baseCpi;
+}
+
+void
+BareMetalRef::access(AccessType type, Addr addr)
+{
+    Addr line = lineBase(addr);
+    HitLevel level = hier_->lookup(line, type == AccessType::InstFetch);
+    Cycles lat;
+    switch (level) {
+      case HitLevel::L1:
+        lat = profile_.l1;
+        break;
+      case HitLevel::L2:
+        lat = profile_.l2;
+        break;
+      case HitLevel::L3:
+        lat = profile_.l3;
+        break;
+      default:
+        lat = profile_.mem;
+        hier_->fill(line,
+                    type == AccessType::Store ? Mesi::Modified
+                                              : Mesi::Exclusive,
+                    type == AccessType::InstFetch, nullptr);
+        break;
+    }
+    if (type == AccessType::Store && level != HitLevel::Memory)
+        hier_->setState(line, Mesi::Modified);
+
+    // L1 hits pipeline fully; deeper stalls are partially hidden by
+    // the out-of-order window.
+    if (level != HitLevel::L1)
+        cycles_ += static_cast<double>(lat) * cfg_.stallExposure;
+}
+
+PerfCounters
+BareMetalRef::counters() const
+{
+    return {inst_, static_cast<Cycles>(cycles_)};
+}
+
+void
+BareMetalRef::reset()
+{
+    inst_ = 0;
+    cycles_ = 0.0;
+    hier_->flushAll();
+}
+
+} // namespace stramash

@@ -1,0 +1,189 @@
+#include "stramash/sim/machine.hh"
+
+#include "stramash/common/units.hh"
+
+namespace stramash
+{
+
+MachineConfig
+MachineConfig::paperPair(MemoryModel model, Addr l3Size)
+{
+    MachineConfig cfg;
+    cfg.memoryModel = model;
+    cfg.l3Size = l3Size;
+    cfg.nodes = {
+        {0, IsaType::X86_64, CoreModel::XeonGold, 1},
+        {1, IsaType::AArch64, CoreModel::ThunderX2, 1},
+    };
+    return cfg;
+}
+
+Machine::Machine(const MachineConfig &cfg)
+    : cfg_(cfg), map_(PhysMap::paperDefault(cfg.memoryModel))
+{
+    fatal_if(cfg_.nodes.empty(), "machine needs at least one node");
+
+    bool sharedLlc = cfg_.memoryModel == MemoryModel::FullyShared &&
+                     cfg_.sharedLlcWhenFullyShared;
+    CacheGeometry sharedGeom{cfg_.l3Size, 16};
+    domain_ = std::make_unique<CoherenceDomain>(
+        map_, cfg_.snoopCosts, sharedLlc ? &sharedGeom : nullptr);
+
+    for (const auto &nc : cfg_.nodes) {
+        auto geom = HierarchyGeometry::paperDefault(cfg_.l3Size);
+        const LatencyProfile &prof = latencyProfile(nc.core);
+        if (prof.l3 == 0)
+            geom.l3.sizeBytes = 0; // e.g. Cortex-A72: no L3
+        domain_->addNode(nc.id, geom, prof);
+        nodes_.push_back(std::make_unique<Node>(nc));
+    }
+    ipisReceived_.assign(nodes_.size(), 0);
+}
+
+Node &
+Machine::node(NodeId id)
+{
+    for (auto &n : nodes_) {
+        if (n->id() == id)
+            return *n;
+    }
+    panic("unknown node ", id);
+}
+
+const Node &
+Machine::node(NodeId id) const
+{
+    for (const auto &n : nodes_) {
+        if (n->id() == id)
+            return *n;
+    }
+    panic("unknown node ", id);
+}
+
+Node &
+Machine::nodeByIsa(IsaType isa)
+{
+    for (auto &n : nodes_) {
+        if (n->isa() == isa)
+            return *n;
+    }
+    panic("no node with ISA ", isaName(isa));
+}
+
+Cycles
+Machine::dataAccess(NodeId nid, AccessType type, Addr pa, unsigned size)
+{
+    if (accessTrace_)
+        accessTrace_(nid, type, pa, size);
+    Node &n = node(nid);
+    Cycles lat;
+    if (cfg_.cachePluginEnabled) {
+        lat = domain_->access(nid, type, pa, size).latency;
+    } else {
+        // Functional mode: flat per-access cost, as when the paper
+        // disables the Cache plugin (§9.2.8).
+        lat = n.profile().l1;
+    }
+    n.stall(lat);
+    return lat;
+}
+
+Cycles
+Machine::streamAccess(NodeId nid, AccessType type, Addr pa,
+                      unsigned size, unsigned mlp)
+{
+    if (mlp == 0)
+        mlp = cfg_.streamMlp;
+    panic_if(mlp == 0, "streamAccess needs mlp >= 1");
+    if (accessTrace_)
+        accessTrace_(nid, type, pa, size);
+    Node &n = node(nid);
+    if (!cfg_.cachePluginEnabled || size == 0) {
+        Cycles lat = n.profile().l1;
+        n.stall(lat);
+        return lat;
+    }
+    Cycles total = 0;
+    Addr first = lineBase(pa);
+    Addr last = lineBase(pa + size - 1);
+    for (Addr line = first; line <= last; line += cacheLineSize) {
+        AccessResult r = domain_->accessLine(nid, type, line);
+        // Misses overlap; hits are already pipelined-cheap.
+        if (r.level == HitLevel::Memory)
+            total += (r.latency + mlp - 1) / mlp;
+        else
+            total += r.latency;
+    }
+    n.stall(total);
+    return total;
+}
+
+void
+Machine::retire(NodeId nid, ICount n)
+{
+    if (retireTrace_)
+        retireTrace_(nid, n);
+    node(nid).retire(n);
+}
+
+void
+Machine::stall(NodeId nid, Cycles c)
+{
+    node(nid).stall(c);
+}
+
+Cycles
+Machine::ipiCycles(NodeId nid) const
+{
+    const Node &n = node(nid);
+    return usToCycles(cfg_.crossIsaIpiUs, n.profile().ghz);
+}
+
+Cycles
+Machine::sendIpi(NodeId from, NodeId to)
+{
+    (void)from;
+    Node &dst = node(to);
+    Cycles lat = ipiCycles(to);
+    dst.stall(lat);
+    ++ipisReceived_[to];
+    dst.stats().counter("ipis_received") += 1;
+    return lat;
+}
+
+std::uint64_t
+Machine::ipisReceived(NodeId nid) const
+{
+    panic_if(nid >= ipisReceived_.size(), "unknown node");
+    return ipisReceived_[nid];
+}
+
+Cycles
+Machine::totalRuntime() const
+{
+    Cycles total = 0;
+    for (const auto &n : nodes_)
+        total += n->cycles();
+    return total;
+}
+
+Cycles
+Machine::maxRuntime() const
+{
+    Cycles best = 0;
+    for (const auto &n : nodes_)
+        best = std::max(best, n->cycles());
+    return best;
+}
+
+void
+Machine::resetTiming(bool flushCaches)
+{
+    for (auto &n : nodes_)
+        n->resetTime();
+    if (flushCaches)
+        domain_->flushAll();
+    std::fill(ipisReceived_.begin(), ipisReceived_.end(), 0);
+}
+
+} // namespace stramash

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * The fused machine: every node, one coherent guest memory, one
+ * coherence domain, and cross-ISA IPI delivery. This is the
+ * Stramash-QEMU analogue — the substrate both OS designs run on.
+ */
+
+#ifndef STRAMASH_SIM_MACHINE_HH
+#define STRAMASH_SIM_MACHINE_HH
+
+#include <memory>
+#include <vector>
+
+#include "stramash/cache/coherence.hh"
+#include "stramash/mem/guest_memory.hh"
+#include "stramash/mem/phys_map.hh"
+#include "stramash/sim/node.hh"
+
+namespace stramash
+{
+
+/** Whole-machine configuration. */
+struct MachineConfig
+{
+    MemoryModel memoryModel = MemoryModel::Shared;
+    std::vector<NodeConfig> nodes;
+    /** Per-node private L3 size (ignored when the model fully shares
+     *  a single LLC). 4 MiB in Fig. 9, 32 MiB in Fig. 10. */
+    Addr l3Size = 4 * 1024 * 1024;
+    /** FullyShared uses one shared LLC (paper AE notes). */
+    bool sharedLlcWhenFullyShared = true;
+    SnoopCosts snoopCosts{};
+    /** Cross-ISA IPI latency in microseconds (paper: 2 us). */
+    double crossIsaIpiUs = 2.0;
+    /** Outstanding misses a bulk kernel copy can overlap (stream
+     *  MLP; 1 = fully serial, for ablation). */
+    unsigned streamMlp = 8;
+    /** When true, every cache access is skipped and memory costs a
+     *  flat latency — used by functional-only runs like the kv-store
+     *  experiment, where the paper also disables the Cache plugin. */
+    bool cachePluginEnabled = true;
+
+    /** The evaluation's default pair: x86 Xeon Gold + Arm ThunderX2. */
+    static MachineConfig paperPair(MemoryModel model,
+                                   Addr l3Size = 4 * 1024 * 1024);
+};
+
+class Machine
+{
+  public:
+    explicit Machine(const MachineConfig &cfg);
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    const MachineConfig &config() const { return cfg_; }
+    GuestMemory &memory() { return mem_; }
+    const PhysMap &physMap() const { return map_; }
+    CoherenceDomain &caches() { return *domain_; }
+
+    Node &node(NodeId id);
+    const Node &node(NodeId id) const;
+    std::size_t nodeCount() const { return nodes_.size(); }
+
+    /** The node whose ISA is @p isa (paper machines have one each). */
+    Node &nodeByIsa(IsaType isa);
+
+    /**
+     * Charge a data access by @p node at physical address @p pa
+     * through the cache/coherence model and advance the node's clock.
+     * @return the latency charged.
+     */
+    Cycles dataAccess(NodeId nid, AccessType type, Addr pa,
+                      unsigned size);
+
+    /**
+     * Charge a *bulk kernel copy* (ring payload, DSM page transfer,
+     * page zeroing): the cache model runs per line, but miss
+     * latencies overlap across @p mlp outstanding requests, as a
+     * streaming kernel memcpy enjoys. Application accesses must NOT
+     * use this — they are charged serially, exactly like the
+     * per-instruction feedback of the paper's Cache plugin.
+     */
+    Cycles streamAccess(NodeId nid, AccessType type, Addr pa,
+                        unsigned size, unsigned mlp = 0);
+
+    /** Retire instructions on a node (fixed-IPC timing). */
+    void retire(NodeId nid, ICount n);
+
+    /** Add explicit overhead cycles (locks, protocol processing). */
+    void stall(NodeId nid, Cycles c);
+
+    /**
+     * Deliver a cross-ISA IPI (paper §7.2): the receiver pays the
+     * delivery latency. @return the latency in receiver cycles.
+     */
+    Cycles sendIpi(NodeId from, NodeId to);
+
+    /** Cross-ISA IPI cost in @p node cycles. */
+    Cycles ipiCycles(NodeId node) const;
+
+    /** Count of IPIs received per node. */
+    std::uint64_t ipisReceived(NodeId node) const;
+
+    /**
+     * Final runtime per the paper's AE formula:
+     * Final Runtime = x86 runtime + Arm runtime (single app migrating
+     * between nodes — only one side executes at a time).
+     */
+    Cycles totalRuntime() const;
+
+    /** For genuinely concurrent phases: the slower node's clock. */
+    Cycles maxRuntime() const;
+
+    /** Reset every node clock and cache (between experiments). */
+    void resetTiming(bool flushCaches = true);
+
+    /**
+     * Trace hooks: observe every charged access and retirement.
+     * Used by the validation harnesses (Figs. 7 and 8) to replay an
+     * execution through alternative timing models.
+     */
+    using AccessTraceFn =
+        std::function<void(NodeId, AccessType, Addr, unsigned)>;
+    using RetireTraceFn = std::function<void(NodeId, ICount)>;
+
+    void
+    setTraceHooks(AccessTraceFn access, RetireTraceFn retireFn)
+    {
+        accessTrace_ = std::move(access);
+        retireTrace_ = std::move(retireFn);
+    }
+
+    void
+    clearTraceHooks()
+    {
+        accessTrace_ = nullptr;
+        retireTrace_ = nullptr;
+    }
+
+  private:
+    MachineConfig cfg_;
+    GuestMemory mem_;
+    PhysMap map_;
+    std::unique_ptr<CoherenceDomain> domain_;
+    std::vector<std::unique_ptr<Node>> nodes_;
+    std::vector<std::uint64_t> ipisReceived_;
+    AccessTraceFn accessTrace_;
+    RetireTraceFn retireTrace_;
+};
+
+} // namespace stramash
+
+#endif // STRAMASH_SIM_MACHINE_HH

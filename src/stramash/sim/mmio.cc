@@ -1,0 +1,111 @@
+#include "stramash/sim/mmio.hh"
+
+namespace stramash
+{
+
+MmioDevice::MmioDevice(std::string name, NodeId owner, AddrRange window,
+                       Cycles accessCycles)
+    : name_(std::move(name)),
+      owner_(owner),
+      window_(window),
+      accessCycles_(accessCycles)
+{
+    panic_if(window_.empty(), "MMIO window must be non-empty");
+}
+
+MmioBus::MmioBus(Machine &machine, Cycles redirectCycles)
+    : machine_(machine), redirectCycles_(redirectCycles), stats_("mmio")
+{
+}
+
+void
+MmioBus::attach(MmioDevice *dev)
+{
+    panic_if(!dev, "attaching a null device");
+    panic_if(machine_.physMap().isDram(dev->window().start) ||
+                 machine_.physMap().isDram(dev->window().end - 1),
+             "MMIO window overlaps DRAM");
+    for (const auto *d : devices_) {
+        panic_if(d->window().overlaps(dev->window()),
+                 "MMIO windows overlap: ", d->name(), " and ",
+                 dev->name());
+    }
+    devices_.push_back(dev);
+}
+
+bool
+MmioBus::claims(Addr addr) const
+{
+    for (const auto *d : devices_) {
+        if (d->window().contains(addr))
+            return true;
+    }
+    return false;
+}
+
+MmioDevice &
+MmioBus::deviceAt(Addr addr)
+{
+    for (auto *d : devices_) {
+        if (d->window().contains(addr))
+            return *d;
+    }
+    panic("MMIO access to unclaimed address 0x", std::hex, addr);
+}
+
+Cycles
+MmioBus::charge(NodeId node, const MmioDevice &dev)
+{
+    Cycles lat = dev.accessCycles();
+    if (node != dev.owner()) {
+        // The fused path: the access is redirected to the owning
+        // instance (paper §7.4).
+        lat += redirectCycles_;
+        stats_.counter("redirected") += 1;
+    } else {
+        stats_.counter("local") += 1;
+    }
+    machine_.stall(node, lat);
+    return lat;
+}
+
+std::uint64_t
+MmioBus::read(NodeId node, Addr addr)
+{
+    MmioDevice &dev = deviceAt(addr);
+    charge(node, dev);
+    return dev.read(addr - dev.window().start);
+}
+
+void
+MmioBus::write(NodeId node, Addr addr, std::uint64_t value)
+{
+    MmioDevice &dev = deviceAt(addr);
+    charge(node, dev);
+    dev.write(addr - dev.window().start, value);
+}
+
+ConsoleDevice::ConsoleDevice(NodeId owner, Addr base)
+    : MmioDevice("console", owner, {base, base + pageSize}, 200)
+{
+}
+
+std::uint64_t
+ConsoleDevice::read(Addr offset)
+{
+    switch (offset) {
+      case 8:
+        return out_.size();
+      default:
+        return 0;
+    }
+}
+
+void
+ConsoleDevice::write(Addr offset, std::uint64_t value)
+{
+    if (offset == 0)
+        out_.push_back(static_cast<char>(value & 0xff));
+}
+
+} // namespace stramash

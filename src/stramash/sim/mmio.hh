@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Fused I/O devices (paper §7.4): "when an instance lacks a
+ * particular device, it creates a memory mapping for that device.
+ * Consequently, all memory accesses are redirected to the QEMU
+ * instance containing the respective device."
+ *
+ * Devices register an MMIO window in the machine's physical space,
+ * owned by one node. Any node may access the window; accesses from a
+ * non-owning node pay the cross-node redirection latency on top of
+ * the device's own access cost, and the device callback always runs
+ * "at" the owning instance.
+ */
+
+#ifndef STRAMASH_SIM_MMIO_HH
+#define STRAMASH_SIM_MMIO_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "stramash/common/addr_range.hh"
+#include "stramash/common/stats.hh"
+#include "stramash/sim/machine.hh"
+
+namespace stramash
+{
+
+/** One memory-mapped device. */
+class MmioDevice
+{
+  public:
+    /**
+     * @param name   human-readable identity
+     * @param owner  node whose instance contains the device
+     * @param window MMIO aperture (must lie outside DRAM)
+     * @param accessCycles device-internal access cost
+     */
+    MmioDevice(std::string name, NodeId owner, AddrRange window,
+               Cycles accessCycles = 300);
+    virtual ~MmioDevice() = default;
+
+    const std::string &name() const { return name_; }
+    NodeId owner() const { return owner_; }
+    const AddrRange &window() const { return window_; }
+    Cycles accessCycles() const { return accessCycles_; }
+
+    /** Device semantics: offset-addressed register file. */
+    virtual std::uint64_t read(Addr offset) = 0;
+    virtual void write(Addr offset, std::uint64_t value) = 0;
+
+  private:
+    std::string name_;
+    NodeId owner_;
+    AddrRange window_;
+    Cycles accessCycles_;
+};
+
+/** The machine-wide MMIO router. */
+class MmioBus
+{
+  public:
+    /**
+     * @param redirectCycles cross-instance redirection cost paid by
+     *        a non-owning accessor (the fused device path).
+     */
+    explicit MmioBus(Machine &machine, Cycles redirectCycles = 2000);
+
+    /** Register a device; windows must not overlap. */
+    void attach(MmioDevice *dev);
+
+    /** True if some device claims @p addr. */
+    bool claims(Addr addr) const;
+
+    /**
+     * MMIO read by @p node; charges device + (if non-owner)
+     * redirection cost and dispatches to the owning device.
+     */
+    std::uint64_t read(NodeId node, Addr addr);
+
+    /** MMIO write by @p node. */
+    void write(NodeId node, Addr addr, std::uint64_t value);
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    Machine &machine_;
+    Cycles redirectCycles_;
+    StatGroup stats_;
+    std::vector<MmioDevice *> devices_;
+
+    MmioDevice &deviceAt(Addr addr);
+    Cycles charge(NodeId node, const MmioDevice &dev);
+};
+
+/**
+ * A simple UART-style character device: writes to offset 0 append to
+ * an output buffer; reads of offset 8 return the count of characters
+ * written. Enough to demonstrate (and test) fused device sharing.
+ */
+class ConsoleDevice final : public MmioDevice
+{
+  public:
+    ConsoleDevice(NodeId owner, Addr base);
+
+    std::uint64_t read(Addr offset) override;
+    void write(Addr offset, std::uint64_t value) override;
+
+    const std::string &output() const { return out_; }
+
+  private:
+    std::string out_;
+};
+
+} // namespace stramash
+
+#endif // STRAMASH_SIM_MMIO_HH

@@ -1,0 +1,168 @@
+#include "stramash/workloads/microbench.hh"
+
+namespace stramash
+{
+
+const char *
+memAccessCaseName(MemAccessCase c)
+{
+    switch (c) {
+      case MemAccessCase::Vanilla: return "Vanilla";
+      case MemAccessCase::RemoteAccessOrigin: return "RaO";
+      case MemAccessCase::RemoteAccessOriginNoCold: return "RaO-NC";
+      case MemAccessCase::OriginAccessRemote: return "OaR";
+      case MemAccessCase::OriginAccessRemoteNoCold: return "OaR-NC";
+    }
+    panic("unknown MemAccessCase");
+}
+
+namespace
+{
+
+/** Sequential write sweep (materialises pages on the current node). */
+void
+writeSweep(App &app, Addr base, Addr bytes)
+{
+    std::uint8_t tile[cacheLineSize];
+    for (std::size_t i = 0; i < cacheLineSize; ++i)
+        tile[i] = static_cast<std::uint8_t>(i * 31 + 7);
+    for (Addr a = base; a < base + bytes; a += cacheLineSize)
+        app.writeBuf(a, tile, cacheLineSize);
+}
+
+/** Sequential read sweep (the measured activity). */
+std::uint64_t
+readSweep(App &app, Addr base, Addr bytes)
+{
+    std::uint64_t acc = 0;
+    std::uint8_t tile[cacheLineSize];
+    for (Addr a = base; a < base + bytes; a += cacheLineSize) {
+        app.readBuf(a, tile, cacheLineSize);
+        acc += tile[0];
+    }
+    return acc;
+}
+
+} // namespace
+
+Cycles
+runMemAccessCase(System &sys, MemAccessCase c, Addr bytes)
+{
+    NodeId origin = 0;
+    NodeId remote = 1;
+    App app(sys, origin);
+    Addr region = app.mmap(bytes, true, VmaKind::Anon, "ubench");
+
+    switch (c) {
+      case MemAccessCase::Vanilla: {
+        writeSweep(app, region, bytes); // allocate at the origin
+        Cycles before = sys.runtime();
+        readSweep(app, region, bytes);
+        return sys.runtime() - before;
+      }
+      case MemAccessCase::RemoteAccessOrigin: {
+        writeSweep(app, region, bytes);
+        app.migrate(remote);
+        Cycles before = sys.runtime();
+        readSweep(app, region, bytes);
+        return sys.runtime() - before;
+      }
+      case MemAccessCase::RemoteAccessOriginNoCold: {
+        writeSweep(app, region, bytes);
+        app.migrate(remote);
+        readSweep(app, region, bytes); // warm-up (unmeasured)
+        Cycles before = sys.runtime();
+        readSweep(app, region, bytes);
+        return sys.runtime() - before;
+      }
+      case MemAccessCase::OriginAccessRemote: {
+        app.migrate(remote);
+        writeSweep(app, region, bytes); // allocate at the remote
+        app.migrate(origin);
+        Cycles before = sys.runtime();
+        readSweep(app, region, bytes);
+        return sys.runtime() - before;
+      }
+      case MemAccessCase::OriginAccessRemoteNoCold: {
+        app.migrate(remote);
+        writeSweep(app, region, bytes);
+        app.migrate(origin);
+        readSweep(app, region, bytes); // warm-up (unmeasured)
+        Cycles before = sys.runtime();
+        readSweep(app, region, bytes);
+        return sys.runtime() - before;
+      }
+    }
+    panic("unknown MemAccessCase");
+}
+
+Cycles
+runGranularityCase(System &sys, unsigned linesPerPage, unsigned pages)
+{
+    panic_if(linesPerPage == 0 ||
+                 linesPerPage > pageSize / cacheLineSize,
+             "linesPerPage out of range");
+    App app(sys, 0);
+    Addr region = app.mmap(Addr{pages} * pageSize, true, VmaKind::Anon,
+                           "gran");
+    // Materialise at the origin so the remote pass faces either DSM
+    // page replication or hardware cacheline transfers.
+    writeSweep(app, region, Addr{pages} * pageSize);
+    app.migrate(1);
+
+    Cycles before = sys.runtime();
+    std::uint8_t tile[cacheLineSize];
+    for (unsigned p = 0; p < pages; ++p) {
+        Addr page = region + Addr{p} * pageSize;
+        for (unsigned l = 0; l < linesPerPage; ++l)
+            app.readBuf(page + Addr{l} * cacheLineSize, tile,
+                        cacheLineSize);
+    }
+    return sys.runtime() - before;
+}
+
+Cycles
+runFutexPingPong(System &sys, unsigned loops)
+{
+    App app(sys, 0);
+    Addr page = app.mmap(pageSize, true, VmaKind::Anon, "futex");
+    Addr lockWord = page;
+    Addr counter = page + 64;
+    app.write<std::uint32_t>(lockWord, 0);
+    app.write<std::uint32_t>(counter, 0);
+
+    // Create the remote-side task record, then return.
+    app.migrate(1);
+    app.migrate(0);
+
+    KernelInstance &ko = sys.kernel(0);
+    KernelInstance &kr = sys.kernel(1);
+    Task &to = ko.task(app.pid());
+    Task &tr = kr.task(app.pid());
+    FutexPolicy &fp = sys.futexPolicy();
+
+    Cycles before = sys.runtime();
+    for (unsigned i = 0; i < loops; ++i) {
+        // Origin thread: acquire the lock, then block until the
+        // remote thread releases it.
+        bool ok = false;
+        ko.userCas(to, lockWord, 0, 1, ok);
+        panic_if(!ok, "futex lock word corrupted");
+        fp.wait(ko, to, lockWord, 1);
+
+        // Remote thread: the simple addition, release, wake.
+        std::uint32_t v = kr.userLoad<std::uint32_t>(tr, counter);
+        kr.userStore<std::uint32_t>(tr, counter, v + 1);
+        kr.machine().retire(kr.nodeId(), 8);
+        kr.userStore<std::uint32_t>(tr, lockWord, 0);
+        fp.wake(kr, tr, lockWord, 1);
+    }
+    Cycles spent = sys.runtime() - before;
+
+    std::uint32_t final = ko.userLoad<std::uint32_t>(to, counter);
+    panic_if(final != loops, "futex ping-pong lost updates: ", final,
+             " != ", loops);
+    return spent;
+}
+
+} // namespace stramash

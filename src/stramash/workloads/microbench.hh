@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The paper's microbenchmarks:
+ *
+ *  - memory access analysis (Fig. 11): 10 MB sequential access with
+ *    every combination of allocation side, access side and cache
+ *    warmth;
+ *  - software-vs-hardware consistency granularity (Fig. 12): touch
+ *    1..64 cachelines per page and compare DSM's page-granularity
+ *    replication against hardware cacheline transfers;
+ *  - futex lock ping-pong (Fig. 13): the origin continuously locks
+ *    while the remote continuously unlocks.
+ */
+
+#ifndef STRAMASH_WORKLOADS_MICROBENCH_HH
+#define STRAMASH_WORKLOADS_MICROBENCH_HH
+
+#include "stramash/core/app.hh"
+
+namespace stramash
+{
+
+/** Which of Fig. 11's five access activities to run. */
+enum class MemAccessCase : std::uint8_t
+{
+    /** Origin accesses origin memory (baseline). */
+    Vanilla,
+    /** Remote accesses origin memory, cold caches. */
+    RemoteAccessOrigin,
+    /** Remote accesses origin memory it has accessed before. */
+    RemoteAccessOriginNoCold,
+    /** Origin accesses remote-allocated memory, cold. */
+    OriginAccessRemote,
+    /** Origin accesses remote-allocated memory, warm. */
+    OriginAccessRemoteNoCold,
+};
+
+const char *memAccessCaseName(MemAccessCase c);
+
+/**
+ * Fig. 11: run one access activity on a fresh app.
+ * @param bytes      region size (paper: 10 MB)
+ * @return cycles spent in the measured access pass
+ */
+Cycles runMemAccessCase(System &sys, MemAccessCase c, Addr bytes);
+
+/**
+ * Fig. 12: touch @p linesPerPage cachelines in each of @p pages
+ * remote pages.
+ * @return cycles spent in the measured pass
+ */
+Cycles runGranularityCase(System &sys, unsigned linesPerPage,
+                          unsigned pages);
+
+/**
+ * Fig. 13: futex ping-pong. The origin side locks, the remote side
+ * unlocks, @p loops times, with a small addition per loop.
+ * @return total cycles across both nodes
+ */
+Cycles runFutexPingPong(System &sys, unsigned loops);
+
+} // namespace stramash
+
+#endif // STRAMASH_WORKLOADS_MICROBENCH_HH

@@ -1,0 +1,632 @@
+#include "stramash/workloads/npb.hh"
+
+#include <cstring>
+
+#include "stramash/common/rng.hh"
+
+namespace stramash
+{
+
+namespace
+{
+
+constexpr std::size_t tileBytes = cacheLineSize;
+
+/** Order-invariant checksum used by every kernel's verifier. */
+std::uint64_t
+mixChecksum(std::uint64_t acc, std::uint64_t v)
+{
+    v *= 0x9e3779b97f4a7c15ULL;
+    v ^= v >> 32;
+    return acc + v;
+}
+
+// ===================== IS: integer sort ==============================
+//
+// Bucket sort of 32-bit keys. Write-intensive: the histogram pass
+// read-modify-writes the bucket array and the permutation pass
+// scatters every key into the output array (paper: IS "would modify
+// the sequence of keys during the procedure stage").
+
+class IsKernel final : public NpbKernel
+{
+  public:
+    const char *name() const override { return "is"; }
+
+    NpbResult
+    run(App &app, const NpbConfig &cfg) override
+    {
+        const std::size_t numKeys = cfg.problemBytes / 4;
+        const std::size_t keysPerTile = tileBytes / 4;
+        const std::size_t numTiles = numKeys / keysPerTile;
+        const std::uint32_t numBuckets = 1024;
+        const std::uint32_t maxKey = 1u << 20;
+
+        NodeId origin = app.where();
+
+        Addr keysA = app.mmap(numKeys * 4, true, VmaKind::Anon, "keysA");
+        Addr keysB = app.mmap(numKeys * 4, true, VmaKind::Anon, "keysB");
+        Addr buckets =
+            app.mmap(numBuckets * 4, true, VmaKind::Anon, "buckets");
+
+        // Setup at the origin: generate the key array.
+        Rng rng(cfg.seed, 0x15);
+        std::vector<std::uint32_t> shadow(numKeys);
+        for (std::size_t t = 0; t < numTiles; ++t) {
+            std::uint32_t tile[16];
+            for (std::size_t k = 0; k < keysPerTile; ++k) {
+                tile[k] = rng.below(maxKey);
+                shadow[t * keysPerTile + k] = tile[k];
+            }
+            app.writeBuf(keysA + t * tileBytes, tile, tileBytes);
+        }
+        // NPB setup initialises every array at the origin; only
+        // FT-style fresh allocations happen remotely.
+        for (std::size_t t = 0; t < numTiles; ++t) {
+            std::uint32_t zeroTile[16] = {};
+            app.writeBuf(keysB + t * tileBytes, zeroTile, tileBytes);
+        }
+        for (Addr a = buckets; a < buckets + numBuckets * 4;
+             a += tileBytes) {
+            std::uint32_t zeroTile[16] = {};
+            app.writeBuf(a, zeroTile, tileBytes);
+        }
+
+        // Running multiset checksum of the key array (mixChecksum is
+        // additive, so in-place updates adjust it incrementally).
+        std::uint64_t shadowSum = 0;
+        for (std::uint32_t k : shadow)
+            shadowSum = mixChecksum(shadowSum, k);
+
+        Addr src = keysA;
+        Addr dst = keysB;
+        for (unsigned iter = 0; iter < cfg.iterations; ++iter) {
+            // Key-modification phase at the origin (NPB IS "would
+            // modify the sequence of keys during the procedure
+            // stage"): rewrite part of the input before ranking.
+            // These origin writes invalidate the remote node's
+            // cached copies — the write-intensive signature that
+            // keeps IS miss-bound regardless of L3 size.
+            if (iter > 0) {
+                for (std::size_t t = 0; t < numTiles; ++t) {
+                    std::uint32_t tile[16];
+                    app.readBuf(src + t * tileBytes, tile, tileBytes);
+                    for (std::size_t k = 0; k < keysPerTile; k += 2) {
+                        std::uint32_t fresh = rng.below(maxKey);
+                        shadowSum -= mixChecksum(0, tile[k]);
+                        shadowSum += mixChecksum(0, fresh);
+                        tile[k] = fresh;
+                    }
+                    app.writeBuf(src + t * tileBytes, tile,
+                                 tileBytes);
+                    app.compute(16);
+                }
+            }
+
+            if (cfg.migrate)
+                app.migrateToOther();
+
+            // --- ranking procedure (runs on the remote side) ---
+            std::vector<std::uint32_t> counts(numBuckets, 0);
+            for (Addr a = buckets; a < buckets + numBuckets * 4;
+                 a += tileBytes) {
+                std::uint32_t zero[16] = {};
+                app.writeBuf(a, zero, tileBytes);
+            }
+
+            // Histogram: stream the keys, RMW the bucket array.
+            for (std::size_t t = 0; t < numTiles; ++t) {
+                std::uint32_t tile[16];
+                app.readBuf(src + t * tileBytes, tile, tileBytes);
+                app.compute(32);
+                // Batched per-tile RMW of the touched buckets.
+                std::uint32_t touched[16];
+                std::size_t numTouched = 0;
+                for (std::size_t k = 0; k < keysPerTile; ++k) {
+                    std::uint32_t b =
+                        tile[k] / (maxKey / numBuckets);
+                    ++counts[b];
+                    bool seen = false;
+                    for (std::size_t j = 0; j < numTouched; ++j)
+                        seen |= touched[j] == b;
+                    if (!seen)
+                        touched[numTouched++] = b;
+                }
+                for (std::size_t j = 0; j < numTouched; ++j) {
+                    Addr ba = buckets + touched[j] * 4;
+                    std::uint32_t v = app.read<std::uint32_t>(ba);
+                    app.write<std::uint32_t>(ba, v + 1);
+                }
+            }
+
+            // Prefix sums (small array, sequential).
+            std::vector<std::uint32_t> starts(numBuckets, 0);
+            std::uint32_t acc = 0;
+            for (std::uint32_t b = 0; b < numBuckets; ++b) {
+                starts[b] = acc;
+                acc += counts[b];
+            }
+            app.compute(numBuckets);
+
+            // Permutation: scatter every key to its rank — the
+            // write-intensive heart of IS.
+            std::vector<std::uint32_t> cursor = starts;
+            for (std::size_t t = 0; t < numTiles; ++t) {
+                std::uint32_t tile[16];
+                app.readBuf(src + t * tileBytes, tile, tileBytes);
+                app.compute(16);
+                for (std::size_t k = 0; k < keysPerTile; ++k) {
+                    std::uint32_t b =
+                        tile[k] / (maxKey / numBuckets);
+                    std::uint32_t pos = cursor[b]++;
+                    app.write<std::uint32_t>(dst + Addr{pos} * 4,
+                                             tile[k]);
+                }
+            }
+
+            if (cfg.migrate)
+                app.migrate(origin);
+
+            // Control phase at the origin: spot-check ranks.
+            for (std::uint32_t b = 0; b < numBuckets; b += 64) {
+                (void)app.read<std::uint32_t>(buckets + b * 4);
+            }
+            std::swap(src, dst);
+        }
+
+        // Verification at the origin: bucket-sortedness + multiset
+        // preservation against the host shadow.
+        NpbResult res;
+        std::uint64_t sumGuest = 0;
+        std::uint32_t prevBucket = 0;
+        bool ordered = true;
+        for (std::size_t t = 0; t < numTiles; ++t) {
+            std::uint32_t tile[16];
+            app.readBuf(src + t * tileBytes, tile, tileBytes);
+            for (std::size_t k = 0; k < keysPerTile; ++k) {
+                std::uint32_t b = tile[k] / (maxKey / numBuckets);
+                if (b < prevBucket)
+                    ordered = false;
+                prevBucket = b;
+                sumGuest = mixChecksum(sumGuest, tile[k]);
+            }
+        }
+        res.verified = ordered && sumGuest == shadowSum;
+        res.checksum = sumGuest;
+        return res;
+    }
+};
+
+// ===================== CG: conjugate gradient ========================
+//
+// Sparse matrix-vector products in CSR form. Read-intensive: ~98% of
+// memory instructions are loads (matrix values, column indices and
+// gathered vector elements), with only one store per row.
+
+class CgKernel final : public NpbKernel
+{
+  public:
+    const char *name() const override { return "cg"; }
+
+    NpbResult
+    run(App &app, const NpbConfig &cfg) override
+    {
+        const std::size_t nnzPerRow = 16;
+        const std::size_t rows =
+            cfg.problemBytes / (nnzPerRow * 12);
+        const std::size_t rowsAligned = rows & ~std::size_t{7};
+
+        NodeId origin = app.where();
+
+        Addr val = app.mmap(rowsAligned * nnzPerRow * 8, true,
+                            VmaKind::Anon, "cg_val");
+        Addr col = app.mmap(rowsAligned * nnzPerRow * 4, true,
+                            VmaKind::Anon, "cg_col");
+        Addr vecX =
+            app.mmap(rowsAligned * 8, true, VmaKind::Anon, "cg_x");
+        Addr vecY =
+            app.mmap(rowsAligned * 8, true, VmaKind::Anon, "cg_y");
+
+        Rng rng(cfg.seed, 0xc6);
+        std::vector<double> shadowVal(rowsAligned * nnzPerRow);
+        std::vector<std::uint32_t> shadowCol(rowsAligned * nnzPerRow);
+        std::vector<double> shadowX(rowsAligned, 1.0);
+
+        // Setup at the origin: matrix and initial vector.
+        for (std::size_t r = 0; r < rowsAligned; ++r) {
+            double vtile[8];
+            std::uint32_t ctile[16];
+            for (std::size_t j = 0; j < nnzPerRow; ++j) {
+                double v = 1.0 / (1.0 + (r + j) % 97);
+                std::uint32_t c = rng.below(
+                    static_cast<std::uint32_t>(rowsAligned));
+                shadowVal[r * nnzPerRow + j] = v;
+                shadowCol[r * nnzPerRow + j] = c;
+                ctile[j] = c;
+                vtile[j % 8] = v;
+                if (j % 8 == 7) {
+                    app.writeBuf(val + (r * nnzPerRow + j - 7) * 8,
+                                 vtile, tileBytes);
+                }
+            }
+            app.writeBuf(col + r * nnzPerRow * 4, ctile, tileBytes);
+        }
+        for (std::size_t r = 0; r < rowsAligned; r += 8) {
+            double ones[8] = {1, 1, 1, 1, 1, 1, 1, 1};
+            app.writeBuf(vecX + r * 8, ones, tileBytes);
+            double zeros[8] = {};
+            app.writeBuf(vecY + r * 8, zeros, tileBytes);
+        }
+
+        std::vector<double> shadowY(rowsAligned, 0.0);
+
+        for (unsigned iter = 0; iter < cfg.iterations; ++iter) {
+            if (cfg.migrate)
+                app.migrateToOther();
+
+            // Two mat-vec passes per procedure.
+            for (int pass = 0; pass < 2; ++pass) {
+                double ytile[8];
+                for (std::size_t r = 0; r < rowsAligned; ++r) {
+                    double vtile[8];
+                    std::uint32_t ctile[16];
+                    app.readBuf(col + r * nnzPerRow * 4, ctile,
+                                tileBytes);
+                    double sum = 0.0;
+                    for (std::size_t j = 0; j < nnzPerRow; ++j) {
+                        if (j % 8 == 0) {
+                            app.readBuf(val + (r * nnzPerRow + j) * 8,
+                                        vtile, tileBytes);
+                        }
+                        // Random gather: the load-dominated part.
+                        double x = app.read<double>(
+                            vecX + Addr{ctile[j]} * 8);
+                        sum += vtile[j % 8] * x;
+                    }
+                    app.compute(2 * nnzPerRow);
+                    ytile[r % 8] = sum;
+                    shadowY[r] = sum;
+                    if (r % 8 == 7)
+                        app.writeBuf(vecY + (r - 7) * 8, ytile,
+                                     tileBytes);
+                }
+            }
+
+            // Scalar reduction over y (sequential reads).
+            double norm = 0.0;
+            for (std::size_t r = 0; r < rowsAligned; r += 8) {
+                double ytile[8];
+                app.readBuf(vecY + r * 8, ytile, tileBytes);
+                for (double v : ytile)
+                    norm += v * v;
+            }
+            app.compute(rowsAligned / 4);
+            (void)norm;
+
+            if (cfg.migrate)
+                app.migrate(origin);
+        }
+
+        // Verify against the host shadow mat-vec.
+        NpbResult res;
+        std::vector<double> expect(rowsAligned, 0.0);
+        for (std::size_t r = 0; r < rowsAligned; ++r) {
+            double sum = 0.0;
+            for (std::size_t j = 0; j < nnzPerRow; ++j) {
+                sum += shadowVal[r * nnzPerRow + j] *
+                       shadowX[shadowCol[r * nnzPerRow + j]];
+            }
+            expect[r] = sum;
+        }
+        bool ok = true;
+        std::uint64_t checksum = 0;
+        for (std::size_t r = 0; r < rowsAligned; ++r) {
+            double got = app.read<double>(vecY + r * 8);
+            if (got != expect[r])
+                ok = false;
+            std::uint64_t bits;
+            std::memcpy(&bits, &got, 8);
+            checksum = mixChecksum(checksum, bits);
+        }
+        res.verified = ok;
+        res.checksum = checksum;
+        return res;
+    }
+};
+
+// ===================== MG: multigrid =================================
+//
+// Jacobi smoothing plus restriction/prolongation between a fine and a
+// coarse grid: long sequential sweeps over large arrays, mixed
+// reads/writes.
+
+class MgKernel final : public NpbKernel
+{
+  public:
+    const char *name() const override { return "mg"; }
+
+    NpbResult
+    run(App &app, const NpbConfig &cfg) override
+    {
+        // One "pencil" = 8 doubles = one tile.
+        const std::size_t fine = cfg.problemBytes / 8; // elements
+        const std::size_t fineTiles = fine / 8;
+        const std::size_t coarseTiles = fineTiles / 8;
+
+        NodeId origin = app.where();
+
+        Addr gridA = app.mmap(fine * 8, true, VmaKind::Anon, "mg_a");
+        Addr gridB = app.mmap(fine * 8, true, VmaKind::Anon, "mg_b");
+        Addr coarse = app.mmap(coarseTiles * tileBytes, true,
+                               VmaKind::Anon, "mg_c");
+
+        Rng rng(cfg.seed, 0x316);
+        std::vector<double> shadow(fine);
+        for (std::size_t t = 0; t < fineTiles; ++t) {
+            double tile[8];
+            for (int k = 0; k < 8; ++k) {
+                tile[k] = static_cast<double>(rng.below(1000)) / 999.0;
+                shadow[t * 8 + k] = tile[k];
+            }
+            app.writeBuf(gridA + t * tileBytes, tile, tileBytes);
+        }
+        for (std::size_t t = 0; t < fineTiles; ++t) {
+            double zeros[8] = {};
+            app.writeBuf(gridB + t * tileBytes, zeros, tileBytes);
+        }
+        for (std::size_t c = 0; c < coarseTiles; ++c) {
+            double zeros[8] = {};
+            app.writeBuf(coarse + c * tileBytes, zeros, tileBytes);
+        }
+
+        auto smoothShadow = [&](std::vector<double> &g) {
+            std::vector<double> out(g.size());
+            for (std::size_t i = 0; i < g.size(); ++i) {
+                double l = i ? g[i - 1] : g[i];
+                double r = i + 1 < g.size() ? g[i + 1] : g[i];
+                out[i] = 0.25 * l + 0.5 * g[i] + 0.25 * r;
+            }
+            g = out;
+        };
+
+        for (unsigned iter = 0; iter < cfg.iterations; ++iter) {
+            if (cfg.migrate)
+                app.migrateToOther();
+
+            // Smooth: read a sliding window of tiles, write the
+            // result grid. Boundary elements use themselves as the
+            // missing neighbour, matching the host shadow.
+            double prev[8], cur[8], next[8];
+            app.readBuf(gridA, cur, tileBytes);
+            std::memcpy(prev, cur, tileBytes);
+            for (std::size_t t = 0; t < fineTiles; ++t) {
+                if (t + 1 < fineTiles)
+                    app.readBuf(gridA + (t + 1) * tileBytes, next,
+                                tileBytes);
+                else
+                    std::memcpy(next, cur, tileBytes);
+                double out[8];
+                for (int k = 0; k < 8; ++k) {
+                    bool firstElem = t == 0 && k == 0;
+                    bool lastElem = t + 1 == fineTiles && k == 7;
+                    double l = firstElem ? cur[0]
+                               : k       ? cur[k - 1]
+                                         : prev[7];
+                    double r = lastElem ? cur[7]
+                               : k < 7  ? cur[k + 1]
+                                        : next[0];
+                    out[k] = 0.25 * l + 0.5 * cur[k] + 0.25 * r;
+                }
+                app.compute(24);
+                app.writeBuf(gridB + t * tileBytes, out, tileBytes);
+                std::memcpy(prev, cur, tileBytes);
+                std::memcpy(cur, next, tileBytes);
+            }
+            smoothShadow(shadow);
+
+            // Restriction: average 8 fine tiles into one coarse tile.
+            for (std::size_t c = 0; c < coarseTiles; ++c) {
+                double acc[8] = {};
+                for (std::size_t f = 0; f < 8; ++f) {
+                    double tile[8];
+                    app.readBuf(gridB + (c * 8 + f) * tileBytes, tile,
+                                tileBytes);
+                    for (int k = 0; k < 8; ++k)
+                        acc[f] += tile[k] / 8.0;
+                }
+                app.compute(64);
+                app.writeBuf(coarse + c * tileBytes, acc, tileBytes);
+            }
+
+            // Prolongation: add the coarse correction back while
+            // copying B into A for the next procedure.
+            for (std::size_t t = 0; t < fineTiles; ++t) {
+                double tile[8];
+                app.readBuf(gridB + t * tileBytes, tile, tileBytes);
+                app.compute(8);
+                app.writeBuf(gridA + t * tileBytes, tile, tileBytes);
+            }
+
+            if (cfg.migrate)
+                app.migrate(origin);
+        }
+
+        NpbResult res;
+        bool ok = true;
+        std::uint64_t checksum = 0;
+        for (std::size_t t = 0; t < fineTiles; ++t) {
+            double tile[8];
+            app.readBuf(gridA + t * tileBytes, tile, tileBytes);
+            for (int k = 0; k < 8; ++k) {
+                if (tile[k] != shadow[t * 8 + k])
+                    ok = false;
+                std::uint64_t bits;
+                std::memcpy(&bits, &tile[k], 8);
+                checksum = mixChecksum(checksum, bits);
+            }
+        }
+        res.verified = ok;
+        res.checksum = checksum;
+        return res;
+    }
+};
+
+// ===================== FT: Fourier transform =========================
+//
+// Transpose + butterfly passes over a complex array, with a *fresh
+// scratch buffer allocated every procedure* — the allocation-heavy
+// pattern that exercises remote anonymous allocation (Stramash's
+// fast path / Popcorn's two-round origin allocation).
+
+class FtKernel final : public NpbKernel
+{
+  public:
+    const char *name() const override { return "ft"; }
+
+    NpbResult
+    run(App &app, const NpbConfig &cfg) override
+    {
+        // Complex elements of 16 B; data viewed as rows x cols.
+        const std::size_t elems = cfg.problemBytes / 16;
+        std::size_t rows = 1;
+        while (rows * rows < elems)
+            rows <<= 1;
+        const std::size_t cols = elems / rows;
+        const std::size_t elemsUsed = rows * cols;
+
+        NodeId origin = app.where();
+
+        Addr data =
+            app.mmap(elemsUsed * 16, true, VmaKind::Anon, "ft_data");
+
+        Rng rng(cfg.seed, 0xf7);
+        std::vector<double> shadow(elemsUsed * 2);
+        for (std::size_t t = 0; t < elemsUsed / 4; ++t) {
+            double tile[8];
+            for (int k = 0; k < 8; ++k) {
+                tile[k] = static_cast<double>(rng.below(1 << 16)) /
+                          65536.0;
+                shadow[t * 8 + k] = tile[k];
+            }
+            app.writeBuf(data + t * tileBytes, tile, tileBytes);
+        }
+
+        for (unsigned iter = 0; iter < cfg.iterations; ++iter) {
+            if (cfg.migrate)
+                app.migrateToOther();
+
+            // Fresh scratch every procedure — first touched on the
+            // remote side.
+            Addr scratch = app.mmap(elemsUsed * 16, true,
+                                    VmaKind::Anon, "ft_scratch");
+
+            // Transpose (strided reads, sequential writes). One
+            // tile = 4 complex elements, so transpose 4-row bands.
+            const std::size_t colTiles = cols / 4;
+            for (std::size_t band = 0; band < rows; band += 4) {
+                for (std::size_t ct = 0; ct < colTiles; ++ct) {
+                    double in[4][8];
+                    for (std::size_t r = 0; r < 4; ++r) {
+                        app.readBuf(data + ((band + r) * cols +
+                                            ct * 4) * 16,
+                                    in[r], tileBytes);
+                    }
+                    app.compute(16);
+                    for (std::size_t c = 0; c < 4; ++c) {
+                        double out[8];
+                        for (std::size_t r = 0; r < 4; ++r) {
+                            out[r * 2] = in[r][c * 2];
+                            out[r * 2 + 1] = in[r][c * 2 + 1];
+                        }
+                        app.writeBuf(scratch + ((ct * 4 + c) * rows +
+                                                band) * 16,
+                                     out, tileBytes);
+                    }
+                }
+            }
+
+            // Butterfly-style pass: sequential RMW with twiddles.
+            for (std::size_t t = 0; t < elemsUsed / 4; ++t) {
+                double tile[8];
+                app.readBuf(scratch + t * tileBytes, tile, tileBytes);
+                for (int k = 0; k < 8; k += 2) {
+                    double re = tile[k], im = tile[k + 1];
+                    tile[k] = re * 0.96 - im * 0.28;
+                    tile[k + 1] = re * 0.28 + im * 0.96;
+                }
+                app.compute(48);
+                app.writeBuf(scratch + t * tileBytes, tile, tileBytes);
+            }
+
+            // Copy back for the next procedure.
+            for (std::size_t t = 0; t < elemsUsed / 4; ++t) {
+                double tile[8];
+                app.readBuf(scratch + t * tileBytes, tile, tileBytes);
+                app.writeBuf(data + t * tileBytes, tile, tileBytes);
+            }
+
+            // Host shadow of the same procedure.
+            std::vector<double> next(shadow.size());
+            for (std::size_t r = 0; r < rows; ++r) {
+                for (std::size_t c = 0; c < cols; ++c) {
+                    std::size_t s = (r * cols + c) * 2;
+                    std::size_t d = (c * rows + r) * 2;
+                    next[d] = shadow[s];
+                    next[d + 1] = shadow[s + 1];
+                }
+            }
+            for (std::size_t i = 0; i < next.size(); i += 2) {
+                double re = next[i], im = next[i + 1];
+                next[i] = re * 0.96 - im * 0.28;
+                next[i + 1] = re * 0.28 + im * 0.96;
+            }
+            shadow = next;
+
+            if (cfg.migrate)
+                app.migrate(origin);
+        }
+
+        NpbResult res;
+        bool ok = true;
+        std::uint64_t checksum = 0;
+        for (std::size_t t = 0; t < elemsUsed / 4; ++t) {
+            double tile[8];
+            app.readBuf(data + t * tileBytes, tile, tileBytes);
+            for (int k = 0; k < 8; ++k) {
+                if (tile[k] != shadow[t * 8 + k])
+                    ok = false;
+                std::uint64_t bits;
+                std::memcpy(&bits, &tile[k], 8);
+                checksum = mixChecksum(checksum, bits);
+            }
+        }
+        res.verified = ok;
+        res.checksum = checksum;
+        return res;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<NpbKernel>
+makeNpbKernel(const std::string &name)
+{
+    if (name == "is")
+        return std::make_unique<IsKernel>();
+    if (name == "cg")
+        return std::make_unique<CgKernel>();
+    if (name == "mg")
+        return std::make_unique<MgKernel>();
+    if (name == "ft")
+        return std::make_unique<FtKernel>();
+    fatal("unknown NPB kernel '", name, "'");
+}
+
+const std::vector<std::string> &
+npbKernelNames()
+{
+    static const std::vector<std::string> names{"is", "cg", "mg", "ft"};
+    return names;
+}
+
+} // namespace stramash

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * NPB-derived workload kernels (paper §8.3, §9.2).
+ *
+ * The paper selected NAS Parallel Benchmarks because they span
+ * distinct memory-access patterns: IS (integer sort) is
+ * write-intensive, CG (conjugate gradient) is ~98% loads, MG
+ * (multigrid) sweeps large grids, FT (Fourier transform) transposes
+ * and allocates fresh scratch buffers. Our kernels are faithful
+ * miniatures: they run the real algorithms over simulated guest
+ * memory (results are verified against host-side shadows) and follow
+ * the paper's migration pattern — one migration and back-migration
+ * per processing procedure, like offloading.
+ */
+
+#ifndef STRAMASH_WORKLOADS_NPB_HH
+#define STRAMASH_WORKLOADS_NPB_HH
+
+#include <memory>
+#include <string>
+
+#include "stramash/core/app.hh"
+
+namespace stramash
+{
+
+/** Scaling and orchestration knobs. */
+struct NpbConfig
+{
+    /** Processing procedures, each with a migrate + back-migrate. */
+    unsigned iterations = 6;
+    /** Approximate principal working-set size. */
+    Addr problemBytes = 2 * 1024 * 1024;
+    /** When false, the whole run stays at the origin ("Vanilla"). */
+    bool migrate = true;
+    std::uint64_t seed = 42;
+};
+
+/** Outcome of one run. */
+struct NpbResult
+{
+    bool verified = false;
+    /** Workload-specific checksum (deterministic per seed). */
+    std::uint64_t checksum = 0;
+};
+
+class NpbKernel
+{
+  public:
+    virtual ~NpbKernel() = default;
+
+    virtual const char *name() const = 0;
+
+    /**
+     * Run to completion on @p app (setup at origin, processing
+     * procedures with migration per @p cfg, verification at origin).
+     */
+    virtual NpbResult run(App &app, const NpbConfig &cfg) = 0;
+};
+
+/** Factory: "is", "cg", "mg" or "ft". */
+std::unique_ptr<NpbKernel> makeNpbKernel(const std::string &name);
+
+/** All four benchmark names in the paper's order. */
+const std::vector<std::string> &npbKernelNames();
+
+} // namespace stramash
+
+#endif // STRAMASH_WORKLOADS_NPB_HH

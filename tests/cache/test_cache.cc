@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "stramash/cache/cache.hh"
+#include "stramash/common/units.hh"
+
+using namespace stramash;
+
+namespace
+{
+
+CacheGeometry
+tinyCache(unsigned ways = 2, Addr sets = 4)
+{
+    return {sets * ways * cacheLineSize, ways};
+}
+
+} // namespace
+
+TEST(CacheGeometry, SetMath)
+{
+    CacheGeometry g{32_KiB, 8};
+    EXPECT_EQ(g.numSets(), 32_KiB / (8 * 64));
+}
+
+TEST(SetAssocCache, MissThenHit)
+{
+    SetAssocCache c(tinyCache());
+    EXPECT_EQ(c.probe(0x1000), nullptr);
+    c.insert(0x1000, Mesi::Exclusive);
+    auto *l = c.probe(0x1000);
+    ASSERT_NE(l, nullptr);
+    EXPECT_EQ(l->state, Mesi::Exclusive);
+    EXPECT_EQ(c.validCount(), 1u);
+}
+
+TEST(SetAssocCache, SameSetEvictsLru)
+{
+    // 2-way, 4 sets: addresses 4 sets * 64 B apart collide.
+    SetAssocCache c(tinyCache(2, 4));
+    Addr stride = 4 * 64;
+    c.insert(0 * stride, Mesi::Exclusive);
+    c.insert(1 * stride, Mesi::Exclusive);
+    // Touch line 0 so line 1 becomes LRU.
+    EXPECT_NE(c.probe(0 * stride), nullptr);
+    auto victim = c.insert(2 * stride, Mesi::Exclusive);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_EQ(victim->lineAddr, 1 * stride);
+    EXPECT_FALSE(victim->dirty);
+    EXPECT_TRUE(c.holds(0 * stride));
+    EXPECT_FALSE(c.holds(1 * stride));
+    EXPECT_TRUE(c.holds(2 * stride));
+}
+
+TEST(SetAssocCache, DirtyVictimReported)
+{
+    SetAssocCache c(tinyCache(1, 4));
+    Addr stride = 4 * 64;
+    c.insert(0, Mesi::Modified);
+    auto victim = c.insert(stride, Mesi::Exclusive);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_TRUE(victim->dirty);
+    EXPECT_EQ(victim->lineAddr, 0u);
+}
+
+TEST(SetAssocCache, InsertExistingUpdatesState)
+{
+    SetAssocCache c(tinyCache());
+    c.insert(0x40, Mesi::Shared);
+    auto victim = c.insert(0x40, Mesi::Modified);
+    EXPECT_FALSE(victim.has_value());
+    EXPECT_EQ(c.peek(0x40)->state, Mesi::Modified);
+    EXPECT_EQ(c.validCount(), 1u);
+}
+
+TEST(SetAssocCache, InvalidateReturnsPreviousState)
+{
+    SetAssocCache c(tinyCache());
+    c.insert(0x80, Mesi::Modified);
+    EXPECT_EQ(c.invalidate(0x80), Mesi::Modified);
+    EXPECT_EQ(c.invalidate(0x80), Mesi::Invalid);
+    EXPECT_FALSE(c.holds(0x80));
+}
+
+TEST(SetAssocCache, PeekDoesNotRefreshLru)
+{
+    SetAssocCache c(tinyCache(2, 1));
+    c.insert(0x0, Mesi::Exclusive);
+    c.insert(0x40, Mesi::Exclusive);
+    // Peek at line 0 (no LRU refresh): it stays LRU and is evicted.
+    EXPECT_NE(c.peek(0x0), nullptr);
+    auto victim = c.insert(0x80, Mesi::Exclusive);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_EQ(victim->lineAddr, 0x0u);
+}
+
+TEST(SetAssocCache, UnalignedAddressesShareLine)
+{
+    SetAssocCache c(tinyCache());
+    c.insert(0x1000, Mesi::Exclusive);
+    EXPECT_TRUE(c.holds(0x103f));
+    EXPECT_FALSE(c.holds(0x1040));
+    EXPECT_EQ(c.lineAddrOf(0x107f), 0x1040u);
+}
+
+TEST(SetAssocCache, FlushAll)
+{
+    SetAssocCache c(tinyCache());
+    for (Addr a = 0; a < 8 * 64; a += 64)
+        c.insert(a, Mesi::Shared);
+    EXPECT_GT(c.validCount(), 0u);
+    c.flushAll();
+    EXPECT_EQ(c.validCount(), 0u);
+}
+
+TEST(SetAssocCacheDeath, BadGeometry)
+{
+    EXPECT_DEATH(SetAssocCache({100, 2}), "power of two");
+    EXPECT_DEATH(SetAssocCache({1024, 0}), "at least one way");
+}
+
+TEST(Mesi, Names)
+{
+    EXPECT_STREQ(mesiName(Mesi::Invalid), "I");
+    EXPECT_STREQ(mesiName(Mesi::Shared), "S");
+    EXPECT_STREQ(mesiName(Mesi::Exclusive), "E");
+    EXPECT_STREQ(mesiName(Mesi::Modified), "M");
+}

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "stramash/cache/hierarchy.hh"
+#include "stramash/common/units.hh"
+
+using namespace stramash;
+
+namespace
+{
+
+HierarchyGeometry
+smallGeom()
+{
+    HierarchyGeometry g;
+    g.l1i = {1_KiB, 2};
+    g.l1d = {1_KiB, 2};
+    g.l2 = {4_KiB, 4};
+    g.l3 = {16_KiB, 4};
+    return g;
+}
+
+} // namespace
+
+TEST(HierarchyGeometry, PaperDefaultShape)
+{
+    auto g = HierarchyGeometry::paperDefault(4_MiB);
+    EXPECT_EQ(g.l1i.sizeBytes, 32_KiB);
+    EXPECT_EQ(g.l1d.sizeBytes, 32_KiB);
+    EXPECT_EQ(g.l2.sizeBytes, 1_MiB);
+    EXPECT_EQ(g.l3.sizeBytes, 4_MiB);
+}
+
+TEST(CacheHierarchy, FillThenHitAtL1)
+{
+    StatGroup stats("h");
+    CacheHierarchy h(0, smallGeom(), stats);
+    EXPECT_EQ(h.lookup(0x1000, false), HitLevel::Memory);
+    h.fill(0x1000, Mesi::Exclusive, false, nullptr);
+    EXPECT_EQ(h.lookup(0x1000, false), HitLevel::L1);
+    EXPECT_EQ(stats.value("l1_hits"), 1u);
+    EXPECT_EQ(stats.value("l1_accesses"), 2u);
+}
+
+TEST(CacheHierarchy, InstFetchFillsL1I)
+{
+    StatGroup stats("h");
+    CacheHierarchy h(0, smallGeom(), stats);
+    h.fill(0x2000, Mesi::Exclusive, true, nullptr);
+    EXPECT_TRUE(h.l1i().holds(0x2000));
+    EXPECT_FALSE(h.l1d().holds(0x2000));
+    EXPECT_EQ(h.lookup(0x2000, true), HitLevel::L1);
+    // A data access to the same line hits in L2 and gets promoted
+    // into L1D.
+    EXPECT_EQ(h.lookup(0x2000, false), HitLevel::L2);
+    EXPECT_TRUE(h.l1d().holds(0x2000));
+}
+
+TEST(CacheHierarchy, PromotionFromL2AndL3)
+{
+    StatGroup stats("h");
+    CacheHierarchy h(0, smallGeom(), stats);
+    h.fill(0x3000, Mesi::Exclusive, false, nullptr);
+    // Evict from L1 (2 ways per set in 1 KiB/2-way = 8 sets): lines
+    // 8*64 apart collide in L1, but not in the larger L2.
+    Addr l1Stride = (1_KiB / 2);
+    h.fill(0x3000 + l1Stride, Mesi::Exclusive, false, nullptr);
+    h.fill(0x3000 + 2 * l1Stride, Mesi::Exclusive, false, nullptr);
+    EXPECT_FALSE(h.l1d().holds(0x3000));
+    // Next access hits L2 and promotes back to L1.
+    EXPECT_EQ(h.lookup(0x3000, false), HitLevel::L2);
+    EXPECT_TRUE(h.l1d().holds(0x3000));
+}
+
+TEST(CacheHierarchy, LastLevelEvictionBackInvalidatesInner)
+{
+    StatGroup stats("h");
+    HierarchyGeometry g = smallGeom();
+    g.l3 = {1_KiB, 1}; // 16 sets, direct-mapped: easy conflicts
+    CacheHierarchy h(0, g, stats);
+    Addr stride = 1_KiB;
+    std::vector<Addr> evicted;
+    auto onEvict = [&](Addr a, bool) { evicted.push_back(a); };
+    h.fill(0x0, Mesi::Exclusive, false, onEvict);
+    EXPECT_TRUE(h.l1d().holds(0x0));
+    h.fill(stride, Mesi::Exclusive, false, onEvict);
+    ASSERT_EQ(evicted.size(), 1u);
+    EXPECT_EQ(evicted[0], 0x0u);
+    // Inclusion: the inner copies disappeared too.
+    EXPECT_FALSE(h.holds(0x0));
+}
+
+TEST(CacheHierarchy, DirtyEvictionReported)
+{
+    StatGroup stats("h");
+    HierarchyGeometry g = smallGeom();
+    g.l3 = {1_KiB, 1};
+    CacheHierarchy h(0, g, stats);
+    bool sawDirty = false;
+    auto onEvict = [&](Addr, bool dirty) { sawDirty = dirty; };
+    h.fill(0x0, Mesi::Modified, false, onEvict);
+    h.fill(1_KiB, Mesi::Exclusive, false, onEvict);
+    EXPECT_TRUE(sawDirty);
+}
+
+TEST(CacheHierarchy, StateQueriesAndTransitions)
+{
+    StatGroup stats("h");
+    CacheHierarchy h(0, smallGeom(), stats);
+    h.fill(0x4000, Mesi::Exclusive, false, nullptr);
+    EXPECT_EQ(h.lineState(0x4000), Mesi::Exclusive);
+    h.setState(0x4000, Mesi::Modified);
+    EXPECT_EQ(h.lineState(0x4000), Mesi::Modified);
+    EXPECT_TRUE(h.downgradeLine(0x4000)); // was Modified
+    EXPECT_EQ(h.lineState(0x4000), Mesi::Shared);
+    EXPECT_FALSE(h.downgradeLine(0x4000)); // already Shared
+    EXPECT_FALSE(h.invalidateLine(0x4000)); // Shared, not dirty
+    EXPECT_FALSE(h.holds(0x4000));
+}
+
+TEST(CacheHierarchy, InvalidateDirtyLineReportsDirty)
+{
+    StatGroup stats("h");
+    CacheHierarchy h(0, smallGeom(), stats);
+    h.fill(0x5000, Mesi::Modified, false, nullptr);
+    EXPECT_TRUE(h.invalidateLine(0x5000));
+}
+
+TEST(CacheHierarchy, NoL3Works)
+{
+    StatGroup stats("h");
+    HierarchyGeometry g = smallGeom();
+    g.l3.sizeBytes = 0; // Cortex-A72 style
+    CacheHierarchy h(0, g, stats);
+    EXPECT_FALSE(h.hasL3());
+    h.fill(0x6000, Mesi::Exclusive, false, nullptr);
+    EXPECT_EQ(h.lookup(0x6000, false), HitLevel::L1);
+    EXPECT_EQ(stats.value("l3_accesses"), 0u);
+}
+
+TEST(CacheHierarchy, FlushAllEmptiesEverything)
+{
+    StatGroup stats("h");
+    CacheHierarchy h(0, smallGeom(), stats);
+    for (Addr a = 0; a < 16 * 64; a += 64)
+        h.fill(a, Mesi::Exclusive, false, nullptr);
+    h.flushAll();
+    for (Addr a = 0; a < 16 * 64; a += 64)
+        EXPECT_FALSE(h.holds(a));
+}

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "stramash/common/addr_range.hh"
+#include "stramash/common/rng.hh"
+
+using namespace stramash;
+
+TEST(AddrRange, Basics)
+{
+    AddrRange r{0x1000, 0x3000};
+    EXPECT_EQ(r.size(), 0x2000u);
+    EXPECT_FALSE(r.empty());
+    EXPECT_TRUE(r.contains(0x1000));
+    EXPECT_TRUE(r.contains(0x2fff));
+    EXPECT_FALSE(r.contains(0x3000));
+    EXPECT_FALSE(r.contains(0xfff));
+}
+
+TEST(AddrRange, OverlapAndContainment)
+{
+    AddrRange a{0x1000, 0x3000};
+    EXPECT_TRUE(a.overlaps({0x2000, 0x4000}));
+    EXPECT_TRUE(a.overlaps({0x0, 0x1001}));
+    EXPECT_FALSE(a.overlaps({0x3000, 0x4000}));
+    EXPECT_FALSE(a.overlaps({0x0, 0x1000}));
+    EXPECT_TRUE(a.containsRange({0x1800, 0x2000}));
+    EXPECT_FALSE(a.containsRange({0x2800, 0x3001}));
+}
+
+TEST(IntervalSet, InsertCoalescesAdjacent)
+{
+    IntervalSet s;
+    s.insert(0x1000, 0x2000);
+    s.insert(0x2000, 0x3000);
+    EXPECT_EQ(s.extentCount(), 1u);
+    EXPECT_TRUE(s.containsRange(0x1000, 0x3000));
+}
+
+TEST(IntervalSet, InsertCoalescesOverlapping)
+{
+    IntervalSet s;
+    s.insert(0x1000, 0x2800);
+    s.insert(0x2000, 0x4000);
+    s.insert(0x500, 0x1100);
+    EXPECT_EQ(s.extentCount(), 1u);
+    EXPECT_TRUE(s.containsRange(0x500, 0x4000));
+    EXPECT_EQ(s.totalBytes(), 0x4000u - 0x500u);
+}
+
+TEST(IntervalSet, EraseSplits)
+{
+    IntervalSet s;
+    s.insert(0x1000, 0x4000);
+    s.erase(0x2000, 0x3000);
+    EXPECT_EQ(s.extentCount(), 2u);
+    EXPECT_TRUE(s.contains(0x1fff));
+    EXPECT_FALSE(s.contains(0x2000));
+    EXPECT_FALSE(s.contains(0x2fff));
+    EXPECT_TRUE(s.contains(0x3000));
+}
+
+TEST(IntervalSet, EraseAcrossExtents)
+{
+    IntervalSet s;
+    s.insert(0x1000, 0x2000);
+    s.insert(0x3000, 0x4000);
+    s.insert(0x5000, 0x6000);
+    s.erase(0x1800, 0x5800);
+    EXPECT_TRUE(s.containsRange(0x1000, 0x1800));
+    EXPECT_TRUE(s.containsRange(0x5800, 0x6000));
+    EXPECT_FALSE(s.contains(0x3000));
+    EXPECT_EQ(s.extentCount(), 2u);
+}
+
+TEST(IntervalSet, AllocateCarvesLowestFit)
+{
+    IntervalSet s;
+    s.insert(0x1000, 0x2000);
+    s.insert(0x8000, 0x20000);
+    auto r = s.allocate(0x4000);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->start, 0x8000u);
+    EXPECT_EQ(r->size(), 0x4000u);
+    EXPECT_FALSE(s.contains(0x8000));
+    EXPECT_TRUE(s.contains(0xc000));
+}
+
+TEST(IntervalSet, AllocateFailsWhenNothingFits)
+{
+    IntervalSet s;
+    s.insert(0x1000, 0x2000);
+    EXPECT_FALSE(s.allocate(0x2000).has_value());
+    EXPECT_TRUE(s.allocate(0x1000).has_value());
+    EXPECT_TRUE(s.empty());
+}
+
+/** Property: IntervalSet agrees with a page-granular reference set. */
+TEST(IntervalSetProperty, MatchesReferenceModel)
+{
+    Rng rng(2024);
+    IntervalSet s;
+    std::set<Addr> ref; // one entry per page
+
+    const Addr space = 256; // pages
+    for (int step = 0; step < 2000; ++step) {
+        Addr lo = rng.below(space - 1);
+        Addr hi = lo + 1 + rng.below(static_cast<std::uint32_t>(
+                               space - lo - 1));
+        if (rng.chance(0.5)) {
+            s.insert(lo * pageSize, hi * pageSize);
+            for (Addr p = lo; p < hi; ++p)
+                ref.insert(p);
+        } else {
+            s.erase(lo * pageSize, hi * pageSize);
+            for (Addr p = lo; p < hi; ++p)
+                ref.erase(p);
+        }
+        // Spot-check containment at random pages.
+        for (int probe = 0; probe < 8; ++probe) {
+            Addr p = rng.below(space);
+            EXPECT_EQ(s.contains(p * pageSize), ref.count(p) != 0)
+                << "page " << p << " step " << step;
+        }
+        EXPECT_EQ(s.totalBytes(), ref.size() * pageSize);
+    }
+}
+
+TEST(IntervalSetDeath, EmptyInsertPanics)
+{
+    IntervalSet s;
+    EXPECT_DEATH(s.insert(0x1000, 0x1000), "empty");
+}

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "stramash/common/logging.hh"
+#include "stramash/common/types.hh"
+#include "stramash/common/units.hh"
+
+using namespace stramash;
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom ", 42), "boom 42");
+}
+
+TEST(LoggingDeath, PanicIfTriggersOnTrue)
+{
+    EXPECT_DEATH(panic_if(true, "cond held"), "cond held");
+}
+
+TEST(Logging, PanicIfPassesOnFalse)
+{
+    panic_if(false, "never");
+    SUCCEED();
+}
+
+TEST(LoggingDeath, FatalExitsWithCode1)
+{
+    EXPECT_EXIT(fatal("user error"), testing::ExitedWithCode(1),
+                "user error");
+}
+
+TEST(Logging, QuietSuppressesWarnings)
+{
+    setQuiet(true);
+    EXPECT_TRUE(quiet());
+    warn("should not crash");
+    inform("nor this");
+    setQuiet(false);
+    EXPECT_FALSE(quiet());
+}
+
+TEST(Types, PageHelpers)
+{
+    EXPECT_EQ(pageBase(0x1234), 0x1000u);
+    EXPECT_EQ(pageOffset(0x1234), 0x234u);
+    EXPECT_EQ(pageAlignUp(0x1001), 0x2000u);
+    EXPECT_EQ(pageAlignUp(0x1000), 0x1000u);
+    EXPECT_EQ(lineBase(0x12f), 0x100u);
+}
+
+TEST(Types, Names)
+{
+    EXPECT_STREQ(isaName(IsaType::X86_64), "x86-64");
+    EXPECT_STREQ(isaName(IsaType::AArch64), "aarch64");
+    EXPECT_STREQ(memoryModelName(MemoryModel::Shared), "Shared");
+    EXPECT_STREQ(osDesignName(OsDesign::FusedKernel), "FusedKernel");
+    EXPECT_STREQ(transportName(Transport::Network), "TCP");
+    EXPECT_STREQ(memoryClassName(MemoryClass::SharedPool),
+                 "SharedPool");
+}
+
+TEST(Units, SizeLiterals)
+{
+    EXPECT_EQ(4_KiB, 4096u);
+    EXPECT_EQ(2_MiB, 2u * 1024 * 1024);
+    EXPECT_EQ(1_GiB, 1024ull * 1024 * 1024);
+}
+
+TEST(Units, TimeConversionRoundTrips)
+{
+    // 2 us at 2.1 GHz = 4200 cycles.
+    EXPECT_EQ(usToCycles(2.0, 2.1), 4200u);
+    EXPECT_DOUBLE_EQ(cyclesToUs(4200, 2.1), 2.0);
+    // 75 us at 2.0 GHz = 150000 cycles.
+    EXPECT_EQ(usToCycles(75.0, 2.0), 150000u);
+}

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "stramash/common/rng.hh"
+
+using namespace stramash;
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(1234, 7);
+    Rng b(1234, 7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DistinctSequencesForDistinctSeeds)
+{
+    Rng a(1, 7);
+    Rng b(2, 7);
+    int equal = 0;
+    for (int i = 0; i < 1000; ++i) {
+        if (a.next() == b.next())
+            ++equal;
+    }
+    EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, DistinctSequencesForDistinctStreams)
+{
+    Rng a(1, 7);
+    Rng b(1, 8);
+    int equal = 0;
+    for (int i = 0; i < 1000; ++i) {
+        if (a.next() == b.next())
+            ++equal;
+    }
+    EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng rng(99);
+    for (std::uint32_t bound : {1u, 2u, 3u, 10u, 1000u, 1u << 30}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, Below64RespectsBound)
+{
+    Rng rng(99);
+    std::uint64_t big = (std::uint64_t{1} << 40) + 12345;
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below64(big), big);
+}
+
+TEST(Rng, BelowCoversSmallRangeUniformly)
+{
+    Rng rng(5);
+    int counts[8] = {};
+    for (int i = 0; i < 8000; ++i)
+        ++counts[rng.below(8)];
+    for (int c : counts) {
+        EXPECT_GT(c, 800);
+        EXPECT_LT(c, 1200);
+    }
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(17);
+    bool sawLo = false, sawHi = false;
+    for (int i = 0; i < 5000; ++i) {
+        auto v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        sawLo |= v == -3;
+        sawHi |= v == 3;
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, UniformInHalfOpenUnitInterval)
+{
+    Rng rng(23);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(31);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(RngDeath, BelowZeroPanics)
+{
+    Rng rng(1);
+    EXPECT_DEATH(rng.below(0), "below");
+}

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stramash/common/stats.hh"
+
+using namespace stramash;
+
+TEST(Counter, IncrementAndAdd)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 41;
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(StatGroup, CounterPointersAreStable)
+{
+    StatGroup g("g");
+    Counter &a = g.counter("a");
+    a += 7;
+    for (int i = 0; i < 100; ++i)
+        g.counter("x" + std::to_string(i));
+    EXPECT_EQ(&g.counter("a"), &a);
+    EXPECT_EQ(g.value("a"), 7u);
+}
+
+TEST(StatGroup, ValueOfUnknownCounterIsZero)
+{
+    StatGroup g("g");
+    EXPECT_FALSE(g.has("nope"));
+    EXPECT_EQ(g.value("nope"), 0u);
+}
+
+TEST(StatGroup, ResetAll)
+{
+    StatGroup g("g");
+    g.counter("a") += 3;
+    g.counter("b") += 5;
+    g.resetAll();
+    EXPECT_EQ(g.value("a"), 0u);
+    EXPECT_EQ(g.value("b"), 0u);
+}
+
+TEST(StatGroup, DumpSortedWithPrefix)
+{
+    StatGroup g("grp");
+    g.counter("beta") += 2;
+    g.counter("alpha") += 1;
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_EQ(os.str(), "grp.alpha 1\ngrp.beta 2\n");
+}
+
+TEST(StatGroup, SnapshotDiffing)
+{
+    StatGroup g("g");
+    g.counter("a") += 3;
+    auto before = g.snapshot();
+    g.counter("a") += 4;
+    auto after = g.snapshot();
+    EXPECT_EQ(after["a"] - before["a"], 4u);
+}
+
+TEST(Histogram, BucketsAndStats)
+{
+    Histogram h({10, 100, 1000});
+    h.sample(5);
+    h.sample(10);
+    h.sample(99);
+    h.sample(500);
+    h.sample(5000);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.minValue(), 5u);
+    EXPECT_EQ(h.maxValue(), 5000u);
+    EXPECT_EQ(h.buckets()[0], 1u); // < 10
+    EXPECT_EQ(h.buckets()[1], 2u); // [10, 100)
+    EXPECT_EQ(h.buckets()[2], 1u); // [100, 1000)
+    EXPECT_EQ(h.buckets()[3], 1u); // overflow
+    EXPECT_DOUBLE_EQ(h.mean(), (5 + 10 + 99 + 500 + 5000) / 5.0);
+}
+
+TEST(HistogramDeath, NoEdgesPanics)
+{
+    EXPECT_DEATH(Histogram({}), "no bucket edges");
+}

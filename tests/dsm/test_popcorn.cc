@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "stramash/core/app.hh"
+
+using namespace stramash;
+
+namespace
+{
+
+class PopcornTest : public testing::Test
+{
+  protected:
+    PopcornTest()
+    {
+        SystemConfig cfg;
+        cfg.osDesign = OsDesign::MultipleKernel;
+        cfg.memoryModel = MemoryModel::Shared;
+        cfg.transport = Transport::SharedMemory;
+        sys_ = std::make_unique<System>(cfg);
+    }
+
+    std::unique_ptr<System> sys_;
+};
+
+} // namespace
+
+TEST_F(PopcornTest, MigrationMovesTaskAndState)
+{
+    App app(*sys_, 0);
+    EXPECT_EQ(app.where(), 0u);
+    Task &originTask = sys_->kernel(0).task(app.pid());
+    originTask.state.args[0] = 0xabcdef;
+
+    auto msgs = sys_->messagesSent();
+    app.migrate(1);
+    EXPECT_EQ(app.where(), 1u);
+    // Exactly one migration message, carrying the transformed state.
+    EXPECT_EQ(sys_->messagesSent() - msgs, 1u);
+    ASSERT_TRUE(sys_->kernel(1).hasTask(app.pid()));
+    EXPECT_EQ(sys_->kernel(1).task(app.pid()).state.args[0],
+              0xabcdefu);
+    EXPECT_EQ(sys_->kernel(1).stats().value("migrations_in"), 1u);
+}
+
+TEST_F(PopcornTest, MigrateToSameNodeIsNoop)
+{
+    App app(*sys_, 0);
+    auto msgs = sys_->messagesSent();
+    app.migrate(0);
+    EXPECT_EQ(sys_->messagesSent(), msgs);
+}
+
+TEST_F(PopcornTest, RemoteTaskKeepsOwnAddressSpaceFormat)
+{
+    App app(*sys_, 0);
+    app.migrate(1);
+    // x86 origin, Arm remote: each kernel's page table is in its own
+    // ISA format.
+    EXPECT_EQ(sys_->kernel(0)
+                  .task(app.pid())
+                  .as->pageTable()
+                  .format()
+                  .isa(),
+              IsaType::X86_64);
+    EXPECT_EQ(sys_->kernel(1)
+                  .task(app.pid())
+                  .as->pageTable()
+                  .format()
+                  .isa(),
+              IsaType::AArch64);
+}
+
+TEST_F(PopcornTest, FutexLocalWaitWake)
+{
+    App app(*sys_, 0);
+    Addr page = app.mmap(pageSize);
+    app.write<std::uint32_t>(page, 1);
+
+    // Wait with matching value blocks (enqueues).
+    EXPECT_TRUE(app.futexWait(page, 1));
+    EXPECT_EQ(sys_->kernel(0).futexTable().waiters(page), 1u);
+    // Wait with stale value refuses.
+    EXPECT_FALSE(app.futexWait(page, 2));
+    // Wake releases the queued waiter.
+    EXPECT_EQ(app.futexWake(page, 1), 1u);
+    EXPECT_EQ(sys_->kernel(0).futexTable().waiters(page), 0u);
+}
+
+TEST_F(PopcornTest, RemoteFutexGoesThroughOrigin)
+{
+    App app(*sys_, 0);
+    Addr page = app.mmap(pageSize);
+    app.write<std::uint32_t>(page, 7);
+    app.migrate(1);
+
+    auto msgs = sys_->messagesSent();
+    EXPECT_TRUE(app.futexWait(page, 7));
+    // Remote wait = request + response through the origin.
+    EXPECT_GE(sys_->messagesSent() - msgs, 2u);
+    // The waiter was parked at the *origin's* futex table.
+    EXPECT_EQ(sys_->kernel(0).futexTable().waiters(page), 1u);
+
+    msgs = sys_->messagesSent();
+    EXPECT_EQ(app.futexWake(page, 1), 1u);
+    EXPECT_GE(sys_->messagesSent() - msgs, 2u);
+}
+
+TEST_F(PopcornTest, WakeNotifiesRemoteWaiter)
+{
+    App app(*sys_, 0);
+    Addr page = app.mmap(pageSize);
+    app.write<std::uint32_t>(page, 3);
+
+    // Park a waiter from the remote side.
+    app.migrate(1);
+    EXPECT_TRUE(app.futexWait(page, 3));
+    app.migrate(0);
+
+    // Origin wakes: a notification message reaches the remote node.
+    auto notesBefore = sys_->kernel(1).stats().value(
+        "futex_wakeups_delivered");
+    EXPECT_EQ(app.futexWake(page, 1), 1u);
+    EXPECT_EQ(sys_->kernel(1).stats().value(
+                  "futex_wakeups_delivered"),
+              notesBefore + 1);
+}
+
+TEST_F(PopcornTest, NamespacesAreDistinctAcrossKernels)
+{
+    // Shared-nothing baseline: each kernel has its own namespaces.
+    EXPECT_NE(sys_->kernel(0).namespaces().pidNs,
+              sys_->kernel(1).namespaces().pidNs);
+    EXPECT_FALSE(sys_->kernel(0).namespaces() ==
+                 sys_->kernel(1).namespaces());
+}
+
+TEST_F(PopcornTest, TransformCostChargedOnBothSides)
+{
+    App app(*sys_, 0);
+    Cycles x86Before = sys_->machine().node(0).cycles();
+    Cycles armBefore = sys_->machine().node(1).cycles();
+    app.migrate(1);
+    EXPECT_GE(sys_->machine().node(0).cycles() - x86Before,
+              PopcornMigrationPolicy::transformCycles);
+    EXPECT_GE(sys_->machine().node(1).cycles() - armBefore,
+              PopcornMigrationPolicy::transformCycles);
+}
+
+TEST_F(PopcornTest, WhereIsTracksCurrentNode)
+{
+    App app(*sys_, 0);
+    EXPECT_EQ(sys_->whereIs(app.pid()), 0u);
+    app.migrate(1);
+    EXPECT_EQ(sys_->whereIs(app.pid()), 1u);
+    app.migrate(0);
+    EXPECT_EQ(sys_->whereIs(app.pid()), 0u);
+}

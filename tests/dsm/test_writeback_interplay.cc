@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "stramash/core/app.hh"
+
+using namespace stramash;
+
+namespace
+{
+
+/** System with a tiny L3 so dirty evictions are easy to provoke. */
+std::unique_ptr<System>
+tinyCacheSystem()
+{
+    SystemConfig cfg;
+    cfg.osDesign = OsDesign::MultipleKernel;
+    cfg.memoryModel = MemoryModel::Shared;
+    cfg.l3Size = 128 * 1024;
+    return std::make_unique<System>(cfg);
+}
+
+} // namespace
+
+TEST(WritebackInterplay, DirtyEvictionOnReplicatedPageTriggersAction)
+{
+    auto sys = tinyCacheSystem();
+    App app(*sys, 0);
+    Addr buf = app.mmap(256 * pageSize);
+
+    // Origin dirties a page (lines become Modified in its caches),
+    // the remote replicates it: the page is now read-shared while
+    // the origin still holds the dirty lines.
+    for (Addr a = 0; a < pageSize; a += cacheLineSize)
+        app.write<std::uint64_t>(buf + a, a);
+    app.migrateToOther();
+    app.read<std::uint64_t>(buf);
+    app.migrateToOther(); // back home; holders = {origin, remote}
+
+    // Flood the origin's caches with reads elsewhere so the dirty
+    // lines of the replicated page must be written back.
+    std::uint64_t before = sys->dsmEngine()->writebackActions();
+    for (Addr a = pageSize; a < 200 * pageSize; a += cacheLineSize)
+        app.read<std::uint64_t>(buf + a);
+    EXPECT_GT(sys->dsmEngine()->writebackActions(), before);
+}
+
+TEST(WritebackInterplay, UnsharedPagesDoNotTrigger)
+{
+    auto sys = tinyCacheSystem();
+    App app(*sys, 0);
+    Addr buf = app.mmap(256 * pageSize);
+
+    // Never migrated, never replicated: flooding the cache with
+    // dirty lines must not produce any DSM writeback actions.
+    for (Addr a = 0; a < 200 * pageSize; a += cacheLineSize)
+        app.write<std::uint64_t>(buf + a, a);
+    EXPECT_EQ(sys->dsmEngine()->writebackActions(), 0u);
+}
+
+TEST(WritebackInterplay, ReplicaInstallLeavesCleanLines)
+{
+    // The DSM install writes through; the replica's lines must be
+    // clean (Exclusive) so they do not masquerade as dirty data.
+    SystemConfig cfg;
+    cfg.osDesign = OsDesign::MultipleKernel;
+    cfg.memoryModel = MemoryModel::Shared;
+    System sys(cfg);
+    App app(sys, 0);
+    Addr buf = app.mmap(pageSize);
+    app.write<std::uint64_t>(buf, 7);
+    app.migrateToOther();
+    app.read<std::uint64_t>(buf); // replicates to node 1
+
+    Pid pid = app.pid();
+    auto w = sys.kernel(1).task(pid).as->pageTable().walk(buf);
+    ASSERT_TRUE(w.has_value());
+    Mesi state =
+        sys.machine().caches().hierarchy(1).lineState(w->pte.frame);
+    EXPECT_TRUE(state == Mesi::Exclusive || state == Mesi::Invalid)
+        << mesiName(state);
+}

@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include "stramash/common/units.hh"
+#include "stramash/fused/fused_vas.hh"
+
+using namespace stramash;
+
+class FusedVasTest : public testing::TestWithParam<MemoryModel>
+{
+  protected:
+    FusedVasTest()
+        : map_(PhysMap::paperDefault(GetParam())), vas_(map_)
+    {
+    }
+
+    PhysMap map_;
+    FusedVas vas_;
+};
+
+TEST_P(FusedVasTest, RoundTrip)
+{
+    for (Addr pa : {Addr{0x1000}, 2_GiB, 5_GiB, 8_GiB - pageSize}) {
+        Addr kv = vas_.physToKv(pa);
+        EXPECT_GE(kv, FusedVas::directMapBase);
+        EXPECT_EQ(vas_.kvToPhys(kv), pa);
+    }
+}
+
+TEST_P(FusedVasTest, AlignmentInvariantHolds)
+{
+    // The fused kernel virtual address space: every kernel sees the
+    // other's memory at the same kernel virtual address.
+    EXPECT_TRUE(vas_.checkAlignment());
+}
+
+TEST_P(FusedVasTest, DeathOnNonDramPhys)
+{
+    EXPECT_DEATH(vas_.physToKv(3_GiB + 0x100), "non-DRAM");
+}
+
+TEST_P(FusedVasTest, DeathOnBadKernelVirtual)
+{
+    EXPECT_DEATH(vas_.kvToPhys(0x1000), "not a direct-map");
+    EXPECT_DEATH(vas_.kvToPhys(FusedVas::directMapBase + 3_GiB),
+                 "beyond DRAM");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, FusedVasTest,
+                         testing::Values(MemoryModel::Separated,
+                                         MemoryModel::Shared,
+                                         MemoryModel::FullyShared),
+                         [](const auto &info) {
+                             return memoryModelName(info.param);
+                         });

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "stramash/core/app.hh"
+#include "stramash/fused/packing.hh"
+
+using namespace stramash;
+
+namespace
+{
+
+class PackingTest : public testing::Test
+{
+  protected:
+    PackingTest()
+    {
+        SystemConfig cfg;
+        cfg.osDesign = OsDesign::FusedKernel;
+        cfg.memoryModel = MemoryModel::Shared;
+        sys_ = std::make_unique<System>(cfg);
+        app_ = std::make_unique<App>(*sys_, 0);
+    }
+
+    /** Touch pages in an interleaved order so frames end up
+     *  scattered (two regions allocated alternately). */
+    Addr
+    scatteredRegion(unsigned pages)
+    {
+        Addr a = app_->mmap(Addr{pages} * pageSize);
+        Addr b = app_->mmap(Addr{pages} * pageSize);
+        for (unsigned i = 0; i < pages; ++i) {
+            app_->write<std::uint64_t>(a + Addr{i} * pageSize,
+                                       i * 7 + 1);
+            app_->write<std::uint64_t>(b + Addr{i} * pageSize, 0);
+        }
+        return a;
+    }
+
+    std::unique_ptr<System> sys_;
+    std::unique_ptr<App> app_;
+};
+
+} // namespace
+
+TEST_F(PackingTest, PacksScatteredPagesContiguously)
+{
+    Addr region = scatteredRegion(16);
+    KernelInstance &k = sys_->kernel(0);
+    Task &t = k.task(app_->pid());
+
+    EXPECT_FALSE(vmaIsPacked(k, t, region));
+    auto r = packVmaContiguous(k, t, region);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->pagesMoved, 16u);
+    EXPECT_EQ(r->pagesSkipped, 0u);
+    EXPECT_EQ(r->bytes, 16 * pageSize);
+    EXPECT_TRUE(vmaIsPacked(k, t, region));
+
+    // Frames ascend contiguously in VA order.
+    Addr expect = r->base;
+    for (unsigned i = 0; i < 16; ++i) {
+        auto w = t.as->pageTable().walk(region + Addr{i} * pageSize);
+        ASSERT_TRUE(w.has_value());
+        EXPECT_EQ(w->pte.frame, expect);
+        expect += pageSize;
+    }
+}
+
+TEST_F(PackingTest, ContentSurvivesPacking)
+{
+    Addr region = scatteredRegion(16);
+    KernelInstance &k = sys_->kernel(0);
+    Task &t = k.task(app_->pid());
+    ASSERT_TRUE(packVmaContiguous(k, t, region).has_value());
+    for (unsigned i = 0; i < 16; ++i) {
+        EXPECT_EQ(
+            app_->read<std::uint64_t>(region + Addr{i} * pageSize),
+            static_cast<std::uint64_t>(i * 7 + 1));
+    }
+}
+
+TEST_F(PackingTest, OldFramesAreReleased)
+{
+    Addr region = scatteredRegion(16);
+    KernelInstance &k = sys_->kernel(0);
+    Task &t = k.task(app_->pid());
+    std::uint64_t used = k.palloc().usedPages();
+    ASSERT_TRUE(packVmaContiguous(k, t, region).has_value());
+    // Same number of data pages before and after (move, not leak).
+    EXPECT_EQ(k.palloc().usedPages(), used);
+}
+
+TEST_F(PackingTest, PackingIsChargedToTheClock)
+{
+    Addr region = scatteredRegion(16);
+    KernelInstance &k = sys_->kernel(0);
+    Task &t = k.task(app_->pid());
+    Cycles before = sys_->runtime();
+    ASSERT_TRUE(packVmaContiguous(k, t, region).has_value());
+    EXPECT_GT(sys_->runtime(), before);
+}
+
+TEST_F(PackingTest, RemoteOwnedFramesAreSkipped)
+{
+    // Pages allocated by the remote kernel (fast-path foreign
+    // insertions) must not be moved by the origin's packer.
+    Addr region = app_->mmap(8 * pageSize);
+    app_->write<std::uint64_t>(region, 1); // origin-owned page
+    app_->migrateToOther();
+    app_->write<std::uint64_t>(region + pageSize, 2); // remote-owned
+    app_->migrateToOther();
+
+    KernelInstance &k = sys_->kernel(0);
+    Task &t = k.task(app_->pid());
+    auto r = packVmaContiguous(k, t, region);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->pagesMoved, 1u);
+    EXPECT_EQ(r->pagesSkipped, 1u);
+    // Values intact either way.
+    EXPECT_EQ(app_->read<std::uint64_t>(region), 1u);
+    EXPECT_EQ(app_->read<std::uint64_t>(region + pageSize), 2u);
+}
+
+TEST_F(PackingTest, NoVmaOrNothingResident)
+{
+    KernelInstance &k = sys_->kernel(0);
+    Task &t = k.task(app_->pid());
+    EXPECT_FALSE(packVmaContiguous(k, t, 0xdead0000).has_value());
+    Addr region = app_->mmap(4 * pageSize); // never touched
+    EXPECT_FALSE(packVmaContiguous(k, t, region).has_value());
+    EXPECT_TRUE(vmaIsPacked(k, t, region)); // vacuously
+}
+
+TEST_F(PackingTest, TranslationsStayCoherentAfterPacking)
+{
+    // The packer must invalidate stale TLB entries.
+    Addr region = scatteredRegion(8);
+    KernelInstance &k = sys_->kernel(0);
+    Task &t = k.task(app_->pid());
+    // Prime the TLB.
+    for (unsigned i = 0; i < 8; ++i)
+        app_->read<std::uint64_t>(region + Addr{i} * pageSize);
+    ASSERT_TRUE(packVmaContiguous(k, t, region).has_value());
+    app_->write<std::uint64_t>(region + 3 * pageSize, 0x1234);
+    auto w = t.as->pageTable().walk(region + 3 * pageSize);
+    ASSERT_TRUE(w.has_value());
+    // The write went to the *new* frame.
+    EXPECT_EQ(sys_->machine().memory().load<std::uint64_t>(
+                  w->pte.frame),
+              0x1234u);
+}

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Futex semantics across both policy implementations: multi-waiter
+ * queues, FIFO wake order, cross-kernel waiter mixes, and the value
+ * re-check that prevents lost wake-ups.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stramash/core/app.hh"
+
+using namespace stramash;
+
+namespace
+{
+
+class FutexSemantics : public testing::TestWithParam<OsDesign>
+{
+  protected:
+    FutexSemantics()
+    {
+        SystemConfig cfg;
+        cfg.osDesign = GetParam();
+        cfg.memoryModel = MemoryModel::Shared;
+        sys_ = std::make_unique<System>(cfg);
+    }
+
+    std::unique_ptr<System> sys_;
+};
+
+} // namespace
+
+TEST_P(FutexSemantics, MultipleWaitersWakeInFifoOrder)
+{
+    // Three waiter records park on the same futex word; wakes
+    // release them in arrival order.
+    App a(*sys_, 0);
+    Addr page = a.mmap(pageSize);
+    a.write<std::uint32_t>(page, 1);
+    KernelInstance &k0 = sys_->kernel(0);
+    Task &t = k0.task(a.pid());
+    FutexPolicy &fp = sys_->futexPolicy();
+
+    EXPECT_TRUE(fp.wait(k0, t, page, 1));
+    EXPECT_TRUE(fp.wait(k0, t, page, 1));
+    EXPECT_TRUE(fp.wait(k0, t, page, 1));
+    EXPECT_EQ(k0.futexTable().waiters(page), 3u);
+
+    EXPECT_EQ(fp.wake(k0, t, page, 1), 1u);
+    EXPECT_EQ(k0.futexTable().waiters(page), 2u);
+    EXPECT_EQ(fp.wake(k0, t, page, 2), 2u);
+    EXPECT_EQ(k0.futexTable().waiters(page), 0u);
+    EXPECT_EQ(fp.wake(k0, t, page, 1), 0u); // nothing left
+}
+
+TEST_P(FutexSemantics, MixedKernelWaiters)
+{
+    App app(*sys_, 0);
+    Addr page = app.mmap(pageSize);
+    app.write<std::uint32_t>(page, 7);
+
+    // Park one waiter from each side of the machine.
+    KernelInstance &k0 = sys_->kernel(0);
+    EXPECT_TRUE(
+        sys_->futexPolicy().wait(k0, k0.task(app.pid()), page, 7));
+    app.migrateToOther();
+    KernelInstance &k1 = sys_->kernel(1);
+    EXPECT_TRUE(
+        sys_->futexPolicy().wait(k1, k1.task(app.pid()), page, 7));
+
+    // Both are queued at the origin regardless of design (§6.5).
+    EXPECT_EQ(k0.futexTable().waiters(page), 2u);
+
+    // Wake everything from the remote side.
+    EXPECT_EQ(sys_->futexPolicy().wake(k1, k1.task(app.pid()), page,
+                                       8),
+              2u);
+    EXPECT_EQ(k0.futexTable().waiters(page), 0u);
+}
+
+TEST_P(FutexSemantics, StaleValueNeverBlocks)
+{
+    // The FUTEX_WAIT contract: a mismatching word value returns
+    // immediately — from either side.
+    App app(*sys_, 0);
+    Addr page = app.mmap(pageSize);
+    app.write<std::uint32_t>(page, 10);
+    EXPECT_FALSE(app.futexWait(page, 11));
+    app.migrateToOther();
+    EXPECT_FALSE(app.futexWait(page, 12));
+    EXPECT_EQ(sys_->kernel(0).futexTable().waiters(page), 0u);
+}
+
+TEST_P(FutexSemantics, WakeOnEmptyFutexIsZero)
+{
+    App app(*sys_, 0);
+    Addr page = app.mmap(pageSize);
+    app.write<std::uint32_t>(page, 0);
+    EXPECT_EQ(app.futexWake(page, 4), 0u);
+    app.migrateToOther();
+    EXPECT_EQ(app.futexWake(page, 4), 0u);
+}
+
+TEST_P(FutexSemantics, DistinctWordsDistinctQueues)
+{
+    App app(*sys_, 0);
+    Addr page = app.mmap(pageSize);
+    app.write<std::uint32_t>(page, 1);
+    app.write<std::uint32_t>(page + 64, 1);
+    EXPECT_TRUE(app.futexWait(page, 1));
+    EXPECT_TRUE(app.futexWait(page + 64, 1));
+    EXPECT_EQ(app.futexWake(page, 8), 1u); // only its own queue
+    EXPECT_EQ(sys_->kernel(0).futexTable().waiters(page + 64), 1u);
+    EXPECT_EQ(app.futexWake(page + 64, 8), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Designs, FutexSemantics,
+                         testing::Values(OsDesign::MultipleKernel,
+                                         OsDesign::FusedKernel),
+                         [](const auto &info) {
+                             return std::string(
+                                 osDesignName(info.param));
+                         });

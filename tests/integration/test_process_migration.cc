@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "stramash/core/app.hh"
+
+using namespace stramash;
+
+namespace
+{
+
+class ProcessMigration : public testing::TestWithParam<OsDesign>
+{
+  protected:
+    ProcessMigration()
+    {
+        SystemConfig cfg;
+        cfg.osDesign = GetParam();
+        cfg.memoryModel = MemoryModel::Shared;
+        cfg.transport = Transport::SharedMemory;
+        sys_ = std::make_unique<System>(cfg);
+        app_ = std::make_unique<App>(*sys_, 0);
+    }
+
+    std::unique_ptr<System> sys_;
+    std::unique_ptr<App> app_;
+};
+
+} // namespace
+
+TEST_P(ProcessMigration, MovesWholeProcessAndData)
+{
+    Addr buf = app_->mmap(16 * pageSize);
+    for (int i = 0; i < 16; ++i)
+        app_->write<std::uint64_t>(buf + Addr(i) * pageSize,
+                                   i * 13 + 1);
+
+    sys_->migrateProcess(app_->pid(), 1);
+
+    // The source forgot the process; the destination is the new
+    // origin.
+    EXPECT_FALSE(sys_->kernel(0).hasTask(app_->pid()));
+    ASSERT_TRUE(sys_->kernel(1).hasTask(app_->pid()));
+    EXPECT_EQ(sys_->kernel(1).task(app_->pid()).origin, 1u);
+    EXPECT_EQ(sys_->whereIs(app_->pid()), 1u);
+
+    // The data followed.
+    for (int i = 0; i < 16; ++i) {
+        EXPECT_EQ(
+            app_->read<std::uint64_t>(buf + Addr(i) * pageSize),
+            static_cast<std::uint64_t>(i * 13 + 1));
+    }
+}
+
+TEST_P(ProcessMigration, NewOriginHandlesFaultsLocally)
+{
+    Addr buf = app_->mmap(8 * pageSize);
+    app_->write<std::uint64_t>(buf, 5);
+    sys_->migrateProcess(app_->pid(), 1);
+
+    // A fresh touch at the new origin is a plain local fault: no
+    // messaging regardless of design.
+    auto msgs = sys_->messagesSent();
+    app_->write<std::uint64_t>(buf + 4 * pageSize, 9);
+    EXPECT_EQ(sys_->messagesSent(), msgs);
+    EXPECT_EQ(app_->read<std::uint64_t>(buf + 4 * pageSize), 9u);
+}
+
+TEST_P(ProcessMigration, ThreadMigrationStillWorksAfterwards)
+{
+    Addr buf = app_->mmap(4 * pageSize);
+    app_->write<std::uint64_t>(buf, 0xabc);
+    sys_->migrateProcess(app_->pid(), 1);
+
+    // Thread-migrate back to node 0: now node 0 is the *remote*.
+    app_->migrate(0);
+    EXPECT_EQ(app_->read<std::uint64_t>(buf), 0xabcu);
+    app_->write<std::uint64_t>(buf, 0xdef);
+    app_->migrate(1);
+    EXPECT_EQ(app_->read<std::uint64_t>(buf), 0xdefu);
+}
+
+TEST_P(ProcessMigration, NoFrameLeaksAfterExit)
+{
+    std::uint64_t used0 = sys_->kernel(0).palloc().usedPages();
+    std::uint64_t used1 = sys_->kernel(1).palloc().usedPages();
+    {
+        App app2(*sys_, 0);
+        Addr buf = app2.mmap(8 * pageSize);
+        for (int i = 0; i < 8; ++i)
+            app2.write<std::uint64_t>(buf + Addr(i) * pageSize, i);
+        sys_->migrateProcess(app2.pid(), 1);
+        app2.write<std::uint64_t>(buf, 99);
+    }
+    EXPECT_EQ(sys_->kernel(0).palloc().usedPages(), used0);
+    EXPECT_EQ(sys_->kernel(1).palloc().usedPages(), used1);
+}
+
+TEST_P(ProcessMigration, ReclaimsRemotelyOwnedPagesFirst)
+{
+    // A page last written on the remote side must survive the
+    // process migration with its latest value.
+    Addr buf = app_->mmap(4 * pageSize);
+    app_->write<std::uint64_t>(buf, 1);
+    app_->migrateToOther();
+    app_->write<std::uint64_t>(buf, 2); // remote now owns the page
+    app_->migrate(0);                   // thread home; page stays owned remotely
+    sys_->migrateProcess(app_->pid(), 1);
+    EXPECT_EQ(app_->read<std::uint64_t>(buf), 2u);
+}
+
+TEST_P(ProcessMigration, MigrateToCurrentNodeIsNoop)
+{
+    auto msgs = sys_->messagesSent();
+    sys_->migrateProcess(app_->pid(), 0);
+    EXPECT_EQ(sys_->messagesSent(), msgs);
+    EXPECT_TRUE(sys_->kernel(0).hasTask(app_->pid()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Designs, ProcessMigration,
+                         testing::Values(OsDesign::MultipleKernel,
+                                         OsDesign::FusedKernel),
+                         [](const auto &info) {
+                             return std::string(
+                                 osDesignName(info.param));
+                         });
+
+TEST(ProcessMigrationCost, FusedMovesNoContent)
+{
+    // Popcorn ships every resident page as a message payload; the
+    // fused design adopts frames in place: far fewer bytes travel.
+    auto run = [](OsDesign design) {
+        SystemConfig cfg;
+        cfg.osDesign = design;
+        cfg.memoryModel = MemoryModel::Shared;
+        System sys(cfg);
+        App app(sys, 0);
+        Addr buf = app.mmap(32 * pageSize);
+        for (int i = 0; i < 32; ++i)
+            app.write<std::uint64_t>(buf + Addr(i) * pageSize, i);
+        auto bytesBefore = sys.msg().bytesSent();
+        sys.migrateProcess(app.pid(), 1);
+        return sys.msg().bytesSent() - bytesBefore;
+    };
+    auto popcornBytes = run(OsDesign::MultipleKernel);
+    auto fusedBytes = run(OsDesign::FusedKernel);
+    EXPECT_GT(popcornBytes, 32u * pageSize); // pages on the wire
+    EXPECT_LT(fusedBytes, 1024u);            // one notification
+}

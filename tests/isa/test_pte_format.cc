@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "stramash/common/rng.hh"
+#include "stramash/isa/isa.hh"
+#include "stramash/isa/pte_format.hh"
+
+using namespace stramash;
+
+namespace
+{
+
+PteAttrs
+attrsFromBits(unsigned bits)
+{
+    PteAttrs a;
+    a.present = true;
+    a.writable = bits & 1;
+    a.user = bits & 2;
+    a.executable = bits & 4;
+    a.accessed = bits & 8;
+    a.dirty = bits & 16;
+    return a;
+}
+
+} // namespace
+
+class PteFormatBoth : public testing::TestWithParam<IsaType>
+{
+  protected:
+    const PteFormat &fmt() { return pteFormatFor(GetParam()); }
+};
+
+TEST_P(PteFormatBoth, LeafRoundTripAllAttrCombos)
+{
+    for (unsigned bits = 0; bits < 32; ++bits) {
+        PteAttrs a = attrsFromBits(bits);
+        Addr frame = 0x123456000;
+        std::uint64_t raw = fmt().encodeLeaf(frame, a);
+        DecodedPte d = fmt().decode(raw, 0);
+        EXPECT_TRUE(d.attrs.present);
+        EXPECT_EQ(d.attrs, a) << "bits " << bits;
+        EXPECT_EQ(d.frame, frame);
+        EXPECT_FALSE(d.table);
+    }
+}
+
+TEST_P(PteFormatBoth, NotPresentEncodesAsAbsent)
+{
+    PteAttrs a; // present = false
+    std::uint64_t raw = fmt().encodeLeaf(0x1000, a);
+    EXPECT_FALSE(fmt().decode(raw, 0).attrs.present);
+    EXPECT_FALSE(fmt().decode(fmt().encodeEmpty(), 0).attrs.present);
+}
+
+TEST_P(PteFormatBoth, TableEntriesDecodeAsTables)
+{
+    std::uint64_t raw = fmt().encodeTable(0x555000);
+    DecodedPte d = fmt().decode(raw, 3);
+    EXPECT_TRUE(d.attrs.present);
+    EXPECT_TRUE(d.table);
+    EXPECT_EQ(d.frame, 0x555000u);
+    // At leaf level the table bit is meaningless.
+    EXPECT_FALSE(fmt().decode(raw, 0).table);
+}
+
+TEST_P(PteFormatBoth, LevelGeometry)
+{
+    EXPECT_EQ(fmt().levels(), 5);
+    for (int l = 0; l < 5; ++l) {
+        EXPECT_EQ(fmt().levelShift(l), 12 + 9 * l);
+        EXPECT_EQ(fmt().levelBits(l), 9);
+    }
+    // 57-bit VA decomposition.
+    Addr va = 0x0123456789ab000ULL;
+    Addr reassembled = 0;
+    for (int l = 0; l < 5; ++l)
+        reassembled |= fmt().indexOf(va, l) << fmt().levelShift(l);
+    EXPECT_EQ(reassembled, va & ~Addr{0xfff});
+}
+
+TEST_P(PteFormatBoth, RandomFramesRoundTrip)
+{
+    Rng rng(77);
+    for (int i = 0; i < 1000; ++i) {
+        Addr frame = (rng.next64() & 0x0000007ffffff000ULL);
+        PteAttrs a = attrsFromBits(rng.below(32));
+        DecodedPte d = fmt().decode(fmt().encodeLeaf(frame, a), 0);
+        ASSERT_EQ(d.frame, frame);
+        ASSERT_EQ(d.attrs, a);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, PteFormatBoth,
+                         testing::Values(IsaType::X86_64,
+                                         IsaType::AArch64),
+                         [](const auto &info) {
+                             return info.param == IsaType::X86_64
+                                        ? "x86"
+                                        : "arm";
+                         });
+
+TEST(PteFormat, EncodingsAreGenuinelyDifferent)
+{
+    PteAttrs a;
+    a.present = true;
+    a.writable = true;
+    a.user = true;
+    a.executable = false;
+    Addr frame = 0x7777000;
+    auto x = X86PteFormat::instance().encodeLeaf(frame, a);
+    auto m = ArmPteFormat::instance().encodeLeaf(frame, a);
+    EXPECT_NE(x, m);
+    // Cross-decoding gives wrong attribute views: the Arm RO bit
+    // (bit 7, inverted sense) vs x86 RW (bit 1, direct sense).
+    DecodedPte crossed = ArmPteFormat::instance().decode(x, 0);
+    DecodedPte native = X86PteFormat::instance().decode(x, 0);
+    EXPECT_EQ(native.attrs, a);
+    EXPECT_NE(crossed.attrs, a);
+}
+
+TEST(PteFormat, WritableHasInvertedSenseAcrossFormats)
+{
+    PteAttrs ro;
+    ro.present = true;
+    ro.writable = false;
+    // Read-only on x86: RW bit clear. Read-only on Arm: AP[2] set.
+    auto x = X86PteFormat::instance().encodeLeaf(0x1000, ro);
+    auto m = ArmPteFormat::instance().encodeLeaf(0x1000, ro);
+    EXPECT_EQ(x & 0x2, 0u);       // x86 RW clear
+    EXPECT_NE(m & (1ull << 7), 0u); // Arm AP[2] set
+}
+
+TEST(PteFormat, ForPicksNativeFormat)
+{
+    EXPECT_EQ(pteFormatFor(IsaType::X86_64).isa(), IsaType::X86_64);
+    EXPECT_EQ(pteFormatFor(IsaType::AArch64).isa(), IsaType::AArch64);
+}
+
+TEST(IsaDescriptor, ExpansionAndCas)
+{
+    const auto &x86 = isaDescriptor(IsaType::X86_64);
+    const auto &arm = isaDescriptor(IsaType::AArch64);
+    EXPECT_DOUBLE_EQ(x86.instExpansion, 1.0);
+    EXPECT_GT(arm.instExpansion, 1.0);
+    EXPECT_TRUE(x86.hasCas);
+    EXPECT_TRUE(arm.hasCas); // LSE (paper §6.5)
+    EXPECT_EQ(x86.pteFormat, &X86PteFormat::instance());
+    EXPECT_EQ(arm.pteFormat, &ArmPteFormat::instance());
+}
+
+TEST(PteFormatDeath, FrameOutOfRangePanics)
+{
+    PteAttrs a;
+    a.present = true;
+    EXPECT_DEATH(X86PteFormat::instance().encodeLeaf(
+                     0xfff0000000000000ULL, a),
+                 "frame out of range");
+}

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "stramash/isa/regfile.hh"
+
+using namespace stramash;
+
+namespace
+{
+
+MigrationState
+sampleState()
+{
+    MigrationState s;
+    s.pc = 0x401234;
+    s.sp = 0x7ffffff00000;
+    s.fp = 0x7ffffff00040;
+    s.retVal = 0xdead;
+    s.args = {1, 2, 3, 4, 5, 6};
+    s.calleeSaved = {11, 12, 13, 14, 15, 16};
+    s.pid = 4242;
+    return s;
+}
+
+} // namespace
+
+TEST(RegFile, X86RoundTrip)
+{
+    MigrationState s = sampleState();
+    s.retVal = 0; // rax carries retVal at a boundary; keep simple
+    X86RegFile rf = materializeX86(s);
+    EXPECT_EQ(rf.rip, s.pc);
+    EXPECT_EQ(rf.rsp, s.sp);
+    EXPECT_EQ(rf.rbp, s.fp);
+    EXPECT_EQ(rf.rdi, 1u);
+    EXPECT_EQ(rf.rsi, 2u);
+    MigrationState back = captureX86(rf);
+    back.pid = s.pid; // pid travels out of band of the regfile
+    // calleeSaved slot 5 is unused in the x86 mapping.
+    s.calleeSaved[5] = 0;
+    EXPECT_EQ(back, s);
+}
+
+TEST(RegFile, ArmRoundTrip)
+{
+    MigrationState s = sampleState();
+    s.retVal = 0;
+    ArmRegFile rf = materializeArm(s);
+    EXPECT_EQ(rf.pc, s.pc);
+    EXPECT_EQ(rf.sp, s.sp);
+    EXPECT_EQ(rf.x[29], s.fp);
+    EXPECT_EQ(rf.x[0], 1u);
+    EXPECT_EQ(rf.x[19], 11u);
+    MigrationState back = captureArm(rf);
+    back.pid = s.pid;
+    // On Arm, x0 is both arg0 and the return register.
+    s.retVal = s.args[0];
+    EXPECT_EQ(back, s);
+}
+
+TEST(RegFile, CrossIsaTransformationPreservesLogicalState)
+{
+    // The Popcorn-compiler contract: x86 state -> logical -> Arm
+    // registers -> logical must preserve pc/sp/fp/args.
+    MigrationState s = sampleState();
+    s.retVal = s.args[0]; // consistent view at a call boundary
+    X86RegFile x = materializeX86(s);
+    MigrationState logical = captureX86(x);
+    ArmRegFile a = materializeArm(logical);
+    MigrationState final = captureArm(a);
+    EXPECT_EQ(final.pc, s.pc);
+    EXPECT_EQ(final.sp, s.sp);
+    EXPECT_EQ(final.fp, s.fp);
+    EXPECT_EQ(final.args, s.args);
+    EXPECT_EQ(final.calleeSaved[0], s.calleeSaved[0]);
+}
+
+TEST(RegFile, SerializeRoundTrip)
+{
+    MigrationState s = sampleState();
+    std::vector<std::uint8_t> wire(migrationStateWireSize());
+    serializeMigrationState(s, wire.data());
+    MigrationState back = deserializeMigrationState(wire.data());
+    EXPECT_EQ(back, s);
+}
+
+TEST(RegFile, WireSizeIsStable)
+{
+    // 17 64-bit words: pc, sp, fp, ret, 6 args, 6 callee-saved, pid.
+    EXPECT_EQ(migrationStateWireSize(), 17u * 8);
+}
+
+TEST(RegFile, DefaultStatesAreZero)
+{
+    MigrationState s;
+    EXPECT_EQ(s.pc, 0u);
+    EXPECT_EQ(s.args[5], 0u);
+    X86RegFile x;
+    EXPECT_EQ(x.rflags, 0x202u); // IF | reserved bit
+    ArmRegFile a;
+    EXPECT_EQ(a.nzcv, 0u);
+}

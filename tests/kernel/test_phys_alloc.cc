@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "stramash/common/units.hh"
+#include "stramash/kernel/phys_alloc.hh"
+
+using namespace stramash;
+
+TEST(PhysAllocator, AllocFromRange)
+{
+    PhysAllocator pa("t");
+    pa.addRange({0x100000, 0x100000 + 16 * pageSize});
+    EXPECT_EQ(pa.totalPages(), 16u);
+    EXPECT_EQ(pa.freePages(), 16u);
+    auto p = pa.allocPage();
+    ASSERT_TRUE(p.has_value());
+    EXPECT_GE(*p, 0x100000u);
+    EXPECT_EQ(pa.freePages(), 15u);
+    EXPECT_TRUE(pa.isAllocated(*p));
+}
+
+TEST(PhysAllocator, ExhaustionReturnsNullopt)
+{
+    PhysAllocator pa("t");
+    pa.addRange({0, 2 * pageSize});
+    EXPECT_TRUE(pa.allocPage().has_value());
+    EXPECT_TRUE(pa.allocPage().has_value());
+    EXPECT_FALSE(pa.allocPage().has_value());
+}
+
+TEST(PhysAllocator, FreeAndReuse)
+{
+    PhysAllocator pa("t");
+    pa.addRange({0, 4 * pageSize});
+    Addr p = *pa.allocPage();
+    pa.freePage(p);
+    EXPECT_FALSE(pa.isAllocated(p));
+    EXPECT_EQ(pa.freePages(), 4u);
+}
+
+TEST(PhysAllocator, ContiguousAllocation)
+{
+    PhysAllocator pa("t");
+    pa.addRange({0, 16 * pageSize});
+    auto r = pa.allocContiguous(8);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->size(), 8 * pageSize);
+    EXPECT_FALSE(pa.allocContiguous(9).has_value());
+    EXPECT_TRUE(pa.allocContiguous(8).has_value());
+}
+
+TEST(PhysAllocator, PressureTracking)
+{
+    PhysAllocator pa("t");
+    pa.addRange({0, 10 * pageSize});
+    EXPECT_DOUBLE_EQ(pa.pressure(), 0.0);
+    for (int i = 0; i < 7; ++i)
+        pa.allocPage();
+    EXPECT_DOUBLE_EQ(pa.pressure(), 0.7);
+}
+
+TEST(PhysAllocator, RemoveRangeRequiresFreePages)
+{
+    PhysAllocator pa("t");
+    pa.addRange({0, 8 * pageSize});
+    Addr p = *pa.allocPage(); // in [0, 8 pages)
+    AddrRange lower{0, 4 * pageSize};
+    // p landed in the lower half, so removal must fail.
+    ASSERT_TRUE(lower.contains(p));
+    EXPECT_FALSE(pa.removeRange(lower));
+    pa.freePage(p);
+    EXPECT_TRUE(pa.removeRange(lower));
+    EXPECT_EQ(pa.totalPages(), 4u);
+    EXPECT_FALSE(pa.manages(0));
+}
+
+TEST(PhysAllocator, RemoveUnmanagedRangeFails)
+{
+    PhysAllocator pa("t");
+    pa.addRange({0, 4 * pageSize});
+    EXPECT_FALSE(pa.removeRange({8 * pageSize, 12 * pageSize}));
+}
+
+TEST(PhysAllocator, AllocatedIn)
+{
+    PhysAllocator pa("t");
+    pa.addRange({0, 8 * pageSize});
+    Addr a = *pa.allocPage();
+    Addr b = *pa.allocPage();
+    auto live = pa.allocatedIn({0, 8 * pageSize});
+    EXPECT_EQ(live.size(), 2u);
+    pa.freePage(a);
+    live = pa.allocatedIn({0, 8 * pageSize});
+    ASSERT_EQ(live.size(), 1u);
+    EXPECT_EQ(live[0], b);
+}
+
+TEST(PhysAllocator, MultipleDisjointRanges)
+{
+    PhysAllocator pa("t");
+    pa.addRange({0, 2 * pageSize});
+    pa.addRange({1_MiB, 1_MiB + 2 * pageSize});
+    EXPECT_EQ(pa.totalPages(), 4u);
+    // Exhaust: allocations span both ranges.
+    std::set<Addr> pages;
+    while (auto p = pa.allocPage())
+        pages.insert(*p);
+    EXPECT_EQ(pages.size(), 4u);
+    EXPECT_TRUE(pages.count(0));
+    EXPECT_TRUE(pages.count(1_MiB));
+}
+
+TEST(PhysAllocatorDeath, DoubleFreePanics)
+{
+    PhysAllocator pa("t");
+    pa.addRange({0, 4 * pageSize});
+    Addr p = *pa.allocPage();
+    pa.freePage(p);
+    EXPECT_DEATH(pa.freePage(p), "double free");
+}
+
+TEST(PhysAllocatorDeath, UnmanagedFreePanics)
+{
+    PhysAllocator pa("t");
+    pa.addRange({0, 4 * pageSize});
+    EXPECT_DEATH(pa.freePage(1_GiB), "not managed");
+}
+
+TEST(PhysAllocatorDeath, UnalignedRangePanics)
+{
+    PhysAllocator pa("t");
+    EXPECT_DEATH(pa.addRange({1, pageSize}), "aligned");
+}

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "stramash/common/units.hh"
+#include "stramash/mem/phys_map.hh"
+
+using namespace stramash;
+
+class PhysMapModels : public testing::TestWithParam<MemoryModel>
+{
+};
+
+TEST_P(PhysMapModels, LowMemorySplitIsCommon)
+{
+    PhysMap m = PhysMap::paperDefault(GetParam());
+    // x86 boot memory starts at 0, Arm at 1.5 GiB (paper Fig. 4).
+    auto x86 = m.bootRanges(0);
+    auto arm = m.bootRanges(1);
+    ASSERT_FALSE(x86.empty());
+    ASSERT_FALSE(arm.empty());
+    EXPECT_EQ(x86[0].start, 0u);
+    EXPECT_EQ(x86[0].end, 1_GiB + 512_MiB);
+    EXPECT_EQ(arm[0].start, 1_GiB + 512_MiB);
+    EXPECT_EQ(arm[0].end, 3_GiB);
+}
+
+TEST_P(PhysMapModels, MmioHoleIsUnmapped)
+{
+    PhysMap m = PhysMap::paperDefault(GetParam());
+    EXPECT_FALSE(m.isDram(3_GiB));
+    EXPECT_FALSE(m.isDram(4_GiB - 1));
+    EXPECT_TRUE(m.isDram(0));
+    EXPECT_TRUE(m.isDram(4_GiB));
+    EXPECT_TRUE(m.isDram(8_GiB - 1));
+    EXPECT_FALSE(m.isDram(8_GiB));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, PhysMapModels,
+                         testing::Values(MemoryModel::Separated,
+                                         MemoryModel::Shared,
+                                         MemoryModel::FullyShared),
+                         [](const auto &info) {
+                             return memoryModelName(info.param);
+                         });
+
+TEST(PhysMap, SeparatedClassification)
+{
+    PhysMap m = PhysMap::paperDefault(MemoryModel::Separated);
+    // x86 accessing its own memory: local; Arm's: remote.
+    EXPECT_EQ(m.classify(0x1000, 0), MemoryClass::Local);
+    EXPECT_EQ(m.classify(0x1000, 1), MemoryClass::Remote);
+    EXPECT_EQ(m.classify(2_GiB, 0), MemoryClass::Remote);
+    EXPECT_EQ(m.classify(2_GiB, 1), MemoryClass::Local);
+    // High ranges are split per §8.1.
+    EXPECT_EQ(m.classify(5_GiB, 0), MemoryClass::Local);
+    EXPECT_EQ(m.classify(5_GiB, 1), MemoryClass::Remote);
+    EXPECT_EQ(m.classify(7_GiB, 0), MemoryClass::Remote);
+    EXPECT_EQ(m.classify(7_GiB, 1), MemoryClass::Local);
+    EXPECT_EQ(m.poolBytes(), 0u);
+}
+
+TEST(PhysMap, SharedClassification)
+{
+    PhysMap m = PhysMap::paperDefault(MemoryModel::Shared);
+    // [4 GiB, 8 GiB) is the CXL pool: remote-ish for both.
+    EXPECT_EQ(m.classify(5_GiB, 0), MemoryClass::SharedPool);
+    EXPECT_EQ(m.classify(5_GiB, 1), MemoryClass::SharedPool);
+    EXPECT_EQ(m.poolBytes(), 4_GiB);
+    ASSERT_EQ(m.poolRanges().size(), 1u);
+    EXPECT_EQ(m.poolRanges()[0].start, 4_GiB);
+    // Private memory classification is unchanged.
+    EXPECT_EQ(m.classify(0x1000, 0), MemoryClass::Local);
+    EXPECT_EQ(m.classify(0x1000, 1), MemoryClass::Remote);
+}
+
+TEST(PhysMap, FullySharedIsAlwaysLocal)
+{
+    PhysMap m = PhysMap::paperDefault(MemoryModel::FullyShared);
+    for (Addr a : {Addr{0}, 2_GiB, 5_GiB, 7_GiB}) {
+        EXPECT_EQ(m.classify(a, 0), MemoryClass::Local);
+        EXPECT_EQ(m.classify(a, 1), MemoryClass::Local);
+    }
+}
+
+TEST(PhysMap, LocalBytesAccounting)
+{
+    PhysMap sep = PhysMap::paperDefault(MemoryModel::Separated);
+    EXPECT_EQ(sep.localBytes(0), 1_GiB + 512_MiB + 2_GiB);
+    EXPECT_EQ(sep.localBytes(1), 1_GiB + 512_MiB + 2_GiB);
+    PhysMap sh = PhysMap::paperDefault(MemoryModel::Shared);
+    EXPECT_EQ(sh.localBytes(0), 1_GiB + 512_MiB);
+    EXPECT_EQ(sh.localBytes(1), 1_GiB + 512_MiB);
+}
+
+TEST(PhysMap, RegionOf)
+{
+    PhysMap m = PhysMap::paperDefault(MemoryModel::Shared);
+    const PhysRegion *r = m.regionOf(5_GiB);
+    ASSERT_NE(r, nullptr);
+    EXPECT_TRUE(r->sharedPool);
+    EXPECT_EQ(m.regionOf(3_GiB + 5), nullptr);
+}
+
+TEST(PhysMapDeath, UnmappedAccessPanics)
+{
+    PhysMap m = PhysMap::paperDefault(MemoryModel::Separated);
+    EXPECT_DEATH(m.classify(3_GiB, 0), "unmapped");
+}
+
+TEST(PhysMapDeath, OverlappingRegionsPanic)
+{
+    std::vector<PhysRegion> regions{
+        {{0, 0x2000}, 0, false},
+        {{0x1000, 0x3000}, 1, false},
+    };
+    EXPECT_DEATH(PhysMap(MemoryModel::Separated, std::move(regions)),
+                 "overlapping");
+}

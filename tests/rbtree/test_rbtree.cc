@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "stramash/common/rng.hh"
+#include "stramash/rbtree/rbtree.hh"
+
+using namespace stramash;
+
+using Tree = RbTree<int, int>;
+
+TEST(RbTree, EmptyTree)
+{
+    Tree t;
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_EQ(t.find(1), nullptr);
+    EXPECT_EQ(t.first(), nullptr);
+    EXPECT_EQ(t.last(), nullptr);
+    EXPECT_EQ(t.lowerBound(0), nullptr);
+    EXPECT_EQ(t.floor(0), nullptr);
+    EXPECT_TRUE(t.checkInvariants());
+}
+
+TEST(RbTree, InsertAndFind)
+{
+    Tree t;
+    for (int k : {5, 3, 8, 1, 4, 7, 9})
+        EXPECT_TRUE(t.insert(k, k * 10).second);
+    EXPECT_EQ(t.size(), 7u);
+    for (int k : {5, 3, 8, 1, 4, 7, 9}) {
+        auto *n = t.find(k);
+        ASSERT_NE(n, nullptr);
+        EXPECT_EQ(n->value, k * 10);
+    }
+    EXPECT_EQ(t.find(6), nullptr);
+    EXPECT_TRUE(t.checkInvariants());
+}
+
+TEST(RbTree, DuplicateInsertReturnsExisting)
+{
+    Tree t;
+    auto [n1, fresh1] = t.insert(5, 50);
+    auto [n2, fresh2] = t.insert(5, 99);
+    EXPECT_TRUE(fresh1);
+    EXPECT_FALSE(fresh2);
+    EXPECT_EQ(n1, n2);
+    EXPECT_EQ(n2->value, 50);
+    EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(RbTree, LowerBoundAndFloor)
+{
+    Tree t;
+    for (int k : {10, 20, 30})
+        t.insert(k, k);
+    EXPECT_EQ(t.lowerBound(10)->key, 10);
+    EXPECT_EQ(t.lowerBound(11)->key, 20);
+    EXPECT_EQ(t.lowerBound(31), nullptr);
+    EXPECT_EQ(t.floor(10)->key, 10);
+    EXPECT_EQ(t.floor(29)->key, 20);
+    EXPECT_EQ(t.floor(9), nullptr);
+    EXPECT_EQ(t.floor(100)->key, 30);
+}
+
+TEST(RbTree, InOrderTraversal)
+{
+    Tree t;
+    for (int k : {5, 1, 9, 3, 7})
+        t.insert(k, 0);
+    std::vector<int> keys;
+    for (auto *n = t.first(); n; n = Tree::next(n))
+        keys.push_back(n->key);
+    EXPECT_EQ(keys, (std::vector<int>{1, 3, 5, 7, 9}));
+
+    keys.clear();
+    for (auto *n = t.last(); n; n = Tree::prev(n))
+        keys.push_back(n->key);
+    EXPECT_EQ(keys, (std::vector<int>{9, 7, 5, 3, 1}));
+}
+
+TEST(RbTree, EraseLeafAndInternal)
+{
+    Tree t;
+    for (int k = 0; k < 32; ++k)
+        t.insert(k, k);
+    EXPECT_TRUE(t.eraseKey(31)); // leaf-ish
+    EXPECT_TRUE(t.eraseKey(16)); // internal
+    EXPECT_TRUE(t.eraseKey(0));
+    EXPECT_FALSE(t.eraseKey(16));
+    EXPECT_EQ(t.size(), 29u);
+    EXPECT_TRUE(t.checkInvariants());
+}
+
+TEST(RbTree, ForEachVisitsAscending)
+{
+    Tree t;
+    for (int k : {4, 2, 6})
+        t.insert(k, k * 2);
+    int prev = -1;
+    int count = 0;
+    t.forEach([&](const int &k, const int &v) {
+        EXPECT_GT(k, prev);
+        EXPECT_EQ(v, k * 2);
+        prev = k;
+        ++count;
+    });
+    EXPECT_EQ(count, 3);
+}
+
+TEST(RbTree, MoveConstruction)
+{
+    Tree t;
+    t.insert(1, 10);
+    t.insert(2, 20);
+    Tree u(std::move(t));
+    EXPECT_EQ(u.size(), 2u);
+    EXPECT_TRUE(t.empty());
+    EXPECT_NE(u.find(1), nullptr);
+}
+
+class RbTreeProperty : public testing::TestWithParam<std::uint64_t>
+{
+};
+
+/** Random operation sequences vs std::map, checking invariants. */
+TEST_P(RbTreeProperty, AgreesWithStdMap)
+{
+    Rng rng(GetParam());
+    Tree t;
+    std::map<int, int> ref;
+
+    for (int step = 0; step < 4000; ++step) {
+        int key = static_cast<int>(rng.below(512));
+        switch (rng.below(4)) {
+          case 0:
+          case 1: { // insert
+            bool fresh = t.insert(key, step).second;
+            bool refFresh = ref.emplace(key, step).second;
+            ASSERT_EQ(fresh, refFresh);
+            break;
+          }
+          case 2: { // erase
+            ASSERT_EQ(t.eraseKey(key), ref.erase(key) != 0);
+            break;
+          }
+          case 3: { // queries
+            auto *n = t.find(key);
+            auto it = ref.find(key);
+            ASSERT_EQ(n != nullptr, it != ref.end());
+            if (n) {
+                ASSERT_EQ(n->value, it->second);
+            }
+            auto *lb = t.lowerBound(key);
+            auto rlb = ref.lower_bound(key);
+            ASSERT_EQ(lb != nullptr, rlb != ref.end());
+            if (lb) {
+                ASSERT_EQ(lb->key, rlb->first);
+            }
+            break;
+          }
+        }
+        if (step % 128 == 0) {
+            ASSERT_TRUE(t.checkInvariants()) << "step " << step;
+            ASSERT_EQ(t.size(), ref.size());
+        }
+    }
+    ASSERT_TRUE(t.checkInvariants());
+
+    // Full in-order agreement at the end.
+    auto it = ref.begin();
+    for (auto *n = t.first(); n; n = Tree::next(n), ++it) {
+        ASSERT_NE(it, ref.end());
+        ASSERT_EQ(n->key, it->first);
+        ASSERT_EQ(n->value, it->second);
+    }
+    ASSERT_EQ(it, ref.end());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RbTreeProperty,
+                         testing::Values(1, 2, 3, 5, 8, 13, 21, 34));

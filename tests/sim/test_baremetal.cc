@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "stramash/common/rng.hh"
+#include "stramash/sim/baremetal_ref.hh"
+
+using namespace stramash;
+
+TEST(BareMetalRef, ConfigsExist)
+{
+    for (const auto &cfg :
+         {BareMetalConfig::smallArm(), BareMetalConfig::bigArm(),
+          BareMetalConfig::smallX86(), BareMetalConfig::bigX86()}) {
+        EXPECT_FALSE(cfg.name.empty());
+        EXPECT_GT(cfg.baseCpi, 0.5);
+        EXPECT_LE(cfg.baseCpi, 1.0);
+        EXPECT_GT(cfg.stallExposure, 0.5);
+        EXPECT_LE(cfg.stallExposure, 1.0);
+    }
+}
+
+TEST(BareMetalRef, RetireAccumulates)
+{
+    BareMetalRef ref(BareMetalConfig::bigX86());
+    ref.retire(1000);
+    auto c = ref.counters();
+    EXPECT_EQ(c.instructions, 1000u);
+    EXPECT_EQ(c.cycles,
+              static_cast<Cycles>(
+                  1000 * BareMetalConfig::bigX86().baseCpi));
+}
+
+TEST(BareMetalRef, MemoryStallsPartiallyHidden)
+{
+    BareMetalRef a(BareMetalConfig::bigX86());
+    a.retire(100);
+    Cycles base = a.counters().cycles;
+    a.access(AccessType::Load, 0x10000); // cold miss
+    Cycles withMiss = a.counters().cycles;
+    const auto &prof = latencyProfile(CoreModel::XeonGold);
+    Cycles stall = withMiss - base;
+    EXPECT_LT(stall, prof.mem); // partially hidden
+    EXPECT_GT(stall, prof.mem / 2);
+}
+
+TEST(BareMetalRef, L1HitsAreFree)
+{
+    BareMetalRef a(BareMetalConfig::bigX86());
+    a.access(AccessType::Load, 0x10000);
+    Cycles after = a.counters().cycles;
+    a.access(AccessType::Load, 0x10000); // L1 hit
+    EXPECT_EQ(a.counters().cycles, after);
+}
+
+TEST(BareMetalRef, IpcAboveOneForCacheFriendlyCode)
+{
+    // With an L1-resident working set, the superscalar base CPI
+    // dominates and IPC exceeds 1 once cold misses amortise.
+    BareMetalRef a(BareMetalConfig::bigX86());
+    Rng rng(5);
+    for (int i = 0; i < 200000; ++i) {
+        a.retire(8);
+        a.access(rng.chance(0.3) ? AccessType::Store
+                                 : AccessType::Load,
+                 0x10000 + (i % 512) * 64);
+    }
+    EXPECT_GT(a.counters().ipc(), 1.0);
+}
+
+TEST(BareMetalRef, ResetClearsEverything)
+{
+    BareMetalRef a(BareMetalConfig::smallArm());
+    a.retire(10);
+    a.access(AccessType::Load, 0x1000);
+    a.reset();
+    EXPECT_EQ(a.counters().instructions, 0u);
+    EXPECT_EQ(a.counters().cycles, 0u);
+}
+
+TEST(BareMetalRef, SmallArmHasNoL3)
+{
+    // The A72 profile's L3 latency is 0, so its reference machine
+    // must run without an L3 level (misses go to memory).
+    BareMetalRef a(BareMetalConfig::smallArm());
+    a.access(AccessType::Load, 0x2000);
+    Cycles first = a.counters().cycles;
+    EXPECT_GT(first, 0u);
+}
+
+TEST(PerfCounters, IpcHandlesZeroCycles)
+{
+    PerfCounters c;
+    EXPECT_EQ(c.ipc(), 0.0);
+}

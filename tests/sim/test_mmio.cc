@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "stramash/common/units.hh"
+#include "stramash/sim/mmio.hh"
+
+using namespace stramash;
+
+namespace
+{
+
+class MmioTest : public testing::Test
+{
+  protected:
+    MmioTest()
+        : machine_(MachineConfig::paperPair(MemoryModel::Shared)),
+          bus_(machine_),
+          console_(0, mmioBase_) // owned by the x86 instance
+    {
+        bus_.attach(&console_);
+    }
+
+    // The 3-4 GiB hole is the natural MMIO home (paper Fig. 4).
+    static constexpr Addr mmioBase_ = 3_GiB + 0x1000;
+
+    Machine machine_;
+    MmioBus bus_;
+    ConsoleDevice console_;
+};
+
+} // namespace
+
+TEST_F(MmioTest, ClaimsOnlyItsWindow)
+{
+    EXPECT_TRUE(bus_.claims(mmioBase_));
+    EXPECT_TRUE(bus_.claims(mmioBase_ + pageSize - 1));
+    EXPECT_FALSE(bus_.claims(mmioBase_ + pageSize));
+    EXPECT_FALSE(bus_.claims(0x1000));
+}
+
+TEST_F(MmioTest, DeviceSemanticsWork)
+{
+    for (char c : std::string("stramash"))
+        bus_.write(0, mmioBase_, static_cast<std::uint64_t>(c));
+    EXPECT_EQ(console_.output(), "stramash");
+    EXPECT_EQ(bus_.read(0, mmioBase_ + 8), 8u);
+}
+
+TEST_F(MmioTest, AllNodesCanAccessAllDevices)
+{
+    // Paper §3: "All MMIO devices are accessible by all processors".
+    bus_.write(1, mmioBase_, 'A'); // the Arm instance lacks the device
+    bus_.write(0, mmioBase_, 'B');
+    EXPECT_EQ(console_.output(), "AB");
+}
+
+TEST_F(MmioTest, RemoteAccessPaysRedirection)
+{
+    Cycles x86Before = machine_.node(0).cycles();
+    bus_.write(0, mmioBase_, 'x');
+    Cycles localCost = machine_.node(0).cycles() - x86Before;
+
+    Cycles armBefore = machine_.node(1).cycles();
+    bus_.write(1, mmioBase_, 'y');
+    Cycles remoteCost = machine_.node(1).cycles() - armBefore;
+
+    EXPECT_GT(remoteCost, localCost);
+    EXPECT_EQ(bus_.stats().value("local"), 1u);
+    EXPECT_EQ(bus_.stats().value("redirected"), 1u);
+}
+
+TEST_F(MmioTest, MultipleDevicesRoute)
+{
+    ConsoleDevice armConsole(1, mmioBase_ + 2 * pageSize);
+    bus_.attach(&armConsole);
+    bus_.write(0, mmioBase_, 'p');
+    bus_.write(0, mmioBase_ + 2 * pageSize, 'q');
+    EXPECT_EQ(console_.output(), "p");
+    EXPECT_EQ(armConsole.output(), "q");
+    // x86 owns the first, Arm the second: one redirection.
+    EXPECT_EQ(bus_.stats().value("redirected"), 1u);
+}
+
+TEST_F(MmioTest, DeathOnOverlappingWindows)
+{
+    ConsoleDevice overlapping(1, mmioBase_ + 16);
+    EXPECT_DEATH(bus_.attach(&overlapping), "overlap");
+}
+
+TEST_F(MmioTest, DeathOnDramWindow)
+{
+    ConsoleDevice inDram(0, 0x100000);
+    EXPECT_DEATH(bus_.attach(&inDram), "DRAM");
+}
+
+TEST_F(MmioTest, DeathOnUnclaimedAccess)
+{
+    EXPECT_DEATH(bus_.read(0, 3_GiB + 0x900000), "unclaimed");
+}

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "stramash/workloads/kvstore.hh"
+
+using namespace stramash;
+
+namespace
+{
+
+class KvStoreTest : public testing::Test
+{
+  protected:
+    KvStoreTest()
+    {
+        SystemConfig cfg;
+        cfg.osDesign = OsDesign::FusedKernel;
+        cfg.cachePluginEnabled = false; // functional mode (§9.2.8)
+        sys_ = std::make_unique<System>(cfg);
+        app_ = std::make_unique<App>(*sys_, 0);
+        store_ = std::make_unique<KvStore>(*app_, 64, 256);
+        store_->populate();
+    }
+
+    std::unique_ptr<System> sys_;
+    std::unique_ptr<App> app_;
+    std::unique_ptr<KvStore> store_;
+};
+
+} // namespace
+
+TEST_F(KvStoreTest, OpNames)
+{
+    EXPECT_STREQ(kvOpName(KvOp::Get), "get");
+    EXPECT_STREQ(kvOpName(KvOp::MSet), "mset");
+    EXPECT_EQ(allKvOps().size(), 8u);
+}
+
+TEST_F(KvStoreTest, SetThenGetRoundTrip)
+{
+    std::vector<std::uint8_t> payload(256, 0x42);
+    store_->exec(KvOp::Set, 5, payload.data());
+    auto back = store_->getValue(5);
+    EXPECT_EQ(back, payload);
+}
+
+TEST_F(KvStoreTest, ListPushPopSemantics)
+{
+    std::size_t len = store_->listLength();
+    std::vector<std::uint8_t> payload(256, 0x11);
+    store_->exec(KvOp::RPush, 0, payload.data());
+    EXPECT_EQ(store_->listLength(), len + 1);
+    store_->exec(KvOp::LPush, 0, payload.data());
+    EXPECT_EQ(store_->listLength(), len + 2);
+    store_->exec(KvOp::LPop, 0, nullptr);
+    store_->exec(KvOp::RPop, 0, nullptr);
+    EXPECT_EQ(store_->listLength(), len);
+}
+
+TEST_F(KvStoreTest, MSetWritesFourSlots)
+{
+    std::vector<std::uint8_t> payload(256, 0x77);
+    store_->exec(KvOp::MSet, 3, payload.data());
+    EXPECT_EQ(store_->getValue(3), payload);
+    EXPECT_EQ(store_->getValue((3 + 97) % 64), payload);
+}
+
+TEST_F(KvStoreTest, OpsWorkAfterMigration)
+{
+    std::vector<std::uint8_t> payload(256, 0x9d);
+    app_->migrateToOther();
+    store_->exec(KvOp::Set, 7, payload.data());
+    store_->exec(KvOp::SAdd, 9, payload.data());
+    EXPECT_EQ(store_->getValue(7), payload);
+    app_->migrateToOther();
+    // Data written remotely reads back at the origin.
+    EXPECT_EQ(store_->getValue(7), payload);
+}
+
+TEST_F(KvStoreTest, MeasureRoundAdvancesClock)
+{
+    app_->migrateToOther();
+    Rng rng(1);
+    Cycles c = store_->measureRound(KvOp::Get, 50, rng);
+    EXPECT_GT(c, 0u);
+}
+
+TEST(KvStoreSocketPath, PopcornForwardsStramashUsesIpi)
+{
+    // The socket stays at the origin: remotely-served requests
+    // forward it — two messages per request under Popcorn, one IPI
+    // and zero messages under Stramash (§7.4 fused device access).
+    auto run = [](OsDesign design, std::uint64_t &msgs,
+                  std::uint64_t &ipis) {
+        SystemConfig cfg;
+        cfg.osDesign = design;
+        cfg.memoryModel = MemoryModel::Shared;
+        cfg.cachePluginEnabled = false;
+        System sys(cfg);
+        App app(sys, 0);
+        KvStore store(app, 64, 256);
+        store.populate();
+        app.migrateToOther();
+        // Warm the DB pages first so only socket forwarding remains.
+        Rng warm(5);
+        store.measureRound(KvOp::Get, 64, warm);
+        auto msgs0 = sys.messagesSent();
+        auto ipis0 = sys.machine().ipisReceived(0);
+        Rng rng(3);
+        store.measureRound(KvOp::Get, 10, rng);
+        msgs = sys.messagesSent() - msgs0;
+        ipis = sys.machine().ipisReceived(0) - ipis0;
+    };
+    std::uint64_t popMsgs = 0, popIpis = 0;
+    run(OsDesign::MultipleKernel, popMsgs, popIpis);
+    EXPECT_EQ(popMsgs, 20u); // request + response per request
+
+    std::uint64_t fusedMsgs = 0, fusedIpis = 0;
+    run(OsDesign::FusedKernel, fusedMsgs, fusedIpis);
+    EXPECT_EQ(fusedMsgs, 0u);
+    EXPECT_EQ(fusedIpis, 10u); // one doorbell IPI per request
+}
+
+TEST(KvStoreSocketPath, LocalServiceNeedsNeither)
+{
+    SystemConfig cfg;
+    cfg.osDesign = OsDesign::MultipleKernel;
+    cfg.cachePluginEnabled = false;
+    System sys(cfg);
+    App app(sys, 0);
+    KvStore store(app, 64, 256);
+    store.populate();
+    auto msgs0 = sys.messagesSent();
+    Rng rng(3);
+    store.measureRound(KvOp::Set, 10, rng);
+    EXPECT_EQ(sys.messagesSent(), msgs0);
+}
+
+TEST(KvStoreSpeedup, StramashBeatsShmBeatsTcp)
+{
+    // Fig. 14's ordering, in miniature: serve rounds from the
+    // remote side under the three configurations.
+    auto measure = [](OsDesign design, Transport transport) {
+        SystemConfig cfg;
+        cfg.osDesign = design;
+        cfg.transport = transport;
+        cfg.memoryModel = MemoryModel::Shared;
+        cfg.cachePluginEnabled = false;
+        System sys(cfg);
+        App app(sys, 0);
+        KvStore store(app, 64, 256);
+        store.populate();
+        app.migrateToOther();
+        Rng rng(7);
+        Cycles total = 0;
+        for (KvOp op : allKvOps())
+            total += store.measureRound(op, 30, rng);
+        return total;
+    };
+
+    Cycles tcp =
+        measure(OsDesign::MultipleKernel, Transport::Network);
+    Cycles shm =
+        measure(OsDesign::MultipleKernel, Transport::SharedMemory);
+    Cycles fused =
+        measure(OsDesign::FusedKernel, Transport::SharedMemory);
+    EXPECT_LT(shm, tcp);
+    EXPECT_LT(fused, shm);
+}

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "stramash/workloads/microbench.hh"
+
+using namespace stramash;
+
+namespace
+{
+
+std::unique_ptr<System>
+makeSys(OsDesign design, MemoryModel model)
+{
+    SystemConfig cfg;
+    cfg.osDesign = design;
+    cfg.memoryModel = model;
+    cfg.transport = Transport::SharedMemory;
+    return std::make_unique<System>(cfg);
+}
+
+constexpr Addr ubenchBytes = 1 << 20; // 1 MiB keeps tests fast
+
+} // namespace
+
+TEST(MemAccess, CaseNames)
+{
+    EXPECT_STREQ(memAccessCaseName(MemAccessCase::Vanilla), "Vanilla");
+    EXPECT_STREQ(
+        memAccessCaseName(MemAccessCase::RemoteAccessOriginNoCold),
+        "RaO-NC");
+    EXPECT_STREQ(memAccessCaseName(MemAccessCase::OriginAccessRemote),
+                 "OaR");
+}
+
+TEST(MemAccess, VanillaIsCheapestForStramash)
+{
+    auto sys = makeSys(OsDesign::FusedKernel, MemoryModel::Shared);
+    Cycles vanilla =
+        runMemAccessCase(*sys, MemAccessCase::Vanilla, ubenchBytes);
+    sys = makeSys(OsDesign::FusedKernel, MemoryModel::Shared);
+    Cycles rao = runMemAccessCase(
+        *sys, MemAccessCase::RemoteAccessOrigin, ubenchBytes);
+    EXPECT_LT(vanilla, rao);
+}
+
+TEST(MemAccess, PopcornNoColdApproachesVanilla)
+{
+    // Fig. 11: once DSM has replicated, warm remote access is local.
+    auto sys = makeSys(OsDesign::MultipleKernel, MemoryModel::Shared);
+    Cycles vanilla =
+        runMemAccessCase(*sys, MemAccessCase::Vanilla, ubenchBytes);
+    sys = makeSys(OsDesign::MultipleKernel, MemoryModel::Shared);
+    Cycles cold = runMemAccessCase(
+        *sys, MemAccessCase::RemoteAccessOrigin, ubenchBytes);
+    sys = makeSys(OsDesign::MultipleKernel, MemoryModel::Shared);
+    Cycles warm = runMemAccessCase(
+        *sys, MemAccessCase::RemoteAccessOriginNoCold, ubenchBytes);
+    EXPECT_LT(warm, cold / 2);
+    EXPECT_LT(warm, vanilla * 3); // close to local speed
+}
+
+TEST(MemAccess, StramashColdBeatsDsmCold)
+{
+    // Fig. 11: hardware coherence beats page replication on first
+    // touch (Shared model).
+    auto fused = makeSys(OsDesign::FusedKernel, MemoryModel::Shared);
+    Cycles f = runMemAccessCase(
+        *fused, MemAccessCase::RemoteAccessOrigin, ubenchBytes);
+    auto pop = makeSys(OsDesign::MultipleKernel, MemoryModel::Shared);
+    Cycles p = runMemAccessCase(
+        *pop, MemAccessCase::RemoteAccessOrigin, ubenchBytes);
+    EXPECT_LT(f, p);
+}
+
+TEST(MemAccess, FullySharedRemovesRemotePenaltyForStramash)
+{
+    auto shared = makeSys(OsDesign::FusedKernel, MemoryModel::Shared);
+    Cycles sharedCost = runMemAccessCase(
+        *shared, MemAccessCase::RemoteAccessOrigin, ubenchBytes);
+    auto fully =
+        makeSys(OsDesign::FusedKernel, MemoryModel::FullyShared);
+    Cycles fullyCost = runMemAccessCase(
+        *fully, MemAccessCase::RemoteAccessOrigin, ubenchBytes);
+    EXPECT_LT(fullyCost, sharedCost);
+}
+
+TEST(Granularity, DsmOverheadShrinksWithLinesTouched)
+{
+    // Fig. 12: the DSM-vs-hardware ratio is huge at one cacheline
+    // and shrinks toward ~2x at a full page.
+    const unsigned pages = 32;
+    auto ratioAt = [&](unsigned lines) {
+        auto pop =
+            makeSys(OsDesign::MultipleKernel, MemoryModel::Shared);
+        Cycles dsm = runGranularityCase(*pop, lines, pages);
+        auto fused =
+            makeSys(OsDesign::FusedKernel, MemoryModel::Shared);
+        Cycles hw = runGranularityCase(*fused, lines, pages);
+        return static_cast<double>(dsm) / static_cast<double>(hw);
+    };
+    double r1 = ratioAt(1);
+    double r64 = ratioAt(64);
+    // The paper reports >300x at one line; our modelled kernel
+    // software paths are thinner than real Linux's, compressing the
+    // extreme, but the shape — huge at fine grain, collapsing as
+    // more of the replicated page is actually used — must hold.
+    EXPECT_GT(r1, 8.0);
+    EXPECT_LT(r64, r1 / 3);
+    EXPECT_GT(r64, 0.8);
+}
+
+TEST(Granularity, CostGrowsWithLines)
+{
+    auto sys = makeSys(OsDesign::FusedKernel, MemoryModel::Shared);
+    Cycles c1 = runGranularityCase(*sys, 1, 16);
+    sys = makeSys(OsDesign::FusedKernel, MemoryModel::Shared);
+    Cycles c64 = runGranularityCase(*sys, 64, 16);
+    EXPECT_GT(c64, c1 * 8);
+}
+
+TEST(GranularityDeath, ZeroLinesPanics)
+{
+    auto sys = makeSys(OsDesign::FusedKernel, MemoryModel::Shared);
+    EXPECT_DEATH(runGranularityCase(*sys, 0, 4), "linesPerPage");
+    EXPECT_DEATH(runGranularityCase(*sys, 65, 4), "linesPerPage");
+}
+
+class FutexPingPong : public testing::TestWithParam<OsDesign>
+{
+};
+
+TEST_P(FutexPingPong, CounterIsExact)
+{
+    auto sys = makeSys(GetParam(), MemoryModel::Shared);
+    // runFutexPingPong panics internally if updates are lost.
+    Cycles c = runFutexPingPong(*sys, 50);
+    EXPECT_GT(c, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Designs, FutexPingPong,
+                         testing::Values(OsDesign::MultipleKernel,
+                                         OsDesign::FusedKernel),
+                         [](const auto &info) {
+                             return std::string(
+                                 osDesignName(info.param));
+                         });
+
+TEST(FutexPingPongCompare, StramashOptimizationWins)
+{
+    // Fig. 13: the futex-optimised (fused) path beats the full
+    // message protocol, and the gap grows with the loop count.
+    auto pop = makeSys(OsDesign::MultipleKernel, MemoryModel::Shared);
+    Cycles p = runFutexPingPong(*pop, 200);
+    auto fused = makeSys(OsDesign::FusedKernel, MemoryModel::Shared);
+    Cycles f = runFutexPingPong(*fused, 200);
+    EXPECT_LT(f, p);
+}
+
+TEST(FutexPingPongCompare, ScalesLinearlyWithLoops)
+{
+    auto sys = makeSys(OsDesign::FusedKernel, MemoryModel::Shared);
+    Cycles c100 = runFutexPingPong(*sys, 100);
+    sys = makeSys(OsDesign::FusedKernel, MemoryModel::Shared);
+    Cycles c400 = runFutexPingPong(*sys, 400);
+    EXPECT_GT(c400, 3 * c100);
+    EXPECT_LT(c400, 6 * c100);
+}
