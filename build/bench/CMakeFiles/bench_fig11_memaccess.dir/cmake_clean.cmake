@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_memaccess.dir/bench_fig11_memaccess.cc.o"
+  "CMakeFiles/bench_fig11_memaccess.dir/bench_fig11_memaccess.cc.o.d"
+  "bench_fig11_memaccess"
+  "bench_fig11_memaccess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_memaccess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_futex.dir/bench_fig13_futex.cc.o"
+  "CMakeFiles/bench_fig13_futex.dir/bench_fig13_futex.cc.o.d"
+  "bench_fig13_futex"
+  "bench_fig13_futex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_futex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

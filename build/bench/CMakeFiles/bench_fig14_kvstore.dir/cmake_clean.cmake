@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_kvstore.dir/bench_fig14_kvstore.cc.o"
+  "CMakeFiles/bench_fig14_kvstore.dir/bench_fig14_kvstore.cc.o.d"
+  "bench_fig14_kvstore"
+  "bench_fig14_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

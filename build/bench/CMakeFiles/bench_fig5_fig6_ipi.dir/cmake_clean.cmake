@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_fig6_ipi.dir/bench_fig5_fig6_ipi.cc.o"
+  "CMakeFiles/bench_fig5_fig6_ipi.dir/bench_fig5_fig6_ipi.cc.o.d"
+  "bench_fig5_fig6_ipi"
+  "bench_fig5_fig6_ipi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_fig6_ipi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_icount.dir/bench_fig7_icount.cc.o"
+  "CMakeFiles/bench_fig7_icount.dir/bench_fig7_icount.cc.o.d"
+  "bench_fig7_icount"
+  "bench_fig7_icount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_icount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_messages.dir/bench_table3_messages.cc.o"
+  "CMakeFiles/bench_table3_messages.dir/bench_table3_messages.cc.o.d"
+  "bench_table3_messages"
+  "bench_table3_messages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/common/bench_util.cc" "bench/CMakeFiles/bench_util.dir/common/bench_util.cc.o" "gcc" "bench/CMakeFiles/bench_util.dir/common/bench_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stramash/workloads/CMakeFiles/stramash_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/stramash/core/CMakeFiles/stramash_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stramash/fused/CMakeFiles/stramash_fused.dir/DependInfo.cmake"
+  "/root/repo/build/src/stramash/dsm/CMakeFiles/stramash_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/stramash/kernel/CMakeFiles/stramash_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/stramash/msg/CMakeFiles/stramash_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/stramash/sim/CMakeFiles/stramash_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stramash/isa/CMakeFiles/stramash_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/stramash/cache/CMakeFiles/stramash_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/stramash/mem/CMakeFiles/stramash_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/stramash/common/CMakeFiles/stramash_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

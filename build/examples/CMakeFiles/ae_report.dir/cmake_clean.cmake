@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ae_report.dir/ae_report.cpp.o"
+  "CMakeFiles/ae_report.dir/ae_report.cpp.o.d"
+  "ae_report"
+  "ae_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ae_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

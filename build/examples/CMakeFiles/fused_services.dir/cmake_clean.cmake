@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fused_services.dir/fused_services.cpp.o"
+  "CMakeFiles/fused_services.dir/fused_services.cpp.o.d"
+  "fused_services"
+  "fused_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fused_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_models.dir/memory_models.cpp.o"
+  "CMakeFiles/memory_models.dir/memory_models.cpp.o.d"
+  "memory_models"
+  "memory_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npb_migration.dir/npb_migration.cpp.o"
+  "CMakeFiles/npb_migration.dir/npb_migration.cpp.o.d"
+  "npb_migration"
+  "npb_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npb_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

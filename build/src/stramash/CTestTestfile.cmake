@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src/stramash
+# Build directory: /root/repo/build/src/stramash
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("rbtree")
+subdirs("mem")
+subdirs("cache")
+subdirs("isa")
+subdirs("sim")
+subdirs("msg")
+subdirs("kernel")
+subdirs("dsm")
+subdirs("fused")
+subdirs("core")
+subdirs("workloads")

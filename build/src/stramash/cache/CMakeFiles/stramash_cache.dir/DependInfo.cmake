@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stramash/cache/cache.cc" "src/stramash/cache/CMakeFiles/stramash_cache.dir/cache.cc.o" "gcc" "src/stramash/cache/CMakeFiles/stramash_cache.dir/cache.cc.o.d"
+  "/root/repo/src/stramash/cache/coherence.cc" "src/stramash/cache/CMakeFiles/stramash_cache.dir/coherence.cc.o" "gcc" "src/stramash/cache/CMakeFiles/stramash_cache.dir/coherence.cc.o.d"
+  "/root/repo/src/stramash/cache/hierarchy.cc" "src/stramash/cache/CMakeFiles/stramash_cache.dir/hierarchy.cc.o" "gcc" "src/stramash/cache/CMakeFiles/stramash_cache.dir/hierarchy.cc.o.d"
+  "/root/repo/src/stramash/cache/ruby_ref.cc" "src/stramash/cache/CMakeFiles/stramash_cache.dir/ruby_ref.cc.o" "gcc" "src/stramash/cache/CMakeFiles/stramash_cache.dir/ruby_ref.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stramash/common/CMakeFiles/stramash_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stramash/mem/CMakeFiles/stramash_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

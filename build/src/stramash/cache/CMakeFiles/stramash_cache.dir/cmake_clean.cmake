@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stramash_cache.dir/cache.cc.o"
+  "CMakeFiles/stramash_cache.dir/cache.cc.o.d"
+  "CMakeFiles/stramash_cache.dir/coherence.cc.o"
+  "CMakeFiles/stramash_cache.dir/coherence.cc.o.d"
+  "CMakeFiles/stramash_cache.dir/hierarchy.cc.o"
+  "CMakeFiles/stramash_cache.dir/hierarchy.cc.o.d"
+  "CMakeFiles/stramash_cache.dir/ruby_ref.cc.o"
+  "CMakeFiles/stramash_cache.dir/ruby_ref.cc.o.d"
+  "libstramash_cache.a"
+  "libstramash_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stramash_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stramash_common.dir/logging.cc.o"
+  "CMakeFiles/stramash_common.dir/logging.cc.o.d"
+  "CMakeFiles/stramash_common.dir/stats.cc.o"
+  "CMakeFiles/stramash_common.dir/stats.cc.o.d"
+  "CMakeFiles/stramash_common.dir/types.cc.o"
+  "CMakeFiles/stramash_common.dir/types.cc.o.d"
+  "libstramash_common.a"
+  "libstramash_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stramash_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

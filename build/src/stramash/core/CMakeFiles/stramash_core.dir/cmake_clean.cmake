@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stramash_core.dir/ae_report.cc.o"
+  "CMakeFiles/stramash_core.dir/ae_report.cc.o.d"
+  "CMakeFiles/stramash_core.dir/app.cc.o"
+  "CMakeFiles/stramash_core.dir/app.cc.o.d"
+  "CMakeFiles/stramash_core.dir/system.cc.o"
+  "CMakeFiles/stramash_core.dir/system.cc.o.d"
+  "libstramash_core.a"
+  "libstramash_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stramash_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stramash_dsm.dir/dsm_engine.cc.o"
+  "CMakeFiles/stramash_dsm.dir/dsm_engine.cc.o.d"
+  "CMakeFiles/stramash_dsm.dir/popcorn.cc.o"
+  "CMakeFiles/stramash_dsm.dir/popcorn.cc.o.d"
+  "libstramash_dsm.a"
+  "libstramash_dsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stramash_dsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stramash_fused.dir/global_alloc.cc.o"
+  "CMakeFiles/stramash_fused.dir/global_alloc.cc.o.d"
+  "CMakeFiles/stramash_fused.dir/packing.cc.o"
+  "CMakeFiles/stramash_fused.dir/packing.cc.o.d"
+  "CMakeFiles/stramash_fused.dir/stramash.cc.o"
+  "CMakeFiles/stramash_fused.dir/stramash.cc.o.d"
+  "libstramash_fused.a"
+  "libstramash_fused.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stramash_fused.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stramash/isa/isa.cc" "src/stramash/isa/CMakeFiles/stramash_isa.dir/isa.cc.o" "gcc" "src/stramash/isa/CMakeFiles/stramash_isa.dir/isa.cc.o.d"
+  "/root/repo/src/stramash/isa/page_table.cc" "src/stramash/isa/CMakeFiles/stramash_isa.dir/page_table.cc.o" "gcc" "src/stramash/isa/CMakeFiles/stramash_isa.dir/page_table.cc.o.d"
+  "/root/repo/src/stramash/isa/pte_format.cc" "src/stramash/isa/CMakeFiles/stramash_isa.dir/pte_format.cc.o" "gcc" "src/stramash/isa/CMakeFiles/stramash_isa.dir/pte_format.cc.o.d"
+  "/root/repo/src/stramash/isa/regfile.cc" "src/stramash/isa/CMakeFiles/stramash_isa.dir/regfile.cc.o" "gcc" "src/stramash/isa/CMakeFiles/stramash_isa.dir/regfile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stramash/common/CMakeFiles/stramash_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stramash/mem/CMakeFiles/stramash_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stramash_isa.dir/isa.cc.o"
+  "CMakeFiles/stramash_isa.dir/isa.cc.o.d"
+  "CMakeFiles/stramash_isa.dir/page_table.cc.o"
+  "CMakeFiles/stramash_isa.dir/page_table.cc.o.d"
+  "CMakeFiles/stramash_isa.dir/pte_format.cc.o"
+  "CMakeFiles/stramash_isa.dir/pte_format.cc.o.d"
+  "CMakeFiles/stramash_isa.dir/regfile.cc.o"
+  "CMakeFiles/stramash_isa.dir/regfile.cc.o.d"
+  "libstramash_isa.a"
+  "libstramash_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stramash_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

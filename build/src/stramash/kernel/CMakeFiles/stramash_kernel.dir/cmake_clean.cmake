@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stramash_kernel.dir/address_space.cc.o"
+  "CMakeFiles/stramash_kernel.dir/address_space.cc.o.d"
+  "CMakeFiles/stramash_kernel.dir/kernel.cc.o"
+  "CMakeFiles/stramash_kernel.dir/kernel.cc.o.d"
+  "CMakeFiles/stramash_kernel.dir/phys_alloc.cc.o"
+  "CMakeFiles/stramash_kernel.dir/phys_alloc.cc.o.d"
+  "CMakeFiles/stramash_kernel.dir/vma.cc.o"
+  "CMakeFiles/stramash_kernel.dir/vma.cc.o.d"
+  "libstramash_kernel.a"
+  "libstramash_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stramash_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

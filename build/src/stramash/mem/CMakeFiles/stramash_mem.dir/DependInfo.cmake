@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stramash/mem/latency_profile.cc" "src/stramash/mem/CMakeFiles/stramash_mem.dir/latency_profile.cc.o" "gcc" "src/stramash/mem/CMakeFiles/stramash_mem.dir/latency_profile.cc.o.d"
+  "/root/repo/src/stramash/mem/phys_map.cc" "src/stramash/mem/CMakeFiles/stramash_mem.dir/phys_map.cc.o" "gcc" "src/stramash/mem/CMakeFiles/stramash_mem.dir/phys_map.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stramash/common/CMakeFiles/stramash_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stramash_mem.dir/latency_profile.cc.o"
+  "CMakeFiles/stramash_mem.dir/latency_profile.cc.o.d"
+  "CMakeFiles/stramash_mem.dir/phys_map.cc.o"
+  "CMakeFiles/stramash_mem.dir/phys_map.cc.o.d"
+  "libstramash_mem.a"
+  "libstramash_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stramash_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

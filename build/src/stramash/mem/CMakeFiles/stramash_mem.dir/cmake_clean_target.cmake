@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstramash_mem.a"
+)

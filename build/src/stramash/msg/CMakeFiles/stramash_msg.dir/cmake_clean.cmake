@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stramash_msg.dir/ring_buffer.cc.o"
+  "CMakeFiles/stramash_msg.dir/ring_buffer.cc.o.d"
+  "CMakeFiles/stramash_msg.dir/transport.cc.o"
+  "CMakeFiles/stramash_msg.dir/transport.cc.o.d"
+  "libstramash_msg.a"
+  "libstramash_msg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stramash_msg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stramash/sim/baremetal_ref.cc" "src/stramash/sim/CMakeFiles/stramash_sim.dir/baremetal_ref.cc.o" "gcc" "src/stramash/sim/CMakeFiles/stramash_sim.dir/baremetal_ref.cc.o.d"
+  "/root/repo/src/stramash/sim/ipi_topology.cc" "src/stramash/sim/CMakeFiles/stramash_sim.dir/ipi_topology.cc.o" "gcc" "src/stramash/sim/CMakeFiles/stramash_sim.dir/ipi_topology.cc.o.d"
+  "/root/repo/src/stramash/sim/machine.cc" "src/stramash/sim/CMakeFiles/stramash_sim.dir/machine.cc.o" "gcc" "src/stramash/sim/CMakeFiles/stramash_sim.dir/machine.cc.o.d"
+  "/root/repo/src/stramash/sim/mmio.cc" "src/stramash/sim/CMakeFiles/stramash_sim.dir/mmio.cc.o" "gcc" "src/stramash/sim/CMakeFiles/stramash_sim.dir/mmio.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stramash/cache/CMakeFiles/stramash_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/stramash/common/CMakeFiles/stramash_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stramash/isa/CMakeFiles/stramash_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/stramash/mem/CMakeFiles/stramash_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stramash_sim.dir/baremetal_ref.cc.o"
+  "CMakeFiles/stramash_sim.dir/baremetal_ref.cc.o.d"
+  "CMakeFiles/stramash_sim.dir/ipi_topology.cc.o"
+  "CMakeFiles/stramash_sim.dir/ipi_topology.cc.o.d"
+  "CMakeFiles/stramash_sim.dir/machine.cc.o"
+  "CMakeFiles/stramash_sim.dir/machine.cc.o.d"
+  "CMakeFiles/stramash_sim.dir/mmio.cc.o"
+  "CMakeFiles/stramash_sim.dir/mmio.cc.o.d"
+  "libstramash_sim.a"
+  "libstramash_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stramash_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stramash_workloads.dir/kvstore.cc.o"
+  "CMakeFiles/stramash_workloads.dir/kvstore.cc.o.d"
+  "CMakeFiles/stramash_workloads.dir/microbench.cc.o"
+  "CMakeFiles/stramash_workloads.dir/microbench.cc.o.d"
+  "CMakeFiles/stramash_workloads.dir/npb.cc.o"
+  "CMakeFiles/stramash_workloads.dir/npb.cc.o.d"
+  "libstramash_workloads.a"
+  "libstramash_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stramash_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsm.dir/dsm/test_dsm_engine.cc.o"
+  "CMakeFiles/test_dsm.dir/dsm/test_dsm_engine.cc.o.d"
+  "CMakeFiles/test_dsm.dir/dsm/test_popcorn.cc.o"
+  "CMakeFiles/test_dsm.dir/dsm/test_popcorn.cc.o.d"
+  "CMakeFiles/test_dsm.dir/dsm/test_writeback_interplay.cc.o"
+  "CMakeFiles/test_dsm.dir/dsm/test_writeback_interplay.cc.o.d"
+  "test_dsm"
+  "test_dsm.pdb"
+  "test_dsm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

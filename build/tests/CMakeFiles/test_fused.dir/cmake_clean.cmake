@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fused.dir/fused/test_fused_vas.cc.o"
+  "CMakeFiles/test_fused.dir/fused/test_fused_vas.cc.o.d"
+  "CMakeFiles/test_fused.dir/fused/test_global_alloc.cc.o"
+  "CMakeFiles/test_fused.dir/fused/test_global_alloc.cc.o.d"
+  "CMakeFiles/test_fused.dir/fused/test_packing.cc.o"
+  "CMakeFiles/test_fused.dir/fused/test_packing.cc.o.d"
+  "CMakeFiles/test_fused.dir/fused/test_stramash.cc.o"
+  "CMakeFiles/test_fused.dir/fused/test_stramash.cc.o.d"
+  "test_fused"
+  "test_fused.pdb"
+  "test_fused[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fused.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

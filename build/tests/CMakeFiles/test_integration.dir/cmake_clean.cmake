@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/test_cross_design.cc.o"
+  "CMakeFiles/test_integration.dir/integration/test_cross_design.cc.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_futex_semantics.cc.o"
+  "CMakeFiles/test_integration.dir/integration/test_futex_semantics.cc.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_migration_consistency.cc.o"
+  "CMakeFiles/test_integration.dir/integration/test_migration_consistency.cc.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_process_migration.cc.o"
+  "CMakeFiles/test_integration.dir/integration/test_process_migration.cc.o.d"
+  "test_integration"
+  "test_integration.pdb"
+  "test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_isa.dir/isa/test_page_table.cc.o"
+  "CMakeFiles/test_isa.dir/isa/test_page_table.cc.o.d"
+  "CMakeFiles/test_isa.dir/isa/test_page_table_fuzz.cc.o"
+  "CMakeFiles/test_isa.dir/isa/test_page_table_fuzz.cc.o.d"
+  "CMakeFiles/test_isa.dir/isa/test_pte_format.cc.o"
+  "CMakeFiles/test_isa.dir/isa/test_pte_format.cc.o.d"
+  "CMakeFiles/test_isa.dir/isa/test_regfile.cc.o"
+  "CMakeFiles/test_isa.dir/isa/test_regfile.cc.o.d"
+  "test_isa"
+  "test_isa.pdb"
+  "test_isa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

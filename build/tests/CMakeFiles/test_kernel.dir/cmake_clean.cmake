@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel.dir/kernel/test_address_space.cc.o"
+  "CMakeFiles/test_kernel.dir/kernel/test_address_space.cc.o.d"
+  "CMakeFiles/test_kernel.dir/kernel/test_kernel.cc.o"
+  "CMakeFiles/test_kernel.dir/kernel/test_kernel.cc.o.d"
+  "CMakeFiles/test_kernel.dir/kernel/test_phys_alloc.cc.o"
+  "CMakeFiles/test_kernel.dir/kernel/test_phys_alloc.cc.o.d"
+  "CMakeFiles/test_kernel.dir/kernel/test_remote_guard.cc.o"
+  "CMakeFiles/test_kernel.dir/kernel/test_remote_guard.cc.o.d"
+  "CMakeFiles/test_kernel.dir/kernel/test_vma.cc.o"
+  "CMakeFiles/test_kernel.dir/kernel/test_vma.cc.o.d"
+  "test_kernel"
+  "test_kernel.pdb"
+  "test_kernel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/test_baremetal.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_baremetal.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_ipi_topology.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_ipi_topology.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_machine.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_machine.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_mmio.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_mmio.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_stream_and_trace.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_stream_and_trace.cc.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
