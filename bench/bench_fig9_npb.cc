@@ -22,9 +22,10 @@ using namespace stramash;
 using namespace stramash::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
+    ArtifactWriter artifacts(parseArtifactArgs(argc, argv));
     std::printf("=== Figure 9: NPB cross-ISA migration, normalised "
                 "execution time ===\n\n");
 
@@ -57,7 +58,8 @@ main()
         Cycles vanilla = 0;
         double shmShared = 0, stramashShared = 0, tcp = 0;
         for (const auto &config : configs) {
-            EvalResult r = runNpbConfig(kernel, config, ncfg);
+            EvalResult r = runNpbConfig(kernel, config, ncfg,
+                                        &artifacts);
             if (config.label == "Vanilla")
                 vanilla = r.runtime;
             double norm = vanilla

@@ -1,7 +1,12 @@
 #include "bench_util.hh"
 
+#include <cctype>
 #include <cstdio>
+#include <fstream>
 #include <sstream>
+
+#include "stramash/trace/json_stats.hh"
+#include "stramash/trace/json_util.hh"
 
 namespace stramash::bench
 {
@@ -89,15 +94,119 @@ figure9Configs(Addr l3Size)
     };
 }
 
+ArtifactOptions
+parseArtifactArgs(int argc, char **argv)
+{
+    ArtifactOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--trace-out" && i + 1 < argc)
+            opts.traceOut = argv[++i];
+        else if (arg == "--stats-json" && i + 1 < argc)
+            opts.statsJson = argv[++i];
+    }
+    return opts;
+}
+
+ArtifactWriter::ArtifactWriter(ArtifactOptions opts)
+    : opts_(std::move(opts))
+{
+}
+
+void
+ArtifactWriter::apply(SystemConfig &cfg) const
+{
+    if (wantsTrace())
+        cfg.trace.enabled = true;
+}
+
+namespace
+{
+
+std::string
+labelledPath(const std::string &path, const std::string &label)
+{
+    std::string safe;
+    for (char c : label)
+        safe += (std::isalnum(static_cast<unsigned char>(c)) ||
+                 c == '-' || c == '_')
+                    ? c
+                    : '_';
+    auto dot = path.rfind('.');
+    auto slash = path.rfind('/');
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash))
+        return path + "." + safe;
+    return path.substr(0, dot) + "." + safe + path.substr(dot);
+}
+
+} // namespace
+
+void
+ArtifactWriter::capture(System &sys, const std::string &label)
+{
+    if (wantsTrace()) {
+        // Per-run labelled file, plus the plain --trace-out path
+        // always holding the latest capture (the most interesting
+        // runs — migrating configs — come last in every harness).
+        bool ok = sys.writeChromeTrace(labelledPath(opts_.traceOut, label));
+        ok = sys.writeChromeTrace(opts_.traceOut) && ok;
+        if (ok) {
+            ++traceCaptures_;
+        } else if (!traceWriteFailed_) {
+            // Benches run setQuiet(true), which swallows warn();
+            // a requested artifact that cannot be written must
+            // still be reported.
+            traceWriteFailed_ = true;
+            std::fprintf(stderr,
+                         "warning: cannot write trace to %s\n",
+                         opts_.traceOut.c_str());
+        }
+    }
+    if (!opts_.statsJson.empty()) {
+        JsonStatsExporter exporter;
+        sys.forEachStatGroup(
+            [&](const StatGroup &g) { exporter.add(g); });
+        std::ostringstream os;
+        exporter.writeGroupsObject(os);
+        statRuns_.emplace_back(label, os.str());
+    }
+}
+
+ArtifactWriter::~ArtifactWriter()
+{
+    if (opts_.statsJson.empty() || statRuns_.empty())
+        return;
+    std::ofstream out(opts_.statsJson);
+    if (!out) {
+        std::fprintf(stderr,
+                     "warning: cannot write stats JSON to %s\n",
+                     opts_.statsJson.c_str());
+        return;
+    }
+    out << "{\"runs\":{";
+    bool first = true;
+    for (const auto &[label, groups] : statRuns_) {
+        if (!first)
+            out << ",";
+        first = false;
+        json::writeString(out, label);
+        out << ":" << groups;
+    }
+    out << "}}\n";
+}
+
 EvalResult
 runNpbConfig(const std::string &kernel, const EvalConfig &config,
-             const NpbConfig &ncfg)
+             const NpbConfig &ncfg, ArtifactWriter *artifacts)
 {
     SystemConfig cfg;
     cfg.osDesign = config.design;
     cfg.memoryModel = config.model;
     cfg.transport = config.transport;
     cfg.l3Size = config.l3Size;
+    if (artifacts)
+        artifacts->apply(cfg);
     System sys(cfg);
     App app(sys, 0);
 
@@ -106,6 +215,9 @@ runNpbConfig(const std::string &kernel, const EvalConfig &config,
     sys.resetExperimentCounters();
 
     NpbResult r = makeNpbKernel(kernel)->run(app, run);
+
+    if (artifacts)
+        artifacts->capture(sys, kernel + "-" + config.label);
 
     EvalResult out;
     out.runtime = sys.runtime();

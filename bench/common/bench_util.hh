@@ -9,6 +9,7 @@
 #define STRAMASH_BENCH_BENCH_UTIL_HH
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "stramash/workloads/npb.hh"
@@ -61,10 +62,56 @@ struct EvalResult
     bool verified = false;
 };
 
+/**
+ * Telemetry artifact destinations, parsed from the common
+ * `--trace-out <file>` / `--stats-json <file>` CLI flags every
+ * harness accepts. Empty paths disable the corresponding output.
+ */
+struct ArtifactOptions
+{
+    std::string traceOut;
+    std::string statsJson;
+
+    bool any() const { return !traceOut.empty() || !statsJson.empty(); }
+};
+
+/** Parse the artifact flags; unknown arguments are left alone. */
+ArtifactOptions parseArtifactArgs(int argc, char **argv);
+
+/**
+ * Collects telemetry from benchmark runs. apply() turns tracing on
+ * in a SystemConfig when a trace file was requested; capture() dumps
+ * the system's trace (one file per run with the label spliced in
+ * before the extension, while the plain --trace-out path always holds
+ * the latest capture) and accumulates the system's stat groups under
+ * the run label. The stats JSON, one object per captured run, is
+ * written on destruction.
+ */
+class ArtifactWriter
+{
+  public:
+    explicit ArtifactWriter(ArtifactOptions opts);
+    ~ArtifactWriter();
+
+    ArtifactWriter(const ArtifactWriter &) = delete;
+    ArtifactWriter &operator=(const ArtifactWriter &) = delete;
+
+    bool wantsTrace() const { return !opts_.traceOut.empty(); }
+    void apply(SystemConfig &cfg) const;
+    void capture(System &sys, const std::string &label);
+
+  private:
+    ArtifactOptions opts_;
+    unsigned traceCaptures_ = 0;
+    bool traceWriteFailed_ = false;
+    std::vector<std::pair<std::string, std::string>> statRuns_;
+};
+
 /** Run one NPB kernel under one configuration. */
 EvalResult runNpbConfig(const std::string &kernel,
                         const EvalConfig &config,
-                        const NpbConfig &ncfg);
+                        const NpbConfig &ncfg,
+                        ArtifactWriter *artifacts = nullptr);
 
 /** One recorded event of an execution trace. */
 struct TraceOp

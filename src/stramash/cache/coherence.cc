@@ -1,5 +1,7 @@
 #include "stramash/cache/coherence.hh"
 
+#include "stramash/trace/trace.hh"
+
 namespace stramash
 {
 
@@ -73,6 +75,10 @@ CoherenceDomain::evicted(NodeId node, Addr lineAddr, bool dirty)
     if (!dirty)
         return;
     ++*ctx(node).writebacks;
+    if (tracer_) {
+        tracer_->instant(TraceCategory::Coherence, "coh.writeback",
+                         node, 0, lineAddr);
+    }
     if (hook_)
         hook_(node, lineAddr);
 }
@@ -97,6 +103,11 @@ CoherenceDomain::snoopOthers(NodeId node, AccessType type, Addr lineAddr,
             extra += snoopCosts_.snoopInvalidate;
             res.snoopInvalidate = true;
             ++*self.snoopInvalidates;
+            if (tracer_) {
+                tracer_->instant(TraceCategory::Coherence,
+                                 "coh.snoop_invalidate", node, 0,
+                                 lineAddr, kv.first);
+            }
         } else {
             // Read: only costs a snoop if the holder has it dirty
             // (Snoop Data, M/E -> S transition).
@@ -106,6 +117,11 @@ CoherenceDomain::snoopOthers(NodeId node, AccessType type, Addr lineAddr,
                 extra += snoopCosts_.snoopData;
                 res.snoopData = true;
                 ++*self.snoopDatas;
+                if (tracer_) {
+                    tracer_->instant(TraceCategory::Coherence,
+                                     "coh.snoop_data", node, 0,
+                                     lineAddr, kv.first);
+                }
             }
         }
     }

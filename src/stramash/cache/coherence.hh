@@ -33,6 +33,8 @@
 namespace stramash
 {
 
+class Tracer;
+
 /** Timing and classification of one line access. */
 struct AccessResult
 {
@@ -78,6 +80,10 @@ class CoherenceDomain
     /** Register a writeback observer (DSM consistency interplay). */
     void setWritebackHook(WritebackHook hook) { hook_ = std::move(hook); }
 
+    /** Attach the machine's tracer: writebacks and cross-node snoop
+     *  actions become `coherence`-category events. */
+    void setTracer(Tracer *tracer) { tracer_ = tracer; }
+
     /** Invalidate every cache in the domain. */
     void flushAll();
 
@@ -107,6 +113,7 @@ class CoherenceDomain
     std::unique_ptr<SetAssocCache> sharedLlc_;
     std::map<NodeId, NodeCtx> nodes_;
     WritebackHook hook_;
+    Tracer *tracer_ = nullptr;
 
     NodeCtx &ctx(NodeId node);
 

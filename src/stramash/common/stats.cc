@@ -1,7 +1,58 @@
 #include "stramash/common/stats.hh"
 
+#include <algorithm>
+#include <cstdio>
+
 namespace stramash
 {
+
+double
+Histogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    p = std::min(1.0, std::max(0.0, p));
+    if (p == 0.0)
+        return static_cast<double>(min_);
+    // Rank of the requested quantile, in (0, count].
+    double target = p * static_cast<double>(count_);
+    if (target < 1.0)
+        target = 1.0;
+
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        if (buckets_[i] == 0)
+            continue;
+        if (static_cast<double>(cum + buckets_[i]) >= target) {
+            // Bucket bounds, clamped to the observed extremes so
+            // interpolation never leaves [min, max].
+            double lo = i == 0 ? static_cast<double>(min_)
+                               : static_cast<double>(edges_[i - 1]);
+            double hi = i < edges_.size()
+                            ? static_cast<double>(edges_[i])
+                            : static_cast<double>(max_);
+            lo = std::max(lo, static_cast<double>(min_));
+            hi = std::min(hi, static_cast<double>(max_));
+            if (hi <= lo)
+                return lo;
+            double frac = (target - static_cast<double>(cum)) /
+                          static_cast<double>(buckets_[i]);
+            return lo + frac * (hi - lo);
+        }
+        cum += buckets_[i];
+    }
+    return static_cast<double>(max_);
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    count_ = 0;
+    sum_ = 0;
+    min_ = 0;
+    max_ = 0;
+}
 
 Counter &
 StatGroup::counter(const std::string &name)
@@ -9,10 +60,28 @@ StatGroup::counter(const std::string &name)
     return counters_[name];
 }
 
+Histogram &
+StatGroup::histogram(const std::string &name,
+                     std::vector<std::uint64_t> edges)
+{
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+        it = histograms_.emplace(name, Histogram(std::move(edges)))
+                 .first;
+    }
+    return it->second;
+}
+
 bool
 StatGroup::has(const std::string &name) const
 {
     return counters_.count(name) != 0;
+}
+
+bool
+StatGroup::hasHistogram(const std::string &name) const
+{
+    return histograms_.count(name) != 0;
 }
 
 std::uint64_t
@@ -22,10 +91,19 @@ StatGroup::value(const std::string &name) const
     return it == counters_.end() ? 0 : it->second.value();
 }
 
+const Histogram *
+StatGroup::findHistogram(const std::string &name) const
+{
+    auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : &it->second;
+}
+
 void
 StatGroup::resetAll()
 {
     for (auto &kv : counters_)
+        kv.second.reset();
+    for (auto &kv : histograms_)
         kv.second.reset();
 }
 
@@ -35,6 +113,18 @@ StatGroup::dump(std::ostream &os) const
     for (const auto &kv : counters_)
         os << name_ << '.' << kv.first << ' ' << kv.second.value()
            << '\n';
+    for (const auto &kv : histograms_) {
+        const Histogram &h = kv.second;
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "hist count=%llu min=%llu max=%llu mean=%.2f "
+                      "p50=%.2f p99=%.2f",
+                      static_cast<unsigned long long>(h.count()),
+                      static_cast<unsigned long long>(h.minValue()),
+                      static_cast<unsigned long long>(h.maxValue()),
+                      h.mean(), h.percentile(0.50), h.percentile(0.99));
+        os << name_ << '.' << kv.first << ' ' << buf << '\n';
+    }
 }
 
 std::map<std::string, std::uint64_t>

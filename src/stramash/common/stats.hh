@@ -89,6 +89,18 @@ class Histogram
         return count_ ? static_cast<double>(sum_) / count_ : 0.0;
     }
 
+    /**
+     * Estimate the @p p quantile (p in [0, 1]) by linear
+     * interpolation within the containing bucket. The first bucket
+     * is bounded below by the observed minimum and the overflow
+     * bucket above by the observed maximum, so p=0 / p=1 return the
+     * exact extremes.
+     */
+    double percentile(double p) const;
+
+    /** Forget every sample (keeps the bucket edges). */
+    void reset();
+
     const std::vector<std::uint64_t> &edges() const { return edges_; }
     const std::vector<std::uint64_t> &buckets() const { return buckets_; }
 
@@ -102,8 +114,9 @@ class Histogram
 };
 
 /**
- * A named collection of counters. Components register their counters
- * once at construction; lookups after that are by pointer, not name.
+ * A named collection of counters and histograms. Components register
+ * their stats once at construction; lookups after that are by
+ * pointer, not name.
  */
 class StatGroup
 {
@@ -116,16 +129,40 @@ class StatGroup
     /** Register (or fetch) a counter by name. Pointers stay stable. */
     Counter &counter(const std::string &name);
 
+    /**
+     * Register (or fetch) a histogram by name. @p edges is only used
+     * on first registration; later fetches return the existing
+     * histogram unchanged. Pointers stay stable.
+     */
+    Histogram &histogram(const std::string &name,
+                         std::vector<std::uint64_t> edges);
+
     /** True if a counter of this name has been registered. */
     bool has(const std::string &name) const;
+
+    /** True if a histogram of this name has been registered. */
+    bool hasHistogram(const std::string &name) const;
 
     /** Value of a registered counter; 0 if never registered. */
     std::uint64_t value(const std::string &name) const;
 
-    /** Reset every counter to zero. */
+    /** A registered histogram, or nullptr. */
+    const Histogram *findHistogram(const std::string &name) const;
+
+    /** Reset every counter and histogram. */
     void resetAll();
 
-    /** Dump "group.counter value" lines, sorted by name. */
+    /**
+     * Dump one line per stat, sorted by name. Counters keep the
+     * original two-token format the bench post-processing splits on:
+     *
+     *     group.counter VALUE
+     *
+     * Histogram lines are distinguishable by their "hist" marker
+     * token and carry the distribution summary:
+     *
+     *     group.name hist count=N min=A max=B mean=C p50=D p99=E
+     */
     void dump(std::ostream &os) const;
 
     const std::string &name() const { return name_; }
@@ -133,11 +170,24 @@ class StatGroup
     /** Snapshot of all counters, for diffing before/after a phase. */
     std::map<std::string, std::uint64_t> snapshot() const;
 
+    /** All registered counters, sorted by name. */
+    const std::map<std::string, Counter> &counters() const
+    {
+        return counters_;
+    }
+
+    /** All registered histograms, sorted by name. */
+    const std::map<std::string, Histogram> &histograms() const
+    {
+        return histograms_;
+    }
+
   private:
     std::string name_;
     // std::map keeps pointer stability under insertion and gives the
     // sorted dump order for free.
     std::map<std::string, Counter> counters_;
+    std::map<std::string, Histogram> histograms_;
 };
 
 } // namespace stramash

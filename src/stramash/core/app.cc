@@ -127,6 +127,9 @@ bool
 App::futexWait(Addr uaddr, std::uint32_t expected)
 {
     KernelInstance &k = currentKernel();
+    STRAMASH_TRACE_SPAN(k.machine().tracer(), TraceCategory::Futex,
+                        "futex.wait", k.nodeId(), pid_, uaddr,
+                        expected);
     return sys_.futexPolicy().wait(k, currentTask(), uaddr, expected);
 }
 
@@ -134,6 +137,8 @@ unsigned
 App::futexWake(Addr uaddr, unsigned count)
 {
     KernelInstance &k = currentKernel();
+    STRAMASH_TRACE_SPAN(k.machine().tracer(), TraceCategory::Futex,
+                        "futex.wake", k.nodeId(), pid_, uaddr, count);
     return sys_.futexPolicy().wake(k, currentTask(), uaddr, count);
 }
 

@@ -1,5 +1,8 @@
 #include "stramash/core/system.hh"
 
+#include "stramash/trace/chrome_exporter.hh"
+#include "stramash/trace/json_stats.hh"
+
 namespace stramash
 {
 
@@ -17,6 +20,7 @@ System::System(const SystemConfig &cfg) : cfg_(cfg)
     mc.cachePluginEnabled = cfg.cachePluginEnabled;
     mc.streamMlp = cfg.streamMlp;
     mc.snoopCosts = cfg.snoopCosts;
+    mc.trace = cfg.trace;
     machine_ = std::make_unique<Machine>(mc);
 
     // Messaging area (SHM transport): placed per the paper's rules,
@@ -169,12 +173,21 @@ System::exit(Pid pid)
 void
 System::migrate(Pid pid, NodeId dest)
 {
+    NodeId src = whereIs(pid);
+    // Span on the source track: covers state transform, the wire
+    // transfer and the destination-side handler (which runs nested
+    // inside dispatch while this frame is live).
+    STRAMASH_TRACE_SPAN(machine_->tracer(), TraceCategory::Migrate,
+                        "migrate.thread", src, pid, src, dest);
     migrationPolicy_->migrate(pid, dest);
 }
 
 void
 System::migrateProcess(Pid pid, NodeId dest)
 {
+    NodeId src = whereIs(pid);
+    STRAMASH_TRACE_SPAN(machine_->tracer(), TraceCategory::Migrate,
+                        "migrate.process", src, pid, src, dest);
     migrationPolicy_->migrateProcess(pid, dest);
 }
 
@@ -198,6 +211,42 @@ std::uint64_t
 System::replicatedPages() const
 {
     return migrationPolicy_->replicatedPages();
+}
+
+bool
+System::writeChromeTrace(const std::string &path)
+{
+    ChromeTraceExporter exporter(machine_->tracer());
+    for (NodeId n = 0; n < machine_->nodeCount(); ++n) {
+        exporter.setNodeLabel(
+            n, "node" + std::to_string(n) + " (" +
+                   isaName(machine_->node(n).isa()) + ")");
+    }
+    return exporter.writeFile(path);
+}
+
+void
+System::forEachStatGroup(
+    const std::function<void(const StatGroup &)> &fn)
+{
+    for (NodeId n = 0; n < machine_->nodeCount(); ++n)
+        fn(machine_->node(n).stats());
+    fn(msg_->stats());
+    fn(guard_->stats());
+    for (auto &k : kernels_) {
+        fn(k->stats());
+        fn(k->palloc().stats());
+    }
+    if (gma_)
+        fn(gma_->stats());
+}
+
+bool
+System::writeStatsJson(const std::string &path)
+{
+    JsonStatsExporter exporter;
+    forEachStatGroup([&](const StatGroup &g) { exporter.add(g); });
+    return exporter.writeFile(path);
 }
 
 } // namespace stramash

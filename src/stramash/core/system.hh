@@ -12,7 +12,9 @@
 #ifndef STRAMASH_CORE_SYSTEM_HH
 #define STRAMASH_CORE_SYSTEM_HH
 
+#include <functional>
 #include <memory>
+#include <string>
 
 #include "stramash/dsm/popcorn.hh"
 #include "stramash/fused/global_alloc.hh"
@@ -46,6 +48,8 @@ struct SystemConfig
     bool enableGlobalAllocator = true;
     GmaConfig gma{};
     MsgCosts msgCosts{};
+    /** Cross-layer event tracing (off by default; zero-ish cost). */
+    TraceConfig trace{};
 };
 
 class System
@@ -107,6 +111,28 @@ class System
     std::uint64_t messagesSent() const { return msg_->messagesSent(); }
     std::uint64_t replicatedPages() const;
     Cycles runtime() const { return machine_->totalRuntime(); }
+
+    // ---- telemetry export ----
+
+    Tracer &tracer() { return machine_->tracer(); }
+
+    /**
+     * Write the merged Chrome-trace JSON for everything recorded so
+     * far. Node tracks are labelled "nodeN (<isa>)". Returns false
+     * (with a warning) if the file cannot be written.
+     */
+    bool writeChromeTrace(const std::string &path);
+
+    /**
+     * Write every registered StatGroup (kernels, page allocators,
+     * message layer, per-node machine stats, GMA when present) as one
+     * JSON document.
+     */
+    bool writeStatsJson(const std::string &path);
+
+    /** Visit every StatGroup owned by this system. */
+    void forEachStatGroup(
+        const std::function<void(const StatGroup &)> &fn);
 
   private:
     SystemConfig cfg_;

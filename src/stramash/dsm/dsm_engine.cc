@@ -261,6 +261,9 @@ DsmEngine::handlePageFault(KernelInstance &kernel, Task &task, Addr va,
 
         installCopy(kernel, task, vpage, resp.payload, wantWrite);
         ++replicated_;
+        kernel.machine().tracer().instant(TraceCategory::Fault,
+                                          "fault.dsm_replicate", self,
+                                          pid, vpage, st.owner);
         touchMeta(kernel, pid, vpage, AccessType::Store);
         if (wantWrite) {
             st.owner = self;
@@ -291,6 +294,9 @@ DsmEngine::handlePageFault(KernelInstance &kernel, Task &task, Addr va,
             inv.arg1 = vpage;
             msg_.rpc(inv, MsgType::PageInvalidateAck);
             ++invalidations_;
+            kernel.machine().tracer().instant(
+                TraceCategory::Fault, "fault.dsm_invalidate", self, pid,
+                vpage, n);
         }
         st.holders = selfBit;
         task.as->protectPage(vpage, vmaPageAttrs(*vma, true));
@@ -310,6 +316,9 @@ DsmEngine::handlePageFault(KernelInstance &kernel, Task &task, Addr va,
     Message resp = msg_.rpc(req, MsgType::PageResponse);
     installCopy(kernel, task, vpage, resp.payload, true);
     ++replicated_;
+    kernel.machine().tracer().instant(TraceCategory::Fault,
+                                      "fault.dsm_replicate", self, pid,
+                                      vpage, st.owner);
     st.owner = self;
     st.holders = selfBit;
     touchMeta(kernel, pid, vpage, AccessType::Store);

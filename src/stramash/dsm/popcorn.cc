@@ -322,6 +322,9 @@ PopcornMigrationPolicy::onProcessMigrate(KernelInstance &k,
     t.state = deserializeMigrationState(m.payload.data());
     k.machine().stall(k.nodeId(), transformCycles);
     k.stats().counter("process_migrations_in") += 1;
+    k.machine().tracer().instant(TraceCategory::Migrate,
+                                 "migrate.process_in", k.nodeId(), pid,
+                                 m.from);
 }
 
 void
@@ -372,6 +375,8 @@ PopcornMigrationPolicy::onTaskMigrate(KernelInstance &k,
     // Materialise into the destination ISA's registers.
     k.machine().stall(k.nodeId(), transformCycles);
     k.stats().counter("migrations_in") += 1;
+    k.machine().tracer().instant(TraceCategory::Migrate, "migrate.in",
+                                 k.nodeId(), pid, m.from);
 }
 
 } // namespace stramash

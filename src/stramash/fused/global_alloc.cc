@@ -109,6 +109,9 @@ GlobalMemoryAllocator::onlineBlock(KernelInstance &kernel,
              "onlining a block owned by node ", it->second.second);
 
     Cycles before = machine_.node(kernel.nodeId()).cycles();
+    STRAMASH_TRACE_SPAN(machine_.tracer(), TraceCategory::Alloc,
+                        "gma.online", kernel.nodeId(), 0, block.start,
+                        block.end - block.start);
     for (Addr pa = block.start; pa < block.end; pa += pageSize)
         chargePagePass(kernel, pa, true, cfg_.onlinePerPageInst);
     kernel.palloc().addRange(block);
@@ -128,6 +131,9 @@ GlobalMemoryAllocator::offlineBlock(KernelInstance &kernel,
              "offlining a block this kernel does not own");
 
     Cycles before = machine_.node(kernel.nodeId()).cycles();
+    STRAMASH_TRACE_SPAN(machine_.tracer(), TraceCategory::Alloc,
+                        "gma.offline", kernel.nodeId(), 0, block.start,
+                        block.end - block.start);
 
     // Evacuation: move live frames out of the block (paper §6.3:
     // "it first evacuates the memory block and then isolates the

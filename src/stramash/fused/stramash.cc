@@ -127,6 +127,9 @@ StramashFaultHandler::handleFault(KernelInstance &kernel, Task &task,
         // remotely; a missing upper level is the origin's problem.
         unlockWord(kernel, task.origin, ot.as->ptlAddr());
         ++shared_.slowPathFaults;
+        kernel.machine().tracer().instant(TraceCategory::Fault,
+                                          "fault.slow_path", self,
+                                          task.pid, vpage);
         Message req;
         req.type = MsgType::RemoteFaultRequest;
         req.from = self;
@@ -156,6 +159,9 @@ StramashFaultHandler::handleFault(KernelInstance &kernel, Task &task,
         panic_if(!ok, "shared mapping raced");
         ++shared_.sharedMappings;
         kernel.stats().counter("stramash_shared_maps") += 1;
+        kernel.machine().tracer().instant(TraceCategory::Fault,
+                                          "fault.shared_map", self,
+                                          task.pid, vpage, leaf.frame);
     } else {
         // Fast path: allocate from our own memory, map locally, and
         // insert into the origin's table in *our* format, tagged for
@@ -170,6 +176,9 @@ StramashFaultHandler::handleFault(KernelInstance &kernel, Task &task,
         shared_.foreignMapped[task.pid].push_back(vpage);
         ++shared_.foreignInsertions;
         kernel.stats().counter("stramash_foreign_inserts") += 1;
+        kernel.machine().tracer().instant(TraceCategory::Fault,
+                                          "fault.foreign_insert", self,
+                                          task.pid, vpage, pa);
     }
     unlockWord(kernel, task.origin, ot.as->ptlAddr());
 }
@@ -438,6 +447,8 @@ StramashMigrationPolicy::onTaskMigrate(KernelInstance &k,
     t->state = deserializeMigrationState(wire.data());
     k.machine().stall(k.nodeId(), transformCycles);
     k.stats().counter("migrations_in") += 1;
+    k.machine().tracer().instant(TraceCategory::Migrate, "migrate.in",
+                                 k.nodeId(), pid, m.from);
 
     if (k.nodeId() == origin)
         reconcile(k, pid);

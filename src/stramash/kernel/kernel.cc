@@ -186,6 +186,8 @@ KernelInstance::handleLocalAnonFault(Task &t, Addr va, AccessType type)
     bool ok = t.as->mapPage(va, pa, attrs);
     panic_if(!ok, "local fault raced an existing mapping");
     stats_.counter("anon_faults") += 1;
+    machine_.tracer().instant(TraceCategory::Fault, "fault.local",
+                              node_, t.pid, pageBase(va), pa);
     return true;
 }
 
@@ -198,6 +200,12 @@ KernelInstance::resolve(Task &t, Addr va, AccessType type)
             return x.pa;
         panic_if(!faultHandler_, "fault with no handler installed");
         stats_.counter("page_faults") += 1;
+        // The span brackets the whole design-specific fault path —
+        // everything it triggers (remote walks, DSM messages, IPIs)
+        // nests inside it on this node's track.
+        STRAMASH_TRACE_SPAN(machine_.tracer(), TraceCategory::Fault,
+                            "fault.handle", node_, t.pid, va,
+                            static_cast<std::uint64_t>(type));
         faultHandler_->handleFault(*this, t, va, x.status, type);
     }
     panic("persistent fault at va 0x", std::hex, va, " on node ",

@@ -102,6 +102,7 @@ class RemoteAccessGuard
 
     std::uint64_t violations() const { return stats_.value("violations"); }
     std::uint64_t checked() const { return stats_.value("checked"); }
+    const StatGroup &stats() const { return stats_; }
 
     /** Bytes node @p n currently exposes. */
     Addr

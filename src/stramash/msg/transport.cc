@@ -55,20 +55,44 @@ MessageLayer::send(const Message &msg)
     stats_.counter("sent_total") += 1;
     stats_.counter(std::string("sent.") + msgTypeName(m.type)) += 1;
     stats_.counter("bytes_sent") += m.wireSize();
+    stats_.histogram("wire_bytes", {64, 256, 1024, 4096})
+        .sample(m.wireSize());
+    // The span covers the sender-side transport costs (ring stores /
+    // stack copy); the event name is the message type so Perfetto
+    // tracks read as a protocol timeline.
+    STRAMASH_TRACE_SPAN(machine_.tracer(), TraceCategory::Msg,
+                        msgTypeName(m.type), m.from, 0, m.seq,
+                        m.wireSize());
     transportSend(m);
+}
+
+std::optional<Message>
+MessageLayer::receive(NodeId node)
+{
+    Tracer &tracer = machine_.tracer();
+    if (!tracer.enabledFor(TraceCategory::Msg))
+        return transportReceive(node);
+    Cycles start = tracer.now(node);
+    auto m = transportReceive(node);
+    if (m) {
+        tracer.emit(TraceCategory::Msg, "msg.recv", node, 0, start,
+                    tracer.now(node), m->seq,
+                    static_cast<std::uint64_t>(m->type));
+    }
+    return m;
 }
 
 std::optional<Message>
 MessageLayer::tryReceive(NodeId node)
 {
-    return transportReceive(node);
+    return receive(node);
 }
 
 void
 MessageLayer::dispatchPending(NodeId node)
 {
     for (;;) {
-        auto m = transportReceive(node);
+        auto m = receive(node);
         if (!m)
             return;
         auto it = handlers_.find(node);
@@ -83,7 +107,7 @@ MessageLayer::rpc(const Message &req, MsgType respType)
     send(req);
     dispatchPending(req.to);
     for (;;) {
-        auto m = transportReceive(req.from);
+        auto m = receive(req.from);
         panic_if(!m, "rpc: destination produced no ",
                  msgTypeName(respType), " response to ",
                  msgTypeName(req.type));

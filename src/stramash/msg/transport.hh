@@ -111,6 +111,9 @@ class MessageLayer
     std::uint64_t sent_ = 0;
     std::uint64_t bytes_ = 0;
     std::uint64_t seq_ = 0;
+
+    /** transportReceive plus receive-side tracing. */
+    std::optional<Message> receive(NodeId node);
 };
 
 /** Shared-memory rings + IPI/polling notification. */

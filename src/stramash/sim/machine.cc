@@ -19,7 +19,10 @@ MachineConfig::paperPair(MemoryModel model, Addr l3Size)
 }
 
 Machine::Machine(const MachineConfig &cfg)
-    : cfg_(cfg), map_(PhysMap::paperDefault(cfg.memoryModel))
+    : cfg_(cfg),
+      map_(PhysMap::paperDefault(cfg.memoryModel)),
+      tracer_(cfg.trace, cfg.nodes.size(),
+              [this](NodeId n) { return node(n).cycles(); })
 {
     fatal_if(cfg_.nodes.empty(), "machine needs at least one node");
 
@@ -38,6 +41,8 @@ Machine::Machine(const MachineConfig &cfg)
         nodes_.push_back(std::make_unique<Node>(nc));
     }
     ipisReceived_.assign(nodes_.size(), 0);
+    if (tracer_.enabled())
+        domain_->setTracer(&tracer_);
 }
 
 Node &
@@ -142,12 +147,15 @@ Machine::ipiCycles(NodeId nid) const
 Cycles
 Machine::sendIpi(NodeId from, NodeId to)
 {
-    (void)from;
     Node &dst = node(to);
     Cycles lat = ipiCycles(to);
+    // The receiver pays the delivery latency; the span covers it.
+    Cycles start = dst.cycles();
     dst.stall(lat);
     ++ipisReceived_[to];
     dst.stats().counter("ipis_received") += 1;
+    tracer_.emit(TraceCategory::Ipi, "ipi.deliver", to, 0, start,
+                 dst.cycles(), from, to);
     return lat;
 }
 

@@ -15,6 +15,7 @@
 #include "stramash/mem/guest_memory.hh"
 #include "stramash/mem/phys_map.hh"
 #include "stramash/sim/node.hh"
+#include "stramash/trace/trace.hh"
 
 namespace stramash
 {
@@ -39,6 +40,8 @@ struct MachineConfig
      *  flat latency — used by functional-only runs like the kv-store
      *  experiment, where the paper also disables the Cache plugin. */
     bool cachePluginEnabled = true;
+    /** Event-tracing knobs (stramash/trace). */
+    TraceConfig trace{};
 
     /** The evaluation's default pair: x86 Xeon Gold + Arm ThunderX2. */
     static MachineConfig paperPair(MemoryModel model,
@@ -57,6 +60,10 @@ class Machine
     GuestMemory &memory() { return mem_; }
     const PhysMap &physMap() const { return map_; }
     CoherenceDomain &caches() { return *domain_; }
+
+    /** The cross-layer event tracer (timestamps = node clocks). */
+    Tracer &tracer() { return tracer_; }
+    const Tracer &tracer() const { return tracer_; }
 
     Node &node(NodeId id);
     const Node &node(NodeId id) const;
@@ -145,6 +152,7 @@ class Machine
     std::unique_ptr<CoherenceDomain> domain_;
     std::vector<std::unique_ptr<Node>> nodes_;
     std::vector<std::uint64_t> ipisReceived_;
+    Tracer tracer_;
     AccessTraceFn accessTrace_;
     RetireTraceFn retireTrace_;
 };

@@ -1,0 +1,77 @@
+#include "stramash/trace/chrome_exporter.hh"
+
+#include <fstream>
+#include <set>
+
+#include "stramash/trace/json_util.hh"
+
+namespace stramash
+{
+
+void
+ChromeTraceExporter::write(std::ostream &os) const
+{
+    auto events = tracer_.merged();
+
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    auto sep = [&] {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n";
+    };
+
+    // Track metadata: one "process" per node that has events (plus
+    // every labelled node, so empty tracks still show their name).
+    std::set<NodeId> nodes;
+    for (const auto &ev : events)
+        nodes.insert(ev.node);
+    for (const auto &kv : labels_)
+        nodes.insert(kv.first);
+    for (NodeId n : nodes) {
+        sep();
+        auto it = labels_.find(n);
+        std::string label = it != labels_.end()
+                                ? it->second
+                                : "node" + std::to_string(n);
+        os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << n
+           << ",\"tid\":0,\"args\":{\"name\":";
+        json::writeString(os, label);
+        os << "}}";
+    }
+
+    for (const auto &ev : events) {
+        sep();
+        Cycles dur = ev.endCycles - ev.startCycles;
+        os << "{\"name\":";
+        json::writeString(os, ev.name ? ev.name : "?");
+        os << ",\"cat\":";
+        json::writeString(os, traceCategoryName(ev.category));
+        // Complete events ("X") render spans; instants keep ph "X"
+        // with dur 0 rather than "i" so every record carries the
+        // same fields (simpler for post-processing).
+        os << ",\"ph\":\"X\",\"pid\":" << ev.node
+           << ",\"tid\":" << ev.pid << ",\"ts\":" << ev.startCycles
+           << ",\"dur\":" << dur << ",\"args\":{\"arg0\":" << ev.arg0
+           << ",\"arg1\":" << ev.arg1 << "}}";
+    }
+
+    os << "\n],\"displayTimeUnit\":\"ns\",\"otherData\":{"
+       << "\"timestampUnit\":\"cycles\",\"droppedEvents\":"
+       << tracer_.totalDropped() << "}}\n";
+}
+
+bool
+ChromeTraceExporter::writeFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os) {
+        warn("cannot open trace output file ", path);
+        return false;
+    }
+    write(os);
+    return static_cast<bool>(os);
+}
+
+} // namespace stramash

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Chrome trace-event / Perfetto export of a Tracer's buffers.
+ *
+ * The output is the JSON Object Format of the Chrome trace-event
+ * specification ({"traceEvents": [...]}), which chrome://tracing and
+ * https://ui.perfetto.dev open directly. Mapping:
+ *
+ *  - one *process* per simulated node ("node0 (x86_64)", ...), so
+ *    each node gets its own track group;
+ *  - the event's task pid becomes the thread id within that process
+ *    (pid 0 = kernel work not attributable to one task);
+ *  - timestamps are the node's cycle clock. Chrome's ts unit is
+ *    nominally microseconds; we emit raw cycles and note the unit in
+ *    otherData, which keeps relative durations exact.
+ */
+
+#ifndef STRAMASH_TRACE_CHROME_EXPORTER_HH
+#define STRAMASH_TRACE_CHROME_EXPORTER_HH
+
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "stramash/trace/trace.hh"
+
+namespace stramash
+{
+
+class ChromeTraceExporter
+{
+  public:
+    explicit ChromeTraceExporter(const Tracer &tracer)
+        : tracer_(tracer)
+    {
+    }
+
+    /** Pretty per-node track name ("node0 (x86_64)"). */
+    void
+    setNodeLabel(NodeId node, std::string label)
+    {
+        labels_[node] = std::move(label);
+    }
+
+    /** Write the full JSON document. */
+    void write(std::ostream &os) const;
+
+    /** Write to @p path; false (with a logged warning) on I/O error. */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    const Tracer &tracer_;
+    std::map<NodeId, std::string> labels_;
+};
+
+} // namespace stramash
+
+#endif // STRAMASH_TRACE_CHROME_EXPORTER_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Machine-readable export of StatGroups.
+ *
+ * The bench harnesses historically post-processed `name value` dump
+ * lines with ad-hoc scripts; JsonStatsExporter replaces that with one
+ * JSON document per run. Groups are *snapshotted* when added, so the
+ * exporter stays valid after the System that owned them is gone.
+ *
+ * Document shape:
+ *
+ *   {
+ *     "groups": {
+ *       "kernel.node0": {
+ *         "counters": {"page_faults": 12, ...},
+ *         "histograms": {
+ *           "wire_bytes": {"count":..., "min":..., "max":...,
+ *                          "mean":..., "p50":..., "p99":...,
+ *                          "edges":[...], "buckets":[...]}
+ *         }
+ *       }, ...
+ *     }
+ *   }
+ */
+
+#ifndef STRAMASH_TRACE_JSON_STATS_HH
+#define STRAMASH_TRACE_JSON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "stramash/common/stats.hh"
+
+namespace stramash
+{
+
+class JsonStatsExporter
+{
+  public:
+    /** Snapshot @p group now; later mutations are not reflected. */
+    void add(const StatGroup &group);
+
+    /** Number of snapshotted groups. */
+    std::size_t groupCount() const { return groups_.size(); }
+
+    /** Write the full document ({"groups": {...}}). */
+    void write(std::ostream &os) const;
+
+    /**
+     * Write only the groups object ({...}), for embedding in a
+     * larger document (the bench artifact writer nests one object
+     * per configuration label).
+     */
+    void writeGroupsObject(std::ostream &os) const;
+
+    /** Write the full document to @p path; false on I/O error. */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    struct HistSnapshot
+    {
+        std::uint64_t count, min, max;
+        double mean, p50, p99;
+        std::vector<std::uint64_t> edges;
+        std::vector<std::uint64_t> buckets;
+    };
+
+    struct GroupSnapshot
+    {
+        std::map<std::string, std::uint64_t> counters;
+        std::map<std::string, HistSnapshot> histograms;
+    };
+
+    // Group name -> snapshot. Same-named groups (e.g. two Systems
+    // alive at once) merge last-writer-wins, which matches how the
+    // benches use one exporter per configuration.
+    std::map<std::string, GroupSnapshot> groups_;
+};
+
+} // namespace stramash
+
+#endif // STRAMASH_TRACE_JSON_STATS_HH

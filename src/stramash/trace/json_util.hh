@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Tiny JSON-writing helpers shared by the trace exporters. Output
+ * only — the simulator never parses JSON.
+ */
+
+#ifndef STRAMASH_TRACE_JSON_UTIL_HH
+#define STRAMASH_TRACE_JSON_UTIL_HH
+
+#include <cstdio>
+#include <ostream>
+#include <string_view>
+
+namespace stramash::json
+{
+
+/** Write @p s as a quoted, escaped JSON string. */
+inline void
+writeString(std::ostream &os, std::string_view s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\r': os << "\\r"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+/**
+ * Write a finite double with enough precision to round-trip typical
+ * stat values; JSON has no NaN/Inf, so those become 0.
+ */
+inline void
+writeDouble(std::ostream &os, double v)
+{
+    if (!(v == v) || v > 1e308 || v < -1e308)
+        v = 0.0;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    os << buf;
+}
+
+} // namespace stramash::json
+
+#endif // STRAMASH_TRACE_JSON_UTIL_HH

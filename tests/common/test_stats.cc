@@ -87,3 +87,108 @@ TEST(HistogramDeath, NoEdgesPanics)
 {
     EXPECT_DEATH(Histogram({}), "no bucket edges");
 }
+
+TEST(Histogram, PercentileEmptyIsZero)
+{
+    Histogram h({10, 100});
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+}
+
+TEST(Histogram, PercentileSingleSample)
+{
+    Histogram h({10, 100});
+    h.sample(42);
+    // Every percentile collapses to the one observed value.
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 42.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 42.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 42.0);
+}
+
+TEST(Histogram, PercentileInterpolatesWithinBucket)
+{
+    Histogram h({100});
+    // Ten samples in [0, 100): p50 lands mid-bucket, interpolated
+    // between the observed min and the bucket edge.
+    for (std::uint64_t v = 0; v < 10; ++v)
+        h.sample(v * 10);
+    double p50 = h.percentile(0.5);
+    EXPECT_GT(p50, 0.0);
+    EXPECT_LT(p50, 90.0);
+    // Percentiles are monotone in p.
+    EXPECT_LE(h.percentile(0.1), h.percentile(0.5));
+    EXPECT_LE(h.percentile(0.5), h.percentile(0.9));
+    EXPECT_LE(h.percentile(0.9),
+              static_cast<double>(h.maxValue()));
+}
+
+TEST(Histogram, PercentileTailLandsInOverflowBucket)
+{
+    Histogram h({10});
+    for (int i = 0; i < 99; ++i)
+        h.sample(1);
+    h.sample(1000);
+    // p99+ must reach into the overflow bucket, clamped to max.
+    EXPECT_GT(h.percentile(0.999), 10.0);
+    EXPECT_LE(h.percentile(0.999), 1000.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 1000.0);
+    // Out-of-range p clamps instead of exploding.
+    EXPECT_DOUBLE_EQ(h.percentile(1.5), 1000.0);
+    EXPECT_DOUBLE_EQ(h.percentile(-0.5), 1.0);
+}
+
+TEST(Histogram, Reset)
+{
+    Histogram h({10});
+    h.sample(5);
+    h.sample(50);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+    h.sample(7);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.minValue(), 7u);
+}
+
+TEST(StatGroup, HistogramRegistrationAndLookup)
+{
+    StatGroup g("g");
+    EXPECT_FALSE(g.hasHistogram("lat"));
+    EXPECT_EQ(g.findHistogram("lat"), nullptr);
+    Histogram &h = g.histogram("lat", {10, 100});
+    h.sample(3);
+    // Second registration returns the same histogram; edges of the
+    // first call win.
+    Histogram &again = g.histogram("lat", {1, 2, 3});
+    EXPECT_EQ(&again, &h);
+    EXPECT_EQ(again.count(), 1u);
+    ASSERT_TRUE(g.hasHistogram("lat"));
+    EXPECT_EQ(g.findHistogram("lat"), &h);
+}
+
+TEST(StatGroup, DumpDistinguishesHistogramsFromCounters)
+{
+    StatGroup g("grp");
+    g.counter("alpha") += 1;
+    Histogram &h = g.histogram("lat", {10});
+    h.sample(4);
+    h.sample(40);
+    std::ostringstream os;
+    g.dump(os);
+    std::string out = os.str();
+    // Counter lines keep the historical exact format.
+    EXPECT_NE(out.find("grp.alpha 1\n"), std::string::npos);
+    // Histogram lines carry the "hist" marker token plus summary
+    // statistics, so parsers can split on it.
+    EXPECT_NE(out.find("grp.lat hist count=2 min=4 max=40"),
+              std::string::npos);
+    EXPECT_NE(out.find("p50="), std::string::npos);
+    EXPECT_NE(out.find("p99="), std::string::npos);
+}
+
+TEST(StatGroup, ResetAllClearsHistograms)
+{
+    StatGroup g("g");
+    g.histogram("lat", {10}).sample(5);
+    g.resetAll();
+    EXPECT_EQ(g.histogram("lat", {10}).count(), 0u);
+}

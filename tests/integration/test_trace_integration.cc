@@ -1,0 +1,137 @@
+/**
+ * End-to-end tracing: run a migration workload under both OS designs
+ * with tracing on and check the recorded event stream has the
+ * expected cross-layer shape — fault, message, IPI and migration
+ * categories, events on both node tracks, and "migrate.in" on the
+ * destination before the destination's first fault handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "stramash/core/app.hh"
+#include "stramash/trace/chrome_exporter.hh"
+
+using namespace stramash;
+
+namespace
+{
+
+class TraceIntegration : public testing::TestWithParam<OsDesign>
+{
+  protected:
+    TraceIntegration()
+    {
+        SystemConfig cfg;
+        cfg.osDesign = GetParam();
+        cfg.memoryModel = MemoryModel::Shared;
+        cfg.transport = Transport::SharedMemory;
+        cfg.trace.enabled = true;
+        sys_ = std::make_unique<System>(cfg);
+        app_ = std::make_unique<App>(*sys_, 0);
+    }
+
+    /** Local faults, a migration, remote faults, a futex wake. */
+    void
+    runWorkload()
+    {
+        Addr buf = app_->mmap(16 * pageSize);
+        for (Addr off = 0; off < 4 * pageSize; off += pageSize)
+            app_->write<std::uint32_t>(buf + off, 1);
+        app_->migrateToOther();
+        for (Addr off = 4 * pageSize; off < 8 * pageSize;
+             off += pageSize)
+            app_->write<std::uint32_t>(buf + off, 2);
+        app_->futexWake(buf, 1);
+    }
+
+    std::unique_ptr<System> sys_;
+    std::unique_ptr<App> app_;
+};
+
+} // namespace
+
+TEST_P(TraceIntegration, EmitsExpectedCategoriesAcrossNodes)
+{
+    runWorkload();
+    Tracer &tracer = sys_->tracer();
+    ASSERT_GT(tracer.totalEvents(), 0u);
+
+    std::set<TraceCategory> cats;
+    std::set<NodeId> nodes;
+    for (const auto &ev : tracer.merged()) {
+        cats.insert(ev.category);
+        nodes.insert(ev.node);
+        EXPECT_GE(ev.endCycles, ev.startCycles);
+    }
+    EXPECT_TRUE(cats.count(TraceCategory::Fault));
+    EXPECT_TRUE(cats.count(TraceCategory::Msg));
+    EXPECT_TRUE(cats.count(TraceCategory::Ipi));
+    EXPECT_TRUE(cats.count(TraceCategory::Migrate));
+    EXPECT_GE(cats.size(), 4u);
+    EXPECT_GE(nodes.size(), 2u);
+}
+
+TEST_P(TraceIntegration, MigrateInPrecedesRemoteFaultHandling)
+{
+    runWorkload();
+    NodeId dest = sys_->whereIs(app_->pid());
+    EXPECT_NE(dest, 0u);
+
+    // Per-node buffer order is chronological for that node's track.
+    auto events = sys_->tracer().buffer(dest).snapshot();
+    int migrateIdx = -1;
+    int faultIdx = -1;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        if (migrateIdx < 0 &&
+            std::string(events[i].name) == "migrate.in")
+            migrateIdx = static_cast<int>(i);
+        if (faultIdx < 0 &&
+            events[i].category == TraceCategory::Fault &&
+            events[i].pid == app_->pid())
+            faultIdx = static_cast<int>(i);
+    }
+    ASSERT_GE(migrateIdx, 0) << "destination saw no migrate.in";
+    ASSERT_GE(faultIdx, 0) << "destination handled no faults";
+    EXPECT_LT(migrateIdx, faultIdx);
+}
+
+TEST_P(TraceIntegration, ChromeExportCoversAllCategories)
+{
+    runWorkload();
+    std::ostringstream os;
+    ChromeTraceExporter exporter(sys_->tracer());
+    exporter.write(os);
+    std::string json = os.str();
+
+    for (const char *cat : {"fault", "msg", "ipi", "migrate"}) {
+        EXPECT_NE(json.find(std::string("\"cat\":\"") + cat + "\""),
+                  std::string::npos)
+            << "missing category " << cat;
+    }
+    // Both node tracks present.
+    EXPECT_NE(json.find("\"ph\":\"M\",\"pid\":0"), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"M\",\"pid\":1"), std::string::npos);
+}
+
+TEST_P(TraceIntegration, DisabledTracerStaysSilent)
+{
+    SystemConfig cfg;
+    cfg.osDesign = GetParam();
+    cfg.memoryModel = MemoryModel::Shared;
+    System quiet(cfg);
+    App app(quiet, 0);
+    Addr buf = app.mmap(4 * pageSize);
+    app.write<std::uint32_t>(buf, 1);
+    app.migrateToOther();
+    app.write<std::uint32_t>(buf + pageSize, 2);
+    EXPECT_EQ(quiet.tracer().totalEvents(), 0u);
+    EXPECT_EQ(quiet.tracer().totalDropped(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Designs, TraceIntegration,
+                         testing::Values(OsDesign::MultipleKernel,
+                                         OsDesign::FusedKernel));

@@ -1,0 +1,305 @@
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "stramash/trace/chrome_exporter.hh"
+
+using namespace stramash;
+
+namespace
+{
+
+/**
+ * Minimal recursive-descent JSON validator: value grammar only, no
+ * semantics. Returns true iff the whole input is one valid document.
+ */
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &text) : s_(text) {}
+
+    bool
+    valid()
+    {
+        skipWs();
+        if (!value())
+            return false;
+        skipWs();
+        return pos_ == s_.size();
+    }
+
+  private:
+    const std::string &s_;
+    std::size_t pos_ = 0;
+
+    bool eof() const { return pos_ >= s_.size(); }
+    char peek() const { return s_[pos_]; }
+
+    void
+    skipWs()
+    {
+        while (!eof() && std::isspace(static_cast<unsigned char>(peek())))
+            ++pos_;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        std::size_t n = std::string(word).size();
+        if (s_.compare(pos_, n, word) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    string()
+    {
+        if (eof() || peek() != '"')
+            return false;
+        ++pos_;
+        while (!eof() && peek() != '"') {
+            if (peek() == '\\') {
+                ++pos_;
+                if (eof())
+                    return false;
+            }
+            ++pos_;
+        }
+        if (eof())
+            return false;
+        ++pos_; // closing quote
+        return true;
+    }
+
+    bool
+    number()
+    {
+        std::size_t start = pos_;
+        if (!eof() && peek() == '-')
+            ++pos_;
+        while (!eof() && (std::isdigit(static_cast<unsigned char>(
+                              peek())) ||
+                          peek() == '.' || peek() == 'e' ||
+                          peek() == 'E' || peek() == '+' ||
+                          peek() == '-'))
+            ++pos_;
+        return pos_ > start;
+    }
+
+    bool
+    value()
+    {
+        skipWs();
+        if (eof())
+            return false;
+        switch (peek()) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return string();
+          case 't': return literal("true");
+          case 'f': return literal("false");
+          case 'n': return literal("null");
+          default: return number();
+        }
+    }
+
+    bool
+    object()
+    {
+        ++pos_; // '{'
+        skipWs();
+        if (!eof() && peek() == '}') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (eof() || peek() != ':')
+                return false;
+            ++pos_;
+            if (!value())
+                return false;
+            skipWs();
+            if (eof())
+                return false;
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    array()
+    {
+        ++pos_; // '['
+        skipWs();
+        if (!eof() && peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            if (!value())
+                return false;
+            skipWs();
+            if (eof())
+                return false;
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+};
+
+/** Every `"ts":<n>` value in document order. */
+std::vector<std::uint64_t>
+timestamps(const std::string &json)
+{
+    std::vector<std::uint64_t> out;
+    std::size_t pos = 0;
+    const std::string key = "\"ts\":";
+    while ((pos = json.find(key, pos)) != std::string::npos) {
+        pos += key.size();
+        out.push_back(std::stoull(json.substr(pos)));
+    }
+    return out;
+}
+
+class ExporterTest : public testing::Test
+{
+  protected:
+    ExporterTest()
+        : clock_(2, 0),
+          tracer_(enabledConfig(), 2,
+                  [this](NodeId n) { return clock_[n]; })
+    {
+    }
+
+    static TraceConfig
+    enabledConfig()
+    {
+        TraceConfig cfg;
+        cfg.enabled = true;
+        return cfg;
+    }
+
+    std::string
+    exported()
+    {
+        ChromeTraceExporter exporter(tracer_);
+        exporter.setNodeLabel(0, "node0 (x86_64)");
+        exporter.setNodeLabel(1, "node1 (aarch64)");
+        std::ostringstream os;
+        exporter.write(os);
+        return os.str();
+    }
+
+    std::vector<Cycles> clock_;
+    Tracer tracer_;
+};
+
+} // namespace
+
+TEST_F(ExporterTest, EmptyTraceIsValidJson)
+{
+    std::string json = exported();
+    EXPECT_TRUE(JsonChecker(json).valid()) << json;
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"timestampUnit\":\"cycles\""),
+              std::string::npos);
+}
+
+TEST_F(ExporterTest, EventsProduceValidJsonWithPerNodeTracks)
+{
+    tracer_.emit(TraceCategory::Fault, "fault.handle", 0, 7, 10, 50,
+                 0xdeadbeef, 1);
+    tracer_.emit(TraceCategory::Msg, "page_request", 1, 7, 20, 90);
+    std::string json = exported();
+    EXPECT_TRUE(JsonChecker(json).valid()) << json;
+
+    // Track metadata for both nodes, with pid = node id.
+    EXPECT_NE(json.find("\"name\":\"node0 (x86_64)\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"node1 (aarch64)\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"M\",\"pid\":0"), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"M\",\"pid\":1"), std::string::npos);
+
+    // Complete events carry category, duration and args.
+    EXPECT_NE(json.find("\"cat\":\"fault\""), std::string::npos);
+    EXPECT_NE(json.find("\"cat\":\"msg\""), std::string::npos);
+    EXPECT_NE(json.find("\"dur\":40"), std::string::npos);
+    EXPECT_NE(json.find("\"arg0\":3735928559"), std::string::npos);
+}
+
+TEST_F(ExporterTest, TimestampsAreMonotone)
+{
+    // Emit out of order across nodes; the exporter merges by start
+    // cycle.
+    tracer_.emit(TraceCategory::App, "c", 1, 0, 300, 310);
+    tracer_.emit(TraceCategory::App, "a", 0, 0, 100, 110);
+    tracer_.emit(TraceCategory::App, "d", 0, 0, 400, 410);
+    tracer_.emit(TraceCategory::App, "b", 1, 0, 200, 210);
+    std::string json = exported();
+    EXPECT_TRUE(JsonChecker(json).valid()) << json;
+
+    auto ts = timestamps(json);
+    ASSERT_EQ(ts.size(), 4u);
+    for (std::size_t i = 1; i < ts.size(); ++i)
+        EXPECT_LE(ts[i - 1], ts[i]);
+}
+
+TEST_F(ExporterTest, InstantEventsHaveZeroDuration)
+{
+    clock_[0] = 123;
+    tracer_.instant(TraceCategory::Ipi, "ipi.deliver", 0, 0, 1, 0);
+    std::string json = exported();
+    EXPECT_TRUE(JsonChecker(json).valid()) << json;
+    EXPECT_NE(json.find("\"ts\":123,\"dur\":0"), std::string::npos);
+}
+
+TEST_F(ExporterTest, EscapesSpecialCharactersInLabels)
+{
+    ChromeTraceExporter exporter(tracer_);
+    exporter.setNodeLabel(0, "weird \"quote\"\nlabel");
+    std::ostringstream os;
+    exporter.write(os);
+    std::string json = os.str();
+    EXPECT_TRUE(JsonChecker(json).valid()) << json;
+    EXPECT_NE(json.find("weird \\\"quote\\\"\\nlabel"),
+              std::string::npos);
+}
+
+TEST_F(ExporterTest, ReportsDroppedEvents)
+{
+    TraceConfig cfg;
+    cfg.enabled = true;
+    cfg.bufferEntries = 2;
+    Tracer small(cfg, 1, [](NodeId) { return Cycles{0}; });
+    for (int i = 0; i < 5; ++i)
+        small.instant(TraceCategory::App, "x", 0);
+    ChromeTraceExporter exporter(small);
+    std::ostringstream os;
+    exporter.write(os);
+    std::string json = os.str();
+    EXPECT_TRUE(JsonChecker(json).valid()) << json;
+    EXPECT_NE(json.find("\"droppedEvents\":3"), std::string::npos);
+}

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "stramash/trace/json_stats.hh"
+
+using namespace stramash;
+
+TEST(JsonStatsExporter, EmptyDocument)
+{
+    JsonStatsExporter exporter;
+    std::ostringstream os;
+    exporter.write(os);
+    std::string json = os.str();
+    json.erase(std::remove_if(json.begin(), json.end(),
+                              [](unsigned char c) {
+                                  return std::isspace(c);
+                              }),
+               json.end());
+    EXPECT_EQ(json, "{\"groups\":{}}");
+}
+
+TEST(JsonStatsExporter, CountersAndHistograms)
+{
+    StatGroup g("kernel.node0");
+    g.counter("page_faults") += 12;
+    g.counter("anon_faults") += 3;
+    Histogram &h = g.histogram("latency", {10, 100});
+    h.sample(5);
+    h.sample(50);
+    h.sample(500);
+
+    JsonStatsExporter exporter;
+    exporter.add(g);
+    EXPECT_EQ(exporter.groupCount(), 1u);
+
+    std::ostringstream os;
+    exporter.write(os);
+    std::string json = os.str();
+    EXPECT_NE(json.find("\"kernel.node0\""), std::string::npos);
+    EXPECT_NE(json.find("\"page_faults\":12"), std::string::npos);
+    EXPECT_NE(json.find("\"anon_faults\":3"), std::string::npos);
+    EXPECT_NE(json.find("\"latency\""), std::string::npos);
+    EXPECT_NE(json.find("\"count\":3"), std::string::npos);
+    EXPECT_NE(json.find("\"min\":5"), std::string::npos);
+    EXPECT_NE(json.find("\"max\":500"), std::string::npos);
+    EXPECT_NE(json.find("\"edges\":[10,100]"), std::string::npos);
+    EXPECT_NE(json.find("\"buckets\":[1,1,1]"), std::string::npos);
+}
+
+TEST(JsonStatsExporter, SnapshotIsStable)
+{
+    JsonStatsExporter exporter;
+    {
+        StatGroup g("gone");
+        g.counter("c") += 1;
+        exporter.add(g);
+        g.counter("c") += 100; // after the snapshot
+    } // group destroyed entirely
+    std::ostringstream os;
+    exporter.write(os);
+    EXPECT_NE(os.str().find("\"c\":1"), std::string::npos);
+}
+
+TEST(JsonStatsExporter, GroupsObjectEmbeds)
+{
+    StatGroup g("msg");
+    g.counter("sent_total") += 4;
+    JsonStatsExporter exporter;
+    exporter.add(g);
+    std::ostringstream os;
+    exporter.writeGroupsObject(os);
+    std::string obj = os.str();
+    EXPECT_EQ(obj.front(), '{');
+    EXPECT_EQ(obj.back(), '}');
+    EXPECT_NE(obj.find("\"sent_total\":4"), std::string::npos);
+}
