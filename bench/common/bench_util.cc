@@ -283,4 +283,31 @@ checksExitCode()
     return failedChecks == 0 ? 0 : 1;
 }
 
+bool
+writeBenchJson(
+    const std::string &path,
+    const std::vector<std::pair<std::string, double>> &metrics)
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "warning: cannot write bench JSON to %s\n",
+                     path.c_str());
+        return false;
+    }
+    out << "{";
+    bool first = true;
+    for (const auto &[name, value] : metrics) {
+        if (!first)
+            out << ",";
+        first = false;
+        out << "\n  ";
+        json::writeString(out, name);
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.6g", value);
+        out << ": " << buf;
+    }
+    out << "\n}\n";
+    return static_cast<bool>(out);
+}
+
 } // namespace stramash::bench

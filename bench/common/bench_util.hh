@@ -145,6 +145,17 @@ void check(bool ok, const std::string &what);
 /** Non-zero exit if any check() failed. */
 int checksExitCode();
 
+/**
+ * Write a flat machine-readable benchmark artifact: a single JSON
+ * object of name -> number, in the order given. Used by the
+ * perf-smoke CI job (scripts/check_bench_regression.py) to track
+ * throughput across commits. @return false if the file could not be
+ * written (also reported on stderr).
+ */
+bool writeBenchJson(
+    const std::string &path,
+    const std::vector<std::pair<std::string, double>> &metrics);
+
 } // namespace stramash::bench
 
 #endif // STRAMASH_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * A faithful port of the pre-directory CoherenceDomain, kept as the
+ * measurement baseline for bench_throughput's "speedup vs the old
+ * coherence hot loop" number.
+ *
+ * This reproduces the original implementation's simulator-side costs
+ * exactly where they differed from today's CoherenceDomain:
+ *
+ *   - node contexts in a std::map<NodeId, NodeCtx>, looked up on
+ *     every access and iterated (pointer-chasing) on every snoop
+ *     round;
+ *   - no snoop-filter directory and no L1 fast path: every miss and
+ *     every store upgrade probes every other node's hierarchy;
+ *   - the original four-probe holds() (L1I, L1D, L2, L3) instead of
+ *     the inclusion-based single-probe membership query;
+ *   - two separate probe rounds per load miss (one to snoop, one to
+ *     decide the Shared-vs-Exclusive fill state);
+ *   - the eviction callback wrapped in a std::function constructed
+ *     per miss (one heap allocation each), as fill() took it before
+ *     becoming a template;
+ *   - the back-invalidate counter bumped through a by-name StatGroup
+ *     lookup.
+ *
+ * It drives the same CacheHierarchy/SetAssocCache machinery, so given
+ * the same access stream it must produce exactly the same statistics
+ * as CoherenceDomain in either mode — bench_throughput cross-checks
+ * that, which is what makes the throughput comparison meaningful.
+ * Tracing hooks are omitted (the benches never attach them); the
+ * back_invalidates counter is registered eagerly so all three
+ * implementations expose identical counter sets.
+ */
+
+#ifndef STRAMASH_BENCH_LEGACY_COHERENCE_HH
+#define STRAMASH_BENCH_LEGACY_COHERENCE_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "stramash/cache/coherence.hh"
+#include "stramash/cache/hierarchy.hh"
+#include "stramash/common/stats.hh"
+#include "stramash/mem/latency_profile.hh"
+#include "stramash/mem/phys_map.hh"
+
+namespace stramash::bench
+{
+
+class LegacyCoherenceDomain
+{
+  public:
+    LegacyCoherenceDomain(const PhysMap &map, SnoopCosts snoopCosts,
+                          const CacheGeometry *sharedLlc = nullptr)
+        : map_(map), snoopCosts_(snoopCosts)
+    {
+        if (sharedLlc)
+            sharedLlc_ = std::make_unique<SetAssocCache>(*sharedLlc);
+    }
+
+    void
+    addNode(NodeId node, const HierarchyGeometry &geom,
+            const LatencyProfile &profile)
+    {
+        panic_if(nodes_.count(node), "node ", node,
+                 " already registered");
+        NodeCtx nc;
+        nc.stats = std::make_unique<StatGroup>(
+            std::string("cache.node") + std::to_string(node));
+        HierarchyGeometry g = geom;
+        if (sharedLlc_)
+            g.l3.sizeBytes = 0;
+        nc.hier = std::make_unique<CacheHierarchy>(node, g, *nc.stats);
+        if (sharedLlc_)
+            nc.hier->attachSharedL3(sharedLlc_.get());
+        nc.profile = profile;
+        nc.localMemHits = &nc.stats->counter("local_mem_hits");
+        nc.remoteMemHits = &nc.stats->counter("remote_mem_hits");
+        nc.remoteSharedMemHits =
+            &nc.stats->counter("remote_shared_mem_hits");
+        nc.memAccesses = &nc.stats->counter("mem_accesses");
+        nc.snoopInvalidates = &nc.stats->counter("snoop_invalidates");
+        nc.snoopDatas = &nc.stats->counter("snoop_datas");
+        nc.writebacks = &nc.stats->counter("writebacks");
+        nc.stats->counter("back_invalidates");
+        nodes_.emplace(node, std::move(nc));
+    }
+
+    StatGroup &nodeStats(NodeId node) { return *ctx(node).stats; }
+
+    AccessResult
+    accessLine(NodeId node, AccessType type, Addr addr)
+    {
+        NodeCtx &nc = ctx(node);
+        CacheHierarchy &hier = *nc.hier;
+        Addr lineAddr = lineBase(addr);
+        bool inst = type == AccessType::InstFetch;
+
+        AccessResult res;
+        res.level = hier.lookup(lineAddr, inst);
+
+        if (res.level != HitLevel::Memory) {
+            res.latency =
+                nc.profile.levelLatency(static_cast<int>(res.level));
+            if (type == AccessType::Store) {
+                Mesi state = hier.lineState(lineAddr);
+                if (state != Mesi::Modified &&
+                    state != Mesi::Exclusive) {
+                    res.latency +=
+                        snoopOthers(node, type, lineAddr, res);
+                }
+                hier.setState(lineAddr, Mesi::Modified);
+            }
+            return res;
+        }
+
+        res.latency += snoopOthers(node, type, lineAddr, res);
+
+        res.memClass = map_.classify(addr, node);
+        ++*nc.memAccesses;
+        switch (res.memClass) {
+          case MemoryClass::Local:
+            res.latency += nc.profile.mem;
+            ++*nc.localMemHits;
+            break;
+          case MemoryClass::Remote:
+            res.latency += nc.profile.remoteMem;
+            ++*nc.remoteMemHits;
+            break;
+          case MemoryClass::SharedPool:
+            res.latency += nc.profile.remoteMem;
+            ++*nc.remoteSharedMemHits;
+            break;
+        }
+
+        Mesi fillState = Mesi::Modified;
+        if (type != AccessType::Store) {
+            bool othersHold = false;
+            for (auto &kv : nodes_) {
+                if (kv.first != node && holds(*kv.second.hier, lineAddr)) {
+                    othersHold = true;
+                    break;
+                }
+            }
+            fillState = othersHold ? Mesi::Shared : Mesi::Exclusive;
+        }
+
+        const std::function<void(Addr, bool, bool)> onEvict =
+            [&](Addr victim, bool dirty, bool /*hadInner*/) {
+                evicted(node, victim, dirty);
+                if (sharedLlc_) {
+                    for (auto &kv : nodes_) {
+                        if (kv.first == node)
+                            continue;
+                        if (!holds(*kv.second.hier, victim))
+                            continue;
+                        bool d = kv.second.hier->invalidateLine(victim);
+                        evicted(kv.first, victim, d);
+                        res.latency += snoopCosts_.backInvalidate;
+                        nc.stats->counter("back_invalidates") += 1;
+                    }
+                }
+            };
+        hier.fill(lineAddr, fillState, inst, onEvict);
+        return res;
+    }
+
+  private:
+    struct NodeCtx
+    {
+        std::unique_ptr<StatGroup> stats;
+        std::unique_ptr<CacheHierarchy> hier;
+        LatencyProfile profile;
+        Counter *localMemHits = nullptr;
+        Counter *remoteMemHits = nullptr;
+        Counter *remoteSharedMemHits = nullptr;
+        Counter *memAccesses = nullptr;
+        Counter *snoopInvalidates = nullptr;
+        Counter *snoopDatas = nullptr;
+        Counter *writebacks = nullptr;
+    };
+
+    NodeCtx &
+    ctx(NodeId node)
+    {
+        auto it = nodes_.find(node);
+        panic_if(it == nodes_.end(), "unknown node ", node);
+        return it->second;
+    }
+
+    /** The original all-levels membership walk. */
+    static bool
+    holds(CacheHierarchy &h, Addr lineAddr)
+    {
+        return h.l1i().holds(lineAddr) || h.l1d().holds(lineAddr) ||
+               h.l2().holds(lineAddr) ||
+               (h.l3() && h.l3()->holds(lineAddr));
+    }
+
+    void
+    evicted(NodeId node, Addr /*lineAddr*/, bool dirty)
+    {
+        if (!dirty)
+            return;
+        ++*ctx(node).writebacks;
+    }
+
+    Cycles
+    snoopOthers(NodeId node, AccessType type, Addr lineAddr,
+                AccessResult &res)
+    {
+        Cycles extra = 0;
+        NodeCtx &self = ctx(node);
+        for (auto &kv : nodes_) {
+            if (kv.first == node)
+                continue;
+            CacheHierarchy &other = *kv.second.hier;
+            if (!holds(other, lineAddr))
+                continue;
+            if (type == AccessType::Store) {
+                bool dirty = other.invalidateLine(lineAddr);
+                evicted(kv.first, lineAddr, dirty);
+                extra += snoopCosts_.snoopInvalidate;
+                res.snoopInvalidate = true;
+                ++*self.snoopInvalidates;
+            } else {
+                Mesi state = other.lineState(lineAddr);
+                if (state == Mesi::Modified ||
+                    state == Mesi::Exclusive) {
+                    other.downgradeLine(lineAddr);
+                    extra += snoopCosts_.snoopData;
+                    res.snoopData = true;
+                    ++*self.snoopDatas;
+                }
+            }
+        }
+        return extra;
+    }
+
+    const PhysMap &map_;
+    SnoopCosts snoopCosts_;
+    std::unique_ptr<SetAssocCache> sharedLlc_;
+    std::map<NodeId, NodeCtx> nodes_;
+};
+
+} // namespace stramash::bench
+
+#endif // STRAMASH_BENCH_LEGACY_COHERENCE_HH

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Compare a bench JSON against its checked-in baseline.
+
+Every metric emitted by the throughput bench (accesses/sec and
+speedup ratios) is higher-is-better; a current value more than
+--tolerance below the baseline fails the check. The default 30%
+margin absorbs hosted-runner variance — the bench itself measures
+process CPU time and keeps the best of three repetitions, so what
+is left to absorb is mostly hardware-generation spread.
+
+Exit status: 0 all metrics within tolerance, 1 regression or a
+metric missing from the current run, 2 usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    return {k: v for k, v in data.items() if isinstance(v, (int, float))}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline", help="checked-in baseline JSON")
+    ap.add_argument("current", help="freshly produced bench JSON")
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed fractional regression (default 0.30 = 30%%)",
+    )
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+    if not base:
+        print(f"error: no numeric metrics in {args.baseline}",
+              file=sys.stderr)
+        return 2
+
+    failures = 0
+    width = max(len(k) for k in base)
+    for key in sorted(base):
+        want = base[key]
+        got = cur.get(key)
+        if got is None:
+            print(f"FAIL {key:<{width}}  missing from current run")
+            failures += 1
+            continue
+        floor = want * (1.0 - args.tolerance)
+        change = (got - want) / want if want else 0.0
+        verdict = "ok  " if got >= floor else "FAIL"
+        print(f"{verdict} {key:<{width}}  baseline {want:>12.4g}"
+              f"  current {got:>12.4g}  ({change:+.1%})")
+        if got < floor:
+            failures += 1
+
+    extra = sorted(set(cur) - set(base))
+    for key in extra:
+        print(f"note {key}: not in baseline (new metric?)")
+
+    if failures:
+        print(f"\n{failures} metric(s) regressed beyond "
+              f"{args.tolerance:.0%} of baseline")
+        return 1
+    print(f"\nall {len(base)} metrics within {args.tolerance:.0%} "
+          "of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

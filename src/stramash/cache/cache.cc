@@ -19,16 +19,26 @@ mesiName(Mesi m)
 
 SetAssocCache::SetAssocCache(const CacheGeometry &geom) : geom_(geom)
 {
-    panic_if(geom_.lineSize == 0 ||
-                 (geom_.lineSize & (geom_.lineSize - 1)) != 0,
-             "cache line size must be a power of two");
-    panic_if(geom_.ways == 0, "cache must have at least one way");
-    Addr sets = geom_.numSets();
-    panic_if(sets == 0 || (sets & (sets - 1)) != 0,
-             "cache set count must be a power of two, got ", sets);
-    setMask_ = sets - 1;
+    // All the indexing below is mask/shift work cached here once; a
+    // non-power-of-two shape would alias sets silently, so fail loud.
+    panic_if(!std::has_single_bit(geom_.lineSize),
+             "cache line size must be a power of two, got ",
+             geom_.lineSize);
+    panic_if(geom_.ways == 0 || !std::has_single_bit(geom_.ways),
+             "cache way count must be a power of two, got ",
+             geom_.ways);
+    panic_if(geom_.sizeBytes == 0 ||
+                 !std::has_single_bit(geom_.sizeBytes),
+             "cache size must be a power of two, got ",
+             geom_.sizeBytes);
+    panic_if(geom_.sizeBytes < geom_.lineSize * geom_.ways,
+             "cache of ", geom_.sizeBytes,
+             " bytes cannot hold one set of ", geom_.ways, " ",
+             geom_.lineSize, "-byte lines");
+    numSets_ = geom_.numSets();
+    setMask_ = numSets_ - 1;
     lineShift_ = std::countr_zero(geom_.lineSize);
-    lines_.resize(sets * geom_.ways);
+    lines_.resize(numSets_ * geom_.ways);
 }
 
 std::size_t

@@ -29,7 +29,12 @@ enum class Mesi : std::uint8_t {
 
 const char *mesiName(Mesi m);
 
-/** Static shape of one cache. */
+/**
+ * Static shape of one cache. SetAssocCache requires sizeBytes, ways
+ * and lineSize to all be powers of two — set indexing is pure
+ * mask/shift work, and a non-power-of-two shape would silently alias
+ * sets. The constructor validates this loudly.
+ */
 struct CacheGeometry
 {
     Addr sizeBytes;
@@ -99,8 +104,12 @@ class SetAssocCache
     /** Number of valid lines (for occupancy checks in tests). */
     std::size_t validCount() const;
 
+    /** Set count, computed once in the constructor. */
+    Addr numSets() const { return numSets_; }
+
   private:
     CacheGeometry geom_;
+    Addr numSets_;
     Addr setMask_;
     unsigned lineShift_;
     std::vector<Line> lines_; // sets * ways, row-major by set

@@ -77,14 +77,9 @@ promoteInto(SetAssocCache &inner, SetAssocCache &outer, Addr lineAddr,
 } // namespace
 
 HitLevel
-CacheHierarchy::lookup(Addr lineAddr, bool instFetch)
+CacheHierarchy::lookupFromL2(Addr lineAddr, bool instFetch)
 {
     SetAssocCache &l1 = instFetch ? *l1i_ : *l1d_;
-    ++l1Accesses_;
-    if (l1.probe(lineAddr)) {
-        ++l1Hits_;
-        return HitLevel::L1;
-    }
     ++l2Accesses_;
     if (auto *line = l2_->probe(lineAddr)) {
         ++l2Hits_;
@@ -129,45 +124,20 @@ CacheHierarchy::lineState(Addr lineAddr) const
 bool
 CacheHierarchy::holds(Addr lineAddr) const
 {
-    return l1i_->holds(lineAddr) || l1d_->holds(lineAddr) ||
-           l2_->holds(lineAddr) || (l3_ && l3_->holds(lineAddr));
-}
-
-void
-CacheHierarchy::fill(Addr lineAddr, Mesi state, bool instFetch,
-                     const std::function<void(Addr, bool)> &onEvict)
-{
-    auto handleVictim = [&](std::optional<SetAssocCache::Victim> v,
-                            bool lastLevelCache) {
-        if (!v)
-            return;
-        if (lastLevelCache) {
-            // Maintain inclusion: the victim leaves the node.
-            bool dirtyInner = false;
-            dirtyInner |= l1i_->invalidate(v->lineAddr) == Mesi::Modified;
-            dirtyInner |= l1d_->invalidate(v->lineAddr) == Mesi::Modified;
-            dirtyInner |= l2_->invalidate(v->lineAddr) == Mesi::Modified;
-            if (onEvict)
-                onEvict(v->lineAddr, v->dirty || dirtyInner);
-        }
-    };
-
-    // Fill outside-in so inclusion is never violated mid-fill.
-    if (sharedL3_) {
-        // The shared LLC victim may be held by *both* nodes; the
-        // domain's eviction hook handles the other node.
-        handleVictim(sharedL3_->insert(lineAddr, state), true);
-        l2_->insert(lineAddr, state);
-    } else if (l3_) {
-        handleVictim(l3_->insert(lineAddr, state), true);
-        l2_->insert(lineAddr, state);
-    } else {
-        handleVictim(l2_->insert(lineAddr, state), true);
-    }
-    if (instFetch)
-        l1i_->insert(lineAddr, state);
-    else
-        l1d_->insert(lineAddr, state);
+    // Inclusion makes the private last level a superset of the inner
+    // levels (fills install outside-in, last-level victims
+    // back-invalidate the inner copies), so a single probe answers
+    // the membership query. This is the query every cross-node snoop
+    // asks, so it must not walk all four arrays.
+    //
+    // With a shared LLC there is no private superset level: the
+    // shared L3 is not private state, and L2 victims do not
+    // back-invalidate the L1s when the L2 is not the last level — so
+    // all three private levels must answer.
+    if (sharedL3_)
+        return l2_->holds(lineAddr) || l1i_->holds(lineAddr) ||
+               l1d_->holds(lineAddr);
+    return l3_ ? l3_->holds(lineAddr) : l2_->holds(lineAddr);
 }
 
 void

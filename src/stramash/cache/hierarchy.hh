@@ -14,8 +14,10 @@
 #ifndef STRAMASH_CACHE_HIERARCHY_HH
 #define STRAMASH_CACHE_HIERARCHY_HH
 
-#include <functional>
 #include <memory>
+#include <optional>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "stramash/cache/cache.hh"
@@ -67,7 +69,36 @@ class CacheHierarchy
      * Probe for a line; refreshes LRU at the level that hits.
      * @return the innermost level holding the line, or Memory.
      */
-    HitLevel lookup(Addr lineAddr, bool instFetch);
+    HitLevel
+    lookup(Addr lineAddr, bool instFetch)
+    {
+        if (probeL1(lineAddr, instFetch))
+            return HitLevel::L1;
+        return lookupFromL2(lineAddr, instFetch);
+    }
+
+    /**
+     * L1-only probe (the hot-loop fast path): tallies the L1 access
+     * and hit counters exactly like lookup() and refreshes LRU, but
+     * touches no outer level.
+     * @return the L1 line on a hit, nullptr on an L1 miss.
+     */
+    SetAssocCache::Line *
+    probeL1(Addr lineAddr, bool instFetch)
+    {
+        ++l1Accesses_;
+        SetAssocCache::Line *l =
+            (instFetch ? *l1i_ : *l1d_).probe(lineAddr);
+        if (l)
+            ++l1Hits_;
+        return l;
+    }
+
+    /**
+     * Continue a lookup that already missed L1 (after probeL1):
+     * probes L2 and the LLC, promoting a hit inward.
+     */
+    HitLevel lookupFromL2(Addr lineAddr, bool instFetch);
 
     /** State of the line as seen by this node (outermost level). */
     Mesi lineState(Addr lineAddr) const;
@@ -78,11 +109,62 @@ class CacheHierarchy
     /**
      * Install a line in every level in @p state.
      * Evicted victims are reported through @p onEvict (line address,
-     * dirty) — only last-level victims are reported, since those are
-     * the ones leaving the node entirely.
+     * dirty, hadInner) — only last-level victims are reported, since
+     * those are the ones leaving the node entirely. @p hadInner tells
+     * whether an inner (pre-LLC) level still held the victim when it
+     * was evicted: with a *shared* LLC that distinguishes "this
+     * node's private copy is gone" from "the line left the shared
+     * cache but this node never privately held it", which the
+     * coherence directory needs to keep its presence counts paired.
+     *
+     * @p onEvict is any callable `(Addr, bool, bool)`, a
+     * std::function, a function pointer, or nullptr. Taking it as a
+     * template parameter keeps the per-fill cost at a direct
+     * (inlinable) call — the hot loop fills on every miss, and
+     * wrapping its capturing lambda in a std::function would
+     * heap-allocate each time.
      */
-    void fill(Addr lineAddr, Mesi state, bool instFetch,
-              const std::function<void(Addr, bool)> &onEvict);
+    template <typename OnEvict>
+    void
+    fill(Addr lineAddr, Mesi state, bool instFetch, OnEvict &&onEvict)
+    {
+        auto handleVictim = [&](std::optional<SetAssocCache::Victim> v,
+                                bool lastLevelCache) {
+            if (!v)
+                return;
+            if (lastLevelCache) {
+                // Maintain inclusion: the victim leaves the node.
+                Mesi i1 = l1i_->invalidate(v->lineAddr);
+                Mesi i2 = l1d_->invalidate(v->lineAddr);
+                Mesi i3 = l2_->invalidate(v->lineAddr);
+                bool dirtyInner = i1 == Mesi::Modified ||
+                                  i2 == Mesi::Modified ||
+                                  i3 == Mesi::Modified;
+                bool hadInner = i1 != Mesi::Invalid ||
+                                i2 != Mesi::Invalid ||
+                                i3 != Mesi::Invalid;
+                invokeEvict(onEvict, v->lineAddr,
+                            v->dirty || dirtyInner, hadInner);
+            }
+        };
+
+        // Fill outside-in so inclusion is never violated mid-fill.
+        if (sharedL3_) {
+            // The shared LLC victim may be held by *both* nodes; the
+            // domain's eviction hook handles the other node.
+            handleVictim(sharedL3_->insert(lineAddr, state), true);
+            l2_->insert(lineAddr, state);
+        } else if (l3_) {
+            handleVictim(l3_->insert(lineAddr, state), true);
+            l2_->insert(lineAddr, state);
+        } else {
+            handleVictim(l2_->insert(lineAddr, state), true);
+        }
+        if (instFetch)
+            l1i_->insert(lineAddr, state);
+        else
+            l1d_->insert(lineAddr, state);
+    }
 
     /** Set the line's MESI state at every level holding it. */
     void setState(Addr lineAddr, Mesi state);
@@ -112,6 +194,29 @@ class CacheHierarchy
     bool usesSharedL3() const { return sharedL3_ != nullptr; }
 
   private:
+    /**
+     * Dispatch the eviction report: callables are invoked directly;
+     * null-testable ones (std::function, function pointers) are
+     * skipped when empty; nullptr means "no observer".
+     */
+    template <typename F>
+    static void
+    invokeEvict(F &&f, Addr lineAddr, bool dirty, bool hadInner)
+    {
+        if constexpr (std::is_same_v<std::decay_t<F>,
+                                     std::nullptr_t>) {
+            (void)f;
+            (void)lineAddr;
+            (void)dirty;
+            (void)hadInner;
+        } else if constexpr (std::is_constructible_v<bool, F &>) {
+            if (f)
+                std::forward<F>(f)(lineAddr, dirty, hadInner);
+        } else {
+            std::forward<F>(f)(lineAddr, dirty, hadInner);
+        }
+    }
+
     NodeId node_;
     std::unique_ptr<SetAssocCache> l1i_;
     std::unique_ptr<SetAssocCache> l1d_;

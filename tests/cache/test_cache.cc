@@ -114,8 +114,22 @@ TEST(SetAssocCache, FlushAll)
 
 TEST(SetAssocCacheDeath, BadGeometry)
 {
+    // Every geometry field must be a power of two, or set indexing
+    // would silently alias; the constructor fails loudly instead.
     EXPECT_DEATH(SetAssocCache({100, 2}), "power of two");
-    EXPECT_DEATH(SetAssocCache({1024, 0}), "at least one way");
+    EXPECT_DEATH(SetAssocCache({1024, 0}), "way count");
+    EXPECT_DEATH(SetAssocCache({1024, 3}), "way count");
+    EXPECT_DEATH(SetAssocCache({0, 2}), "cache size");
+    EXPECT_DEATH(SetAssocCache({1024, 2, 48}), "line size");
+    // Too small to hold even one full set.
+    EXPECT_DEATH(SetAssocCache({128, 4}), "cannot hold one set");
+}
+
+TEST(SetAssocCache, CachedGeometryMatchesComputed)
+{
+    SetAssocCache c({32_KiB, 8});
+    EXPECT_EQ(c.numSets(), c.geometry().numSets());
+    EXPECT_EQ(c.numSets(), 64u);
 }
 
 TEST(Mesi, Names)

@@ -79,7 +79,7 @@ TEST(CacheHierarchy, LastLevelEvictionBackInvalidatesInner)
     CacheHierarchy h(0, g, stats);
     Addr stride = 1_KiB;
     std::vector<Addr> evicted;
-    auto onEvict = [&](Addr a, bool) { evicted.push_back(a); };
+    auto onEvict = [&](Addr a, bool, bool) { evicted.push_back(a); };
     h.fill(0x0, Mesi::Exclusive, false, onEvict);
     EXPECT_TRUE(h.l1d().holds(0x0));
     h.fill(stride, Mesi::Exclusive, false, onEvict);
@@ -96,7 +96,7 @@ TEST(CacheHierarchy, DirtyEvictionReported)
     g.l3 = {1_KiB, 1};
     CacheHierarchy h(0, g, stats);
     bool sawDirty = false;
-    auto onEvict = [&](Addr, bool dirty) { sawDirty = dirty; };
+    auto onEvict = [&](Addr, bool dirty, bool) { sawDirty = dirty; };
     h.fill(0x0, Mesi::Modified, false, onEvict);
     h.fill(1_KiB, Mesi::Exclusive, false, onEvict);
     EXPECT_TRUE(sawDirty);
