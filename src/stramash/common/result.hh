@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Lightweight error channel for recoverable boundaries.
+ *
+ * Panics remain the right tool for programming errors (broken
+ * invariants, impossible states). Conditions a resilient system must
+ * survive — a full message ring, a timed-out RPC, a denied allocator
+ * negotiation — instead travel as an Errc so callers can retry, back
+ * off, or degrade gracefully.
+ */
+
+#ifndef STRAMASH_COMMON_RESULT_HH
+#define STRAMASH_COMMON_RESULT_HH
+
+#include <optional>
+#include <utility>
+
+#include "stramash/common/logging.hh"
+
+namespace stramash
+{
+
+/** Recoverable error conditions. */
+enum class Errc : std::uint8_t {
+    Ok = 0,
+    /** Message ring had no free slot; the message was not sent. */
+    RingFull,
+    /** No response arrived within the simulated-cycle deadline. */
+    Timeout,
+    /** Payload failed the CRC check and was discarded. */
+    CrcMismatch,
+    /** The peer refused the request (e.g. allocator negotiation). */
+    Denied,
+    /** The peer could not be reached after every retry. */
+    Unreachable,
+    /** Out of a genuinely exhausted resource (not transient). */
+    NoMemory,
+};
+
+inline const char *
+errcName(Errc e)
+{
+    switch (e) {
+      case Errc::Ok: return "ok";
+      case Errc::RingFull: return "ring_full";
+      case Errc::Timeout: return "timeout";
+      case Errc::CrcMismatch: return "crc_mismatch";
+      case Errc::Denied: return "denied";
+      case Errc::Unreachable: return "unreachable";
+      case Errc::NoMemory: return "no_memory";
+    }
+    panic("unknown Errc");
+}
+
+/**
+ * A value or an Errc. Deliberately minimal: the simulator's
+ * recoverable paths need exactly "did it work, and if not, why".
+ */
+template <typename T>
+class Result
+{
+  public:
+    Result(T value) : value_(std::move(value)), errc_(Errc::Ok) {}
+    Result(Errc e) : errc_(e)
+    {
+        panic_if(e == Errc::Ok, "error Result built with Errc::Ok");
+    }
+
+    bool ok() const { return errc_ == Errc::Ok; }
+    explicit operator bool() const { return ok(); }
+    Errc error() const { return errc_; }
+
+    T &
+    value()
+    {
+        panic_if(!ok(), "Result::value() on error: ", errcName(errc_));
+        return *value_;
+    }
+
+    const T &
+    value() const
+    {
+        panic_if(!ok(), "Result::value() on error: ", errcName(errc_));
+        return *value_;
+    }
+
+    T *operator->() { return &value(); }
+    T &operator*() { return value(); }
+
+  private:
+    std::optional<T> value_;
+    Errc errc_;
+};
+
+} // namespace stramash
+
+#endif // STRAMASH_COMMON_RESULT_HH

@@ -21,6 +21,7 @@ System::System(const SystemConfig &cfg) : cfg_(cfg)
     mc.streamMlp = cfg.streamMlp;
     mc.snoopCosts = cfg.snoopCosts;
     mc.trace = cfg.trace;
+    mc.faultPlan = cfg.faultPlan;
     machine_ = std::make_unique<Machine>(mc);
 
     // Messaging area (SHM transport): placed per the paper's rules,
@@ -105,7 +106,7 @@ System::System(const SystemConfig &cfg) : cfg_(cfg)
             for (auto &k : kernels_)
                 ks.push_back(k.get());
             gma_ = std::make_unique<GlobalMemoryAllocator>(
-                *machine_, ks, cfg.gma, reserved);
+                *machine_, ks, cfg.gma, reserved, msg_.get());
             for (auto &k : kernels_) {
                 k->setLowMemoryHook([this](KernelInstance &ki) {
                     return gma_->onLowMemory(ki);
@@ -239,6 +240,10 @@ System::forEachStatGroup(
     }
     if (gma_)
         fn(gma_->stats());
+    if (FaultInjector *fi = machine_->faultInjector()) {
+        fn(fi->faults());
+        fn(fi->retries());
+    }
 }
 
 bool

@@ -14,6 +14,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "stramash/dsm/popcorn.hh"
@@ -50,6 +51,9 @@ struct SystemConfig
     MsgCosts msgCosts{};
     /** Cross-layer event tracing (off by default; zero-ish cost). */
     TraceConfig trace{};
+    /** Fault-injection plan (stramash/fault). Absent = nothing is
+     *  injected and the transport runs the historical fast path. */
+    std::optional<FaultPlan> faultPlan;
 };
 
 class System

@@ -158,11 +158,11 @@ DsmEngine::installCopy(KernelInstance &k, Task &t, Addr vpage,
     }
 }
 
-void
+bool
 DsmEngine::ensureVma(KernelInstance &k, Task &t, Addr va)
 {
     if (t.as->vmas().find(va))
-        return;
+        return true;
     panic_if(t.origin == k.nodeId(),
              "origin fault outside every VMA (segfault) at 0x",
              std::hex, va);
@@ -172,19 +172,24 @@ DsmEngine::ensureVma(KernelInstance &k, Task &t, Addr va)
     req.to = t.origin;
     req.arg0 = t.pid;
     req.arg1 = va;
-    Message resp = msg_.rpc(req, MsgType::VmaResponse);
-    panic_if(resp.arg1 == 0, "remote fault outside every VMA at 0x",
+    auto resp = msg_.tryRpc(req, MsgType::VmaResponse);
+    if (!resp) {
+        k.stats().counter("dsm_vma_unreachable") += 1;
+        return false;
+    }
+    panic_if(resp->arg1 == 0, "remote fault outside every VMA at 0x",
              std::hex, va);
     Vma vma;
-    vma.start = resp.arg0;
-    vma.end = resp.arg1;
+    vma.start = resp->arg0;
+    vma.end = resp->arg1;
     vma.prot.present = true;
     vma.prot.user = true;
-    vma.prot.writable = resp.arg2 & 1;
-    vma.prot.executable = resp.arg2 & 2;
-    vma.kind = static_cast<VmaKind>((resp.arg2 >> 8) & 0xff);
+    vma.prot.writable = resp->arg2 & 1;
+    vma.prot.executable = resp->arg2 & 2;
+    vma.kind = static_cast<VmaKind>((resp->arg2 >> 8) & 0xff);
     bool ok = t.as->vmas().insert(vma);
     panic_if(!ok, "remote VMA overlaps local tree");
+    return true;
 }
 
 void
@@ -218,7 +223,8 @@ DsmEngine::handlePageFault(KernelInstance &kernel, Task &task, Addr va,
     std::uint32_t selfBit = 1u << self;
     Pid pid = task.pid;
 
-    ensureVma(kernel, task, va);
+    if (!ensureVma(kernel, task, va))
+        return; // back out: resolve() re-faults and retries
     bool fresh = !pages_.count({pid, vpage});
     PageState &st = state(pid, vpage, task.origin);
     touchMeta(kernel, pid, vpage, AccessType::Load);
@@ -247,7 +253,10 @@ DsmEngine::handlePageFault(KernelInstance &kernel, Task &task, Addr va,
             alloc.arg0 = pid;
             alloc.arg1 = vpage;
             alloc.arg2 = flagAllocOnly;
-            msg_.rpc(alloc, MsgType::PageResponse);
+            if (!msg_.tryRpc(alloc, MsgType::PageResponse)) {
+                kernel.stats().counter("dsm_rounds_unreachable") += 1;
+                return; // page still unmapped; resolve() retries
+            }
         }
 
         Message req;
@@ -257,9 +266,13 @@ DsmEngine::handlePageFault(KernelInstance &kernel, Task &task, Addr va,
         req.arg0 = pid;
         req.arg1 = vpage;
         req.arg2 = wantWrite ? flagWrite : 0;
-        Message resp = msg_.rpc(req, MsgType::PageResponse);
+        auto resp = msg_.tryRpc(req, MsgType::PageResponse);
+        if (!resp) {
+            kernel.stats().counter("dsm_rounds_unreachable") += 1;
+            return;
+        }
 
-        installCopy(kernel, task, vpage, resp.payload, wantWrite);
+        installCopy(kernel, task, vpage, resp->payload, wantWrite);
         ++replicated_;
         kernel.machine().tracer().instant(TraceCategory::Fault,
                                           "fault.dsm_replicate", self,
@@ -282,7 +295,9 @@ DsmEngine::handlePageFault(KernelInstance &kernel, Task &task, Addr va,
              "write to read-only VMA at 0x", std::hex, va);
 
     if (st.owner == self) {
-        // We own it; invalidate the other read copies.
+        // We own it; invalidate the other read copies. Holder bits
+        // clear incrementally so an aborted round never re-counts the
+        // copies already invalidated when the fault retries.
         for (NodeId n = 0; n < 32; ++n) {
             if (n == self || !(st.holders & (1u << n)))
                 continue;
@@ -292,7 +307,11 @@ DsmEngine::handlePageFault(KernelInstance &kernel, Task &task, Addr va,
             inv.to = n;
             inv.arg0 = pid;
             inv.arg1 = vpage;
-            msg_.rpc(inv, MsgType::PageInvalidateAck);
+            if (!msg_.tryRpc(inv, MsgType::PageInvalidateAck)) {
+                kernel.stats().counter("dsm_rounds_unreachable") += 1;
+                return; // page stays read-only; resolve() retries
+            }
+            st.holders &= ~(1u << n);
             ++invalidations_;
             kernel.machine().tracer().instant(
                 TraceCategory::Fault, "fault.dsm_invalidate", self, pid,
@@ -313,8 +332,12 @@ DsmEngine::handlePageFault(KernelInstance &kernel, Task &task, Addr va,
     req.arg0 = pid;
     req.arg1 = vpage;
     req.arg2 = flagWrite;
-    Message resp = msg_.rpc(req, MsgType::PageResponse);
-    installCopy(kernel, task, vpage, resp.payload, true);
+    auto resp = msg_.tryRpc(req, MsgType::PageResponse);
+    if (!resp) {
+        kernel.stats().counter("dsm_rounds_unreachable") += 1;
+        return;
+    }
+    installCopy(kernel, task, vpage, resp->payload, true);
     ++replicated_;
     kernel.machine().tracer().instant(TraceCategory::Fault,
                                       "fault.dsm_replicate", self, pid,

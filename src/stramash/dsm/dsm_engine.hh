@@ -48,6 +48,11 @@ class DsmEngine
     /**
      * Resolve a DSM fault raised at @p kernel. Covers NotMapped
      * (fetch/replicate) and NoWrite (upgrade/invalidate).
+     *
+     * Under fault injection a protocol round can exhaust its retry
+     * budget; the engine then returns with the page still unmapped
+     * (coherence metadata untouched or safely partial) and the
+     * architectural retry loop in KernelInstance::resolve re-faults.
      */
     void handlePageFault(KernelInstance &kernel, Task &task, Addr va,
                          XlateStatus kind, AccessType type);
@@ -136,8 +141,12 @@ class DsmEngine
                      const std::vector<std::uint8_t> &content,
                      bool writable);
 
-    /** Ensure the requester knows the VMA covering @p va. */
-    void ensureVma(KernelInstance &k, Task &t, Addr va);
+    /**
+     * Ensure the requester knows the VMA covering @p va.
+     * @return false if the origin could not be reached (the caller
+     *         must back out and let the fault retry).
+     */
+    bool ensureVma(KernelInstance &k, Task &t, Addr va);
 
     void onVmaRequest(KernelInstance &k, const Message &m);
 };

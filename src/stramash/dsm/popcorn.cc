@@ -52,7 +52,13 @@ PopcornFutexPolicy::wait(KernelInstance &kernel, Task &task, Addr uaddr,
     req.arg0 = task.pid;
     req.arg1 = uaddr;
     req.arg2 = expected;
-    msg_.rpc(req, MsgType::FutexResponse);
+    if (!msg_.tryRpc(req, MsgType::FutexResponse)) {
+        // Origin unreachable: degrade to a spurious wakeup — the
+        // caller re-checks the futex word, exactly as after a real
+        // EAGAIN race.
+        kernel.stats().counter("futex_waits_unreachable") += 1;
+        return false;
+    }
     return true;
 }
 
@@ -90,8 +96,9 @@ PopcornFutexPolicy::wake(KernelInstance &kernel, Task &task, Addr uaddr,
                 note.arg0 = w.pid;
                 note.arg1 = uaddr;
                 note.arg2 = 1; // notification, not a request
-                msg_.send(note);
-                msg_.dispatchPending(w.node);
+                if (msg_.sendReliable(note) != Errc::Ok) {
+                    kernel.stats().counter("futex_wakes_lost") += 1;
+                }
             }
         }
         return static_cast<unsigned>(woken.size());
@@ -105,8 +112,13 @@ PopcornFutexPolicy::wake(KernelInstance &kernel, Task &task, Addr uaddr,
     req.arg0 = task.pid;
     req.arg1 = uaddr;
     req.arg2 = (static_cast<std::uint64_t>(count) << 8); // request
-    Message resp = msg_.rpc(req, MsgType::FutexResponse);
-    return static_cast<unsigned>(resp.arg2);
+    auto resp = msg_.tryRpc(req, MsgType::FutexResponse);
+    if (!resp) {
+        // Origin unreachable after every retry: report zero wakeups.
+        kernel.stats().counter("futex_wakes_unreachable") += 1;
+        return 0;
+    }
+    return static_cast<unsigned>(resp->arg2);
 }
 
 void
@@ -132,9 +144,12 @@ PopcornFutexPolicy::onFutexWake(KernelInstance &k, const Message &m)
             note.arg0 = w.pid;
             note.arg1 = m.arg1;
             note.arg2 = 1;
-            msg_.send(note);
-            // Delivered when that node next dispatches; if it is the
-            // requester, rpc() routes it to its pump.
+            // Fault-free: delivered when that node next dispatches
+            // (if it is the requester, rpc() routes it to its pump).
+            // Resilient mode acknowledges and retries instead.
+            if (msg_.sendReliable(note, false) != Errc::Ok) {
+                k.stats().counter("futex_wakes_lost") += 1;
+            }
         }
     }
     Message resp;
@@ -212,8 +227,16 @@ PopcornMigrationPolicy::migrate(Pid pid, NodeId dest)
     m.arg1 = ts.origin;
     m.payload.resize(migrationStateWireSize());
     serializeMigrationState(ts.state, m.payload.data());
-    msg_.send(m);
-    msg_.dispatchPending(dest);
+    if (msg_.sendReliable(m) != Errc::Ok) {
+        // Destination unreachable: the thread keeps running at the
+        // source — migration is best-effort placement, not
+        // correctness.
+        ks.stats().counter("migrations_aborted") += 1;
+        ks.machine().tracer().instant(TraceCategory::Chaos,
+                                      "migrate.aborted", src, pid,
+                                      dest);
+        return;
+    }
 
     current_[pid] = dest;
 }
@@ -251,6 +274,20 @@ PopcornMigrationPolicy::migrateProcess(Pid pid, NodeId dest)
         }
     }
 
+    // Any stage failing aborts the whole transfer: the destination's
+    // partial copy is destroyed and the source keeps the authoritative
+    // process — §5's "no kernel state to keep consistent" makes the
+    // unwind exactly one destroyTask.
+    auto abort = [&]() {
+        KernelInstance &kd = kernels_(dest);
+        if (kd.hasTask(pid))
+            kd.destroyTask(pid);
+        ks.stats().counter("process_migrations_aborted") += 1;
+        ks.machine().tracer().instant(TraceCategory::Chaos,
+                                      "migrate.process_aborted", src,
+                                      pid, dest);
+    };
+
     // 1. Kick-off: register state; the receiver becomes the origin.
     Message kick;
     kick.type = MsgType::ProcessMigrate;
@@ -259,8 +296,10 @@ PopcornMigrationPolicy::migrateProcess(Pid pid, NodeId dest)
     kick.arg0 = pid;
     kick.payload.resize(migrationStateWireSize());
     serializeMigrationState(ts.state, kick.payload.data());
-    msg_.send(kick);
-    msg_.dispatchPending(dest);
+    if (msg_.sendReliable(kick) != Errc::Ok) {
+        abort();
+        return;
+    }
 
     // 2. Every VMA.
     std::vector<Vma> vmas;
@@ -277,8 +316,10 @@ PopcornMigrationPolicy::migrateProcess(Pid pid, NodeId dest)
                           (v.prot.writable ? 1 : 0) |
                           (v.prot.executable ? 2 : 0)),
                       static_cast<std::uint8_t>(v.kind)};
-        msg_.send(vm);
-        msg_.dispatchPending(dest);
+        if (msg_.sendReliable(vm) != Errc::Ok) {
+            abort();
+            return;
+        }
     }
 
     // 3. Every resident page travels by content.
@@ -299,8 +340,10 @@ PopcornMigrationPolicy::migrateProcess(Pid pid, NodeId dest)
                                       pageSize);
             ks.machine().memory().read(pageBase(w->pte.frame),
                                        pg.payload.data(), pageSize);
-            msg_.send(pg);
-            msg_.dispatchPending(dest);
+            if (msg_.sendReliable(pg) != Errc::Ok) {
+                abort();
+                return;
+            }
         }
     }
 

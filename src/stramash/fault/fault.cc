@@ -1,0 +1,127 @@
+#include "stramash/fault/fault.hh"
+
+#include <algorithm>
+
+namespace stramash
+{
+
+FaultPlan
+FaultPlan::transientChaos(std::uint64_t seed, double rate,
+                          std::uint64_t budget)
+{
+    FaultPlan p;
+    p.seed = seed;
+    p.msgDropRate = rate;
+    p.msgDupRate = rate;
+    p.msgCorruptRate = rate;
+    p.msgDelayRate = rate;
+    p.ipiDropRate = rate;
+    p.memBlockDenyRate = rate;
+    p.pageCorruptRate = rate;
+    p.maxFaults = budget;
+    return p;
+}
+
+FaultInjector::FaultInjector(const FaultPlan &plan)
+    : plan_(plan), faults_("faults"), retries_("retries")
+{
+    panic_if(plan_.msgDropRate < 0 || plan_.msgDropRate > 1 ||
+                 plan_.msgDupRate < 0 || plan_.msgDupRate > 1 ||
+                 plan_.msgCorruptRate < 0 || plan_.msgCorruptRate > 1 ||
+                 plan_.msgDelayRate < 0 || plan_.msgDelayRate > 1 ||
+                 plan_.ipiDropRate < 0 || plan_.ipiDropRate > 1 ||
+                 plan_.memBlockDenyRate < 0 ||
+                 plan_.memBlockDenyRate > 1 ||
+                 plan_.pageCorruptRate < 0 || plan_.pageCorruptRate > 1,
+             "fault rates must be probabilities in [0, 1]");
+    rngs_.reserve(siteCount);
+    for (unsigned s = 0; s < siteCount; ++s)
+        rngs_.emplace_back(plan_.seed, s);
+}
+
+bool
+FaultInjector::fire(Site site, double rate, const char *name,
+                    NodeId node, std::uint64_t arg0, std::uint64_t arg1)
+{
+    if (rate <= 0 || exhausted())
+        return false;
+    if (!rngs_[site].chance(rate))
+        return false;
+    ++injected_;
+    faults_.counter("injected") += 1;
+    faults_.counter(name) += 1;
+    if (tracer_) {
+        tracer_->instant(TraceCategory::Chaos, name, node, 0, arg0,
+                         arg1);
+    }
+    return true;
+}
+
+bool
+FaultInjector::shouldDropMessage(NodeId from, NodeId to)
+{
+    return fire(SiteMsgDrop, plan_.msgDropRate, "msg_drop", from, from,
+                to);
+}
+
+bool
+FaultInjector::shouldDuplicateMessage(NodeId from, NodeId to)
+{
+    return fire(SiteMsgDup, plan_.msgDupRate, "msg_dup", from, from,
+                to);
+}
+
+bool
+FaultInjector::shouldCorruptPayload(NodeId from, NodeId to,
+                                    bool pagePayload)
+{
+    if (pagePayload) {
+        double rate =
+            std::max(plan_.msgCorruptRate, plan_.pageCorruptRate);
+        return fire(SitePageCorrupt, rate, "page_corrupt", from, from,
+                    to);
+    }
+    return fire(SiteMsgCorrupt, plan_.msgCorruptRate, "msg_corrupt",
+                from, from, to);
+}
+
+Cycles
+FaultInjector::messageDelayCycles(NodeId from, NodeId to)
+{
+    if (!fire(SiteMsgDelay, plan_.msgDelayRate, "msg_delay", from,
+              from, to)) {
+        return 0;
+    }
+    return plan_.msgDelayCycles;
+}
+
+bool
+FaultInjector::shouldDropIpi(NodeId from, NodeId to)
+{
+    return fire(SiteIpi, plan_.ipiDropRate, "ipi_drop", from, from,
+                to);
+}
+
+bool
+FaultInjector::shouldDenyMemBlock(NodeId donor)
+{
+    return fire(SiteMemBlock, plan_.memBlockDenyRate, "mem_block_deny",
+                donor, donor, 0);
+}
+
+void
+FaultInjector::corrupt(std::vector<std::uint8_t> &payload,
+                       std::uint64_t &arg0)
+{
+    Rng &rng = rngs_[SiteCorruptBytes];
+    if (payload.empty()) {
+        arg0 ^= std::uint64_t{1} << rng.below(64);
+        return;
+    }
+    std::size_t at = static_cast<std::size_t>(
+        rng.below64(payload.size()));
+    // Flipping a whole byte guarantees the stored value changes.
+    payload[at] ^= 0xff;
+}
+
+} // namespace stramash

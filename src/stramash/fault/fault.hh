@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Deterministic, seed-driven fault injection (the `stramash/fault`
+ * subsystem).
+ *
+ * A FaultPlan names the sites and rates at which the simulated
+ * platform misbehaves: message drop / duplication / delivery delay /
+ * payload corruption in the transport, cross-ISA IPI loss, denied
+ * global-allocator block negotiations, and page-content corruption on
+ * the DSM path. A FaultInjector executes the plan with one private
+ * PCG32 stream per site, so adding faults at one site never perturbs
+ * the draw sequence of another and every run is reproducible
+ * bit-for-bit from (plan, seed).
+ *
+ * Determinism contract:
+ *
+ *  - Each site draws from its own Rng(seed, site) stream, in the
+ *    order the simulation reaches the site. Same plan + same workload
+ *    => same faults, every run.
+ *  - `maxFaults` is a global budget. Once spent, every site reports
+ *    "no fault" forever — which makes any bounded plan *transient* by
+ *    construction: the system must converge to the fault-free end
+ *    state after the budget is exhausted.
+ *  - A site with rate 0 never draws, so enabling one site leaves the
+ *    others' streams untouched.
+ *
+ * When no plan is attached, the hot paths see a null FaultInjector
+ * pointer: one predictable branch, nothing else.
+ */
+
+#ifndef STRAMASH_FAULT_FAULT_HH
+#define STRAMASH_FAULT_FAULT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "stramash/common/rng.hh"
+#include "stramash/common/stats.hh"
+#include "stramash/trace/trace.hh"
+
+namespace stramash
+{
+
+/** What to break, how often, and for how long. */
+struct FaultPlan
+{
+    /** Master seed; every site stream derives from it. */
+    std::uint64_t seed = 1;
+
+    // ---- transport sites ----
+    /** Probability a sent message vanishes before the wire. */
+    double msgDropRate = 0.0;
+    /** Probability a sent message is delivered twice. */
+    double msgDupRate = 0.0;
+    /** Probability a payload byte (or arg word) is flipped. */
+    double msgCorruptRate = 0.0;
+    /** Probability delivery is delayed by msgDelayCycles. */
+    double msgDelayRate = 0.0;
+    /** Receiver-side delivery delay for delayed messages. */
+    Cycles msgDelayCycles = 50000;
+
+    // ---- platform sites ----
+    /** Probability a cross-ISA IPI is lost in delivery. */
+    double ipiDropRate = 0.0;
+    /** Probability the donor denies a MemBlockRequest. */
+    double memBlockDenyRate = 0.0;
+    /** Extra corruption rate for page-carrying payloads
+     *  (PageResponse / ProcessPage); max()ed with msgCorruptRate. */
+    double pageCorruptRate = 0.0;
+
+    /** Total faults the plan may inject before going quiet. A
+     *  bounded budget makes the plan transient by construction. */
+    std::uint64_t maxFaults = UINT64_MAX;
+
+    /** True when any site can fire. */
+    bool
+    any() const
+    {
+        return msgDropRate > 0 || msgDupRate > 0 ||
+               msgCorruptRate > 0 || msgDelayRate > 0 ||
+               ipiDropRate > 0 || memBlockDenyRate > 0 ||
+               pageCorruptRate > 0;
+    }
+
+    /** Every site active at @p rate, with a fault budget — the chaos
+     *  harness's standard transient plan. */
+    static FaultPlan transientChaos(std::uint64_t seed,
+                                    double rate = 0.05,
+                                    std::uint64_t budget = 48);
+};
+
+/**
+ * Executes a FaultPlan. Owned by sim::Machine; every layer that hosts
+ * an injection site asks it for decisions through `machine().
+ * faultInjector()` (null when no plan is attached).
+ *
+ * Also owns the `faults.*` and `retries.*` stat groups: retries can
+ * only happen while an injector is attached, so the recovery
+ * machinery's counters live next to the faults that caused them.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultPlan &plan);
+
+    FaultInjector(const FaultInjector &) = delete;
+    FaultInjector &operator=(const FaultInjector &) = delete;
+
+    /** Attach the machine tracer (events land in TraceCategory::Chaos). */
+    void setTracer(Tracer *tracer) { tracer_ = tracer; }
+
+    const FaultPlan &plan() const { return plan_; }
+
+    // ---- decision points (one per named site) ----
+
+    bool shouldDropMessage(NodeId from, NodeId to);
+    bool shouldDuplicateMessage(NodeId from, NodeId to);
+    /** @p pagePayload selects the DSM page-corruption site. */
+    bool shouldCorruptPayload(NodeId from, NodeId to, bool pagePayload);
+    /** 0 = deliver on time. */
+    Cycles messageDelayCycles(NodeId from, NodeId to);
+    bool shouldDropIpi(NodeId from, NodeId to);
+    bool shouldDenyMemBlock(NodeId donor);
+
+    /**
+     * Deterministically damage a message: flip one payload byte, or
+     * one bit of @p arg0 when the payload is empty.
+     */
+    void corrupt(std::vector<std::uint8_t> &payload,
+                 std::uint64_t &arg0);
+
+    /** Faults injected so far (every site combined). */
+    std::uint64_t injected() const { return injected_; }
+    /** True once the budget is spent: the plan has gone quiet. */
+    bool exhausted() const { return injected_ >= plan_.maxFaults; }
+
+    StatGroup &faults() { return faults_; }
+    StatGroup &retries() { return retries_; }
+
+  private:
+    /** Site index doubles as the per-site Rng stream selector. */
+    enum Site : unsigned {
+        SiteMsgDrop = 0,
+        SiteMsgDup,
+        SiteMsgCorrupt,
+        SiteMsgDelay,
+        SiteIpi,
+        SiteMemBlock,
+        SitePageCorrupt,
+        SiteCorruptBytes,
+        siteCount,
+    };
+
+    /** Draw at @p site; on a hit, spend budget, count and trace. */
+    bool fire(Site site, double rate, const char *name, NodeId node,
+              std::uint64_t arg0, std::uint64_t arg1);
+
+    FaultPlan plan_;
+    std::vector<Rng> rngs_;
+    std::uint64_t injected_ = 0;
+    StatGroup faults_;
+    StatGroup retries_;
+    Tracer *tracer_ = nullptr;
+};
+
+} // namespace stramash
+
+#endif // STRAMASH_FAULT_FAULT_HH

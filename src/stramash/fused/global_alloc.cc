@@ -3,14 +3,34 @@
 namespace stramash
 {
 
+namespace
+{
+
+/** MemBlockResponse.arg2 verdicts. */
+constexpr std::uint64_t blockGranted = 0;
+constexpr std::uint64_t blockDenied = 1;
+constexpr std::uint64_t blockNoMemory = 2;
+
+} // namespace
+
 GlobalMemoryAllocator::GlobalMemoryAllocator(
     Machine &machine, std::vector<KernelInstance *> kernels,
-    GmaConfig cfg, const std::vector<AddrRange> &excluded)
+    GmaConfig cfg, const std::vector<AddrRange> &excluded,
+    MessageLayer *msg)
     : machine_(machine),
       kernels_(std::move(kernels)),
       cfg_(cfg),
-      stats_("gma")
+      stats_("gma"),
+      msg_(msg)
 {
+    if (msg_) {
+        for (auto *k : kernels_) {
+            k->registerMsgHandler(MsgType::MemBlockRequest,
+                                  [this, k](const Message &m) {
+                                      onMemBlockRequest(*k, m);
+                                  });
+        }
+    }
     panic_if(cfg_.blockSize < 32 * 1024 * 1024 ||
                  cfg_.blockSize > Addr{4} * 1024 * 1024 * 1024,
              "block size outside the 32 MiB - 4 GiB range");
@@ -180,6 +200,62 @@ GlobalMemoryAllocator::offlineBlock(KernelInstance &kernel,
     return machine_.node(kernel.nodeId()).cycles() - before;
 }
 
+void
+GlobalMemoryAllocator::onMemBlockRequest(KernelInstance &k,
+                                         const Message &m)
+{
+    Message resp;
+    resp.type = MsgType::MemBlockResponse;
+    resp.from = k.nodeId();
+    resp.to = m.from;
+
+    FaultInjector *fi = machine_.faultInjector();
+    if (fi && fi->shouldDenyMemBlock(k.nodeId())) {
+        // Transient refusal (the donor is "busy"): the requester
+        // backs off and asks again.
+        stats_.counter("negotiations_denied") += 1;
+        resp.arg2 = blockDenied;
+        msg_->send(resp);
+        return;
+    }
+
+    for (const auto &block : ownedBlocks(k.nodeId())) {
+        if (!k.palloc().allocatedIn(block).empty())
+            continue;
+        if (offlineBlock(k, block) == 0)
+            continue;
+        resp.arg0 = block.start;
+        resp.arg1 = block.end;
+        resp.arg2 = blockGranted;
+        msg_->send(resp);
+        return;
+    }
+    resp.arg2 = blockNoMemory;
+    msg_->send(resp);
+}
+
+Result<AddrRange>
+GlobalMemoryAllocator::requestBlockFrom(KernelInstance &kernel,
+                                        KernelInstance &donor)
+{
+    Message req;
+    req.type = MsgType::MemBlockRequest;
+    req.from = kernel.nodeId();
+    req.to = donor.nodeId();
+    auto resp = msg_->tryRpc(req, MsgType::MemBlockResponse);
+    if (!resp)
+        return Errc::Unreachable;
+    switch (resp->arg2) {
+      case blockGranted:
+        return AddrRange{resp->arg0, resp->arg1};
+      case blockDenied:
+        return Errc::Denied;
+      case blockNoMemory:
+        return Errc::NoMemory;
+    }
+    panic("bad MemBlockResponse verdict ", resp->arg2);
+}
+
 bool
 GlobalMemoryAllocator::onLowMemory(KernelInstance &kernel)
 {
@@ -206,16 +282,49 @@ GlobalMemoryAllocator::onLowMemory(KernelInstance &kernel)
     }
     if (!donor)
         return false;
-    for (const auto &block : ownedBlocks(donor->nodeId())) {
-        if (donor->palloc().allocatedIn(block).empty()) {
-            Cycles c = offlineBlock(*donor, block);
-            if (c == 0)
-                continue;
-            onlineBlock(kernel, block);
+
+    if (!msg_) {
+        // Direct hand-off (no messaging attached).
+        for (const auto &block : ownedBlocks(donor->nodeId())) {
+            if (donor->palloc().allocatedIn(block).empty()) {
+                Cycles c = offlineBlock(*donor, block);
+                if (c == 0)
+                    continue;
+                onlineBlock(kernel, block);
+                stats_.counter("blocks_migrated") += 1;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    // Message-based negotiation: transient refusals and lost
+    // messages are retried with exponential backoff before the
+    // kernel degrades to local memory only.
+    const RpcPolicy &pol = msg_->rpcPolicy();
+    unsigned attempts =
+        machine_.faultInjector() ? pol.maxAttempts : 1;
+    for (unsigned attempt = 1; attempt <= attempts; ++attempt) {
+        if (attempt > 1) {
+            stats_.counter("negotiation_retries") += 1;
+            machine_.stall(kernel.nodeId(),
+                           pol.backoffForAttempt(attempt - 1));
+        }
+        Result<AddrRange> got = requestBlockFrom(kernel, *donor);
+        if (got.ok()) {
+            onlineBlock(kernel, got.value());
             stats_.counter("blocks_migrated") += 1;
             return true;
         }
+        if (got.error() == Errc::NoMemory) {
+            // Permanent for this donor: nothing it can release.
+            break;
+        }
     }
+    stats_.counter("degraded_local") += 1;
+    machine_.tracer().instant(TraceCategory::Chaos,
+                              "gma.degraded_local", kernel.nodeId(), 0,
+                              donor->nodeId());
     return false;
 }
 

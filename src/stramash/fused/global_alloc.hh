@@ -47,11 +47,17 @@ class GlobalMemoryAllocator
     /**
      * @param excluded ranges inside the pool that must not become
      *        blocks (e.g. the messaging area).
+     * @param msg when non-null, inter-kernel block hand-offs are
+     *        negotiated over MemBlockRequest / MemBlockResponse
+     *        messages (and can therefore time out, be denied by a
+     *        fault plan, and be retried with backoff). Null keeps
+     *        the direct-call hand-off for isolated unit tests.
      */
     GlobalMemoryAllocator(Machine &machine,
                           std::vector<KernelInstance *> kernels,
                           GmaConfig cfg = {},
-                          const std::vector<AddrRange> &excluded = {});
+                          const std::vector<AddrRange> &excluded = {},
+                          MessageLayer *msg = nullptr);
 
     /** Donate pool memory (defaults to the phys map's pool ranges). */
     void addPoolRange(const AddrRange &r);
@@ -62,10 +68,25 @@ class GlobalMemoryAllocator
 
     /**
      * Low-memory entry point (wired as each kernel's hook): try to
-     * grow @p kernel by one block.
+     * grow @p kernel by one block. Free blocks are assigned
+     * directly. Occupied blocks are negotiated away from the least-
+     * pressured donor kernel; a transiently denied or timed-out
+     * negotiation is retried with exponential backoff, and after the
+     * attempt budget the caller degrades to whatever local memory it
+     * still has (`gma.degraded_local`).
      * @return true if a block was onlined.
      */
     bool onLowMemory(KernelInstance &kernel);
+
+    /**
+     * One negotiation round with @p donor: ask it to evacuate and
+     * release one block.
+     * @return the freed block, Errc::Denied (transient refusal),
+     *         Errc::NoMemory (donor has no releasable block), or
+     *         Errc::Unreachable (messaging gave up).
+     */
+    Result<AddrRange> requestBlockFrom(KernelInstance &kernel,
+                                       KernelInstance &donor);
 
     /**
      * Online one block into @p kernel's allocator.
@@ -92,11 +113,15 @@ class GlobalMemoryAllocator
     std::vector<KernelInstance *> kernels_;
     GmaConfig cfg_;
     StatGroup stats_;
+    MessageLayer *msg_;
 
     /** block start -> owner (invalidNode = free). */
     std::map<Addr, std::pair<AddrRange, NodeId>> blocks_;
 
     KernelInstance &kernelOf(NodeId node);
+
+    /** Donor-side MemBlockRequest service. */
+    void onMemBlockRequest(KernelInstance &k, const Message &m);
 
     /** Charge one per-page metadata access + fixed work. */
     void chargePagePass(KernelInstance &k, Addr pa, bool store,

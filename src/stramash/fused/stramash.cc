@@ -136,7 +136,12 @@ StramashFaultHandler::handleFault(KernelInstance &kernel, Task &task,
         req.to = task.origin;
         req.arg0 = task.pid;
         req.arg1 = vpage;
-        msg_.rpc(req, MsgType::RemoteFaultResponse);
+        if (!msg_.tryRpc(req, MsgType::RemoteFaultResponse)) {
+            // Origin unreachable: leave the page unmapped and let the
+            // architectural retry loop re-fault.
+            kernel.stats().counter("slow_path_unreachable") += 1;
+            return;
+        }
         // The chain now exists; retry resolves via the fast path.
         handleFault(kernel, task, va, kind, type);
         return;
@@ -334,8 +339,15 @@ StramashMigrationPolicy::migrate(Pid pid, NodeId dest)
     m.arg0 = pid;
     m.arg1 = ts.origin;
     m.arg2 = shared_.mailbox;
-    msg_.send(m);
-    msg_.dispatchPending(dest);
+    if (msg_.sendReliable(m) != Errc::Ok) {
+        // Destination unreachable: the thread stays put (the mailbox
+        // write is idempotent — a later migrate simply rewrites it).
+        ks.stats().counter("migrations_aborted") += 1;
+        ks.machine().tracer().instant(TraceCategory::Chaos,
+                                      "migrate.aborted", src, pid,
+                                      dest);
+        return;
+    }
 
     current_[pid] = dest;
 }
@@ -412,14 +424,16 @@ StramashMigrationPolicy::migrateProcess(Pid pid, NodeId dest)
     ts.borrowedPages.clear();
 
     // One notification so the source-side scheduler retires the
-    // task; then the source forgets it (§5).
+    // task; then the source forgets it (§5). The destination already
+    // owns the process at this point, so a lost notification only
+    // costs the source-side counter — never a second live copy.
     Message note;
     note.type = MsgType::ProcessMigrate;
     note.from = dest;
     note.to = src;
     note.arg0 = pid;
-    msg_.send(note);
-    msg_.dispatchPending(src);
+    if (msg_.sendReliable(note) != Errc::Ok)
+        kd.stats().counter("retire_notes_lost") += 1;
 
     shared_.foreignMapped.erase(pid);
     ks.destroyTask(pid);

@@ -1,0 +1,99 @@
+#include "stramash/msg/message.hh"
+
+#include <array>
+
+#include "stramash/common/logging.hh"
+
+namespace stramash
+{
+
+const char *
+msgTypeName(MsgType t)
+{
+    switch (t) {
+      case MsgType::TaskMigrate: return "task_migrate";
+      case MsgType::TaskMigrateBack: return "task_migrate_back";
+      case MsgType::PageRequest: return "page_request";
+      case MsgType::PageResponse: return "page_response";
+      case MsgType::PageInvalidate: return "page_invalidate";
+      case MsgType::PageInvalidateAck: return "page_invalidate_ack";
+      case MsgType::VmaRequest: return "vma_request";
+      case MsgType::VmaResponse: return "vma_response";
+      case MsgType::FutexWait: return "futex_wait";
+      case MsgType::FutexWake: return "futex_wake";
+      case MsgType::FutexResponse: return "futex_response";
+      case MsgType::MemBlockRequest: return "mem_block_request";
+      case MsgType::MemBlockResponse: return "mem_block_response";
+      case MsgType::RemoteFaultRequest: return "remote_fault_request";
+      case MsgType::RemoteFaultResponse: return "remote_fault_response";
+      case MsgType::ProcessMigrate: return "process_migrate";
+      case MsgType::ProcessVma: return "process_vma";
+      case MsgType::ProcessPage: return "process_page";
+      case MsgType::AppRequest: return "app_request";
+      case MsgType::AppResponse: return "app_response";
+      case MsgType::Ack: return "ack";
+    }
+    panic("unknown MsgType");
+}
+
+bool
+msgTypeIsResponse(MsgType t)
+{
+    switch (t) {
+      case MsgType::PageResponse:
+      case MsgType::PageInvalidateAck:
+      case MsgType::VmaResponse:
+      case MsgType::FutexResponse:
+      case MsgType::MemBlockResponse:
+      case MsgType::RemoteFaultResponse:
+      case MsgType::AppResponse:
+      case MsgType::Ack:
+        return true;
+      case MsgType::TaskMigrate:
+      case MsgType::TaskMigrateBack:
+      case MsgType::PageRequest:
+      case MsgType::PageInvalidate:
+      case MsgType::VmaRequest:
+      case MsgType::FutexWait:
+      case MsgType::FutexWake:
+      case MsgType::MemBlockRequest:
+      case MsgType::RemoteFaultRequest:
+      case MsgType::ProcessMigrate:
+      case MsgType::ProcessVma:
+      case MsgType::ProcessPage:
+      case MsgType::AppRequest:
+        return false;
+    }
+    panic("unknown MsgType");
+}
+
+namespace
+{
+
+std::array<std::uint32_t, 256>
+makeCrcTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+} // namespace
+
+std::uint32_t
+crc32(const void *data, std::size_t size, std::uint32_t seed)
+{
+    static const std::array<std::uint32_t, 256> table = makeCrcTable();
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    std::uint32_t c = seed ^ 0xffffffffu;
+    for (std::size_t i = 0; i < size; ++i)
+        c = table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+    return c ^ 0xffffffffu;
+}
+
+} // namespace stramash

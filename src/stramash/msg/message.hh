@@ -53,9 +53,27 @@ enum class MsgType : std::uint8_t {
     /** kv-store request/response (network-serving experiment). */
     AppRequest,
     AppResponse,
+    /** Generic delivery acknowledgement (reliable one-way sends). */
+    Ack,
 };
 
+/** Number of MsgType enumerators (keep in sync with the enum). */
+inline constexpr unsigned msgTypeCount =
+    static_cast<unsigned>(MsgType::Ack) + 1;
+
 const char *msgTypeName(MsgType t);
+
+/**
+ * True for message kinds that answer an earlier request. The reliable
+ * RPC layer uses this to recognise which message a serving handler
+ * emitted as *the* response (so it can be cached for at-most-once
+ * replay) without per-protocol knowledge.
+ */
+bool msgTypeIsResponse(MsgType t);
+
+/** CRC-32 (IEEE 802.3, reflected) over @p size bytes. */
+std::uint32_t crc32(const void *data, std::size_t size,
+                    std::uint32_t seed = 0);
 
 /** One inter-kernel message. */
 struct Message
@@ -63,11 +81,22 @@ struct Message
     MsgType type = MsgType::TaskMigrate;
     NodeId from = 0;
     NodeId to = 0;
+    /** Per-channel delivery sequence number; assigned by send().
+     *  Fresh on every transmission, including retries, so the
+     *  receiver can discard duplicated deliveries. */
     std::uint64_t seq = 0;
     /** Typed scalar arguments (addresses, pids, values). */
     std::uint64_t arg0 = 0;
     std::uint64_t arg1 = 0;
     std::uint64_t arg2 = 0;
+    /** Header+payload integrity check; computed by send() when the
+     *  transport runs in resilient mode, 0 = unchecked. */
+    std::uint32_t crc = 0;
+    /** Logical RPC id: non-zero marks an rpc *request* and stays
+     *  stable across retries of the same logical call. */
+    std::uint32_t rpcId = 0;
+    /** For responses: the rpcId this message answers (0 = n/a). */
+    std::uint32_t respondsTo = 0;
     /** Bulk payload (page contents, register state, app data). */
     std::vector<std::uint8_t> payload;
 
@@ -75,6 +104,32 @@ struct Message
     wireSize() const
     {
         return headerBytes + payload.size();
+    }
+
+    /**
+     * The integrity check covers everything that identifies the
+     * logical message — type, endpoints, args, rpc ids and payload —
+     * but *not* seq (reassigned per transmission) and not the crc
+     * field itself, so a retransmission carries the same checksum.
+     */
+    std::uint32_t
+    computeCrc() const
+    {
+        std::uint8_t hdr[] = {
+            static_cast<std::uint8_t>(type),
+            static_cast<std::uint8_t>(from),
+            static_cast<std::uint8_t>(to),
+        };
+        std::uint64_t words[] = {arg0, arg1, arg2,
+                                 (static_cast<std::uint64_t>(rpcId)
+                                  << 32) |
+                                     respondsTo};
+        std::uint32_t c = crc32(hdr, sizeof(hdr));
+        c = crc32(words, sizeof(words), c);
+        if (!payload.empty())
+            c = crc32(payload.data(), payload.size(), c);
+        // 0 is reserved to mean "unchecked".
+        return c ? c : 1;
     }
 
     /** Fixed header size on the wire. */

@@ -17,12 +17,14 @@ struct WireHeader
     std::uint8_t pad[3];
     std::uint32_t from;
     std::uint32_t to;
-    std::uint32_t pad2;
+    std::uint32_t crc;
     std::uint64_t seq;
     std::uint64_t arg0;
     std::uint64_t arg1;
     std::uint64_t arg2;
     std::uint64_t payloadSize;
+    std::uint32_t rpcId;
+    std::uint32_t respondsTo;
 };
 static_assert(sizeof(WireHeader) <= Message::headerBytes);
 
@@ -68,11 +70,14 @@ MessageRing::enqueue(NodeId producer, const Message &msg)
     h.type = static_cast<std::uint8_t>(msg.type);
     h.from = msg.from;
     h.to = msg.to;
+    h.crc = msg.crc;
     h.seq = msg.seq;
     h.arg0 = msg.arg0;
     h.arg1 = msg.arg1;
     h.arg2 = msg.arg2;
     h.payloadSize = msg.payload.size();
+    h.rpcId = msg.rpcId;
+    h.respondsTo = msg.respondsTo;
     mem.write(slot, &h, sizeof(h));
     machine_.dataAccess(producer, AccessType::Store, slot,
                         Message::headerBytes);
@@ -114,10 +119,13 @@ MessageRing::dequeue(NodeId consumer)
     msg.type = static_cast<MsgType>(h.type);
     msg.from = h.from;
     msg.to = h.to;
+    msg.crc = h.crc;
     msg.seq = h.seq;
     msg.arg0 = h.arg0;
     msg.arg1 = h.arg1;
     msg.arg2 = h.arg2;
+    msg.rpcId = h.rpcId;
+    msg.respondsTo = h.respondsTo;
     msg.payload.resize(h.payloadSize);
     if (h.payloadSize) {
         mem.read(slot + Message::headerBytes, msg.payload.data(),

@@ -5,34 +5,6 @@
 namespace stramash
 {
 
-const char *
-msgTypeName(MsgType t)
-{
-    switch (t) {
-      case MsgType::TaskMigrate: return "task_migrate";
-      case MsgType::TaskMigrateBack: return "task_migrate_back";
-      case MsgType::PageRequest: return "page_request";
-      case MsgType::PageResponse: return "page_response";
-      case MsgType::PageInvalidate: return "page_invalidate";
-      case MsgType::PageInvalidateAck: return "page_invalidate_ack";
-      case MsgType::VmaRequest: return "vma_request";
-      case MsgType::VmaResponse: return "vma_response";
-      case MsgType::FutexWait: return "futex_wait";
-      case MsgType::FutexWake: return "futex_wake";
-      case MsgType::FutexResponse: return "futex_response";
-      case MsgType::MemBlockRequest: return "mem_block_request";
-      case MsgType::MemBlockResponse: return "mem_block_response";
-      case MsgType::RemoteFaultRequest: return "remote_fault_request";
-      case MsgType::RemoteFaultResponse: return "remote_fault_response";
-      case MsgType::ProcessMigrate: return "process_migrate";
-      case MsgType::ProcessVma: return "process_vma";
-      case MsgType::ProcessPage: return "process_page";
-      case MsgType::AppRequest: return "app_request";
-      case MsgType::AppResponse: return "app_response";
-    }
-    panic("unknown MsgType");
-}
-
 MessageLayer::MessageLayer(Machine &machine)
     : machine_(machine), stats_("msg")
 {
@@ -44,12 +16,50 @@ MessageLayer::registerHandler(NodeId node, MsgHandler handler)
     handlers_[node] = std::move(handler);
 }
 
+bool
+MessageLayer::resilient() const
+{
+    return machine_.faultInjector() != nullptr;
+}
+
 void
+MessageLayer::cacheReply(std::uint32_t rpcId, const Message &resp)
+{
+    auto [it, fresh] = replyCache_.try_emplace(rpcId, resp);
+    if (!fresh) {
+        it->second = resp;
+        return;
+    }
+    replyOrder_.push_back(rpcId);
+    while (replyOrder_.size() > replyCacheCapacity) {
+        replyCache_.erase(replyOrder_.front());
+        replyOrder_.pop_front();
+    }
+}
+
+Errc
 MessageLayer::send(const Message &msg)
 {
     panic_if(msg.from == msg.to, "message to self");
     Message m = msg;
     m.seq = ++seq_;
+    FaultInjector *fi = machine_.faultInjector();
+    if (fi) {
+        // Response capture for at-most-once replay: the first
+        // response-typed message a serving handler sends back to its
+        // requester answers that rpc.
+        if (!serveStack_.empty() && m.rpcId == 0 &&
+            m.respondsTo == 0 && msgTypeIsResponse(m.type)) {
+            ServeCtx &ctx = serveStack_.back();
+            if (!ctx.responded && m.to == ctx.requester) {
+                m.respondsTo = ctx.rpcId;
+                ctx.responded = true;
+            }
+        }
+        m.crc = m.computeCrc();
+        if (m.respondsTo != 0)
+            cacheReply(m.respondsTo, m);
+    }
     ++sent_;
     bytes_ += m.wireSize();
     stats_.counter("sent_total") += 1;
@@ -63,23 +73,93 @@ MessageLayer::send(const Message &msg)
     STRAMASH_TRACE_SPAN(machine_.tracer(), TraceCategory::Msg,
                         msgTypeName(m.type), m.from, 0, m.seq,
                         m.wireSize());
-    transportSend(m);
+
+    if (fi) {
+        if (fi->shouldDropMessage(m.from, m.to)) {
+            // Lost on the wire: the sender cannot tell.
+            return Errc::Ok;
+        }
+        Cycles delay = fi->messageDelayCycles(m.from, m.to);
+        if (delay) {
+            // Late delivery: the receiver's clock absorbs the delay.
+            machine_.stall(m.to, delay);
+        }
+        bool pagePayload = m.type == MsgType::PageResponse ||
+                           m.type == MsgType::ProcessPage;
+        Message wire = m;
+        if (fi->shouldCorruptPayload(m.from, m.to, pagePayload)) {
+            // Damage the wire copy; the crc still describes the
+            // original, so the receiver will detect the mismatch.
+            fi->corrupt(wire.payload, wire.arg0);
+        }
+        Errc e = transportSend(wire);
+        if (e != Errc::Ok) {
+            stats_.counter("ring_full") += 1;
+            machine_.tracer().instant(TraceCategory::Msg,
+                                      "msg.ring_full", m.from, 0,
+                                      m.seq, m.to);
+            return e;
+        }
+        if (fi->shouldDuplicateMessage(m.from, m.to)) {
+            // Second delivery with the same seq: the receiver's
+            // dedup must swallow it.
+            transportSend(wire);
+        }
+        return Errc::Ok;
+    }
+
+    Errc e = transportSend(m);
+    if (e != Errc::Ok) {
+        stats_.counter("ring_full") += 1;
+        machine_.tracer().instant(TraceCategory::Msg, "msg.ring_full",
+                                  m.from, 0, m.seq, m.to);
+    }
+    return e;
 }
 
 std::optional<Message>
 MessageLayer::receive(NodeId node)
 {
     Tracer &tracer = machine_.tracer();
-    if (!tracer.enabledFor(TraceCategory::Msg))
-        return transportReceive(node);
-    Cycles start = tracer.now(node);
-    auto m = transportReceive(node);
-    if (m) {
-        tracer.emit(TraceCategory::Msg, "msg.recv", node, 0, start,
-                    tracer.now(node), m->seq,
-                    static_cast<std::uint64_t>(m->type));
+    FaultInjector *fi = machine_.faultInjector();
+    for (;;) {
+        Cycles start =
+            tracer.enabledFor(TraceCategory::Msg) ? tracer.now(node)
+                                                  : 0;
+        auto m = transportReceive(node);
+        if (!m)
+            return std::nullopt;
+        if (tracer.enabledFor(TraceCategory::Msg)) {
+            tracer.emit(TraceCategory::Msg, "msg.recv", node, 0, start,
+                        tracer.now(node), m->seq,
+                        static_cast<std::uint64_t>(m->type));
+        }
+        if (!fi)
+            return m;
+
+        // Integrity: a payload the plan damaged fails its checksum
+        // here and never reaches a handler.
+        if (m->crc != 0 && m->crc != m->computeCrc()) {
+            stats_.counter("crc_dropped") += 1;
+            tracer.instant(TraceCategory::Chaos, "msg.crc_drop", node,
+                           0, m->seq,
+                           static_cast<std::uint64_t>(m->type));
+            continue;
+        }
+        // Idempotent receive: per-channel seqs only move forward, so
+        // a duplicated delivery is recognised and swallowed.
+        auto [it, fresh] =
+            lastSeq_.try_emplace(std::make_pair(m->from, m->to), 0);
+        if (!fresh && m->seq <= it->second) {
+            stats_.counter("dup_dropped") += 1;
+            tracer.instant(TraceCategory::Chaos, "msg.dup_drop", node,
+                           0, m->seq,
+                           static_cast<std::uint64_t>(m->type));
+            continue;
+        }
+        it->second = m->seq;
+        return m;
     }
-    return m;
 }
 
 std::optional<Message>
@@ -89,36 +169,156 @@ MessageLayer::tryReceive(NodeId node)
 }
 
 void
+MessageLayer::deliver(NodeId node, const Message &m)
+{
+    FaultInjector *fi = machine_.faultInjector();
+    if (fi && m.rpcId != 0) {
+        // A retried request whose first execution already answered:
+        // replay the cached response instead of re-running the
+        // handler (at-most-once execution).
+        auto cached = replyCache_.find(m.rpcId);
+        if (cached != replyCache_.end()) {
+            fi->retries().counter("replayed_responses") += 1;
+            machine_.tracer().instant(TraceCategory::Chaos,
+                                      "rpc.replay", node, 0, m.rpcId,
+                                      m.seq);
+            send(cached->second);
+            return;
+        }
+        serveStack_.push_back({m.from, m.rpcId, false});
+        auto it = handlers_.find(node);
+        panic_if(it == handlers_.end(), "no handler on node ", node);
+        it->second(m);
+        ServeCtx ctx = serveStack_.back();
+        serveStack_.pop_back();
+        if (!ctx.responded) {
+            // One-way message sent reliably: acknowledge delivery so
+            // the sender's retry loop can stand down.
+            Message ack;
+            ack.type = MsgType::Ack;
+            ack.from = node;
+            ack.to = ctx.requester;
+            ack.respondsTo = ctx.rpcId;
+            send(ack);
+        }
+        return;
+    }
+    auto it = handlers_.find(node);
+    panic_if(it == handlers_.end(), "no handler on node ", node);
+    it->second(m);
+}
+
+void
 MessageLayer::dispatchPending(NodeId node)
 {
     for (;;) {
         auto m = receive(node);
         if (!m)
             return;
-        auto it = handlers_.find(node);
-        panic_if(it == handlers_.end(), "no handler on node ", node);
-        it->second(*m);
+        deliver(node, *m);
     }
 }
 
 Message
 MessageLayer::rpc(const Message &req, MsgType respType)
 {
-    send(req);
-    dispatchPending(req.to);
-    for (;;) {
-        auto m = receive(req.from);
-        panic_if(!m, "rpc: destination produced no ",
-                 msgTypeName(respType), " response to ",
-                 msgTypeName(req.type));
-        if (m->type == respType)
-            return *m;
-        // Unrelated traffic: hand it to our own pump.
-        auto it = handlers_.find(req.from);
-        panic_if(it == handlers_.end(), "no handler on node ",
-                 req.from);
-        it->second(*m);
+    auto resp = tryRpc(req, respType);
+    panic_if(!resp, "rpc: destination produced no ",
+             msgTypeName(respType), " response to ",
+             msgTypeName(req.type));
+    return *resp;
+}
+
+std::optional<Message>
+MessageLayer::tryRpc(const Message &req, MsgType respType)
+{
+    FaultInjector *fi = machine_.faultInjector();
+    Message r = req;
+
+    if (!fi) {
+        // Fault-free fast path: identical wire traffic and costs to
+        // the historical synchronous rpc().
+        Errc e = send(r);
+        if (e != Errc::Ok)
+            return std::nullopt;
+        dispatchPending(r.to);
+        for (;;) {
+            auto m = receive(r.from);
+            if (!m)
+                return std::nullopt;
+            if (m->type == respType)
+                return m;
+            // Unrelated traffic: hand it to our own pump.
+            deliver(r.from, *m);
+        }
     }
+
+    if (r.rpcId == 0)
+        r.rpcId = ++nextRpcId_;
+    pendingRpcs_.emplace(r.rpcId, std::nullopt);
+
+    std::optional<Message> resp;
+    for (unsigned attempt = 1; attempt <= policy_.maxAttempts;
+         ++attempt) {
+        if (attempt > 1) {
+            fi->retries().counter("attempts") += 1;
+            Cycles backoff = policy_.backoffForAttempt(attempt - 1);
+            machine_.stall(r.from, backoff);
+            machine_.tracer().instant(TraceCategory::Chaos,
+                                      "rpc.retry", r.from, 0, r.rpcId,
+                                      attempt);
+        }
+        send(r);
+        // Drive the destination (delivery is synchronous), then
+        // drain our own queue looking for the response.
+        dispatchPending(r.to);
+        for (;;) {
+            auto m = receive(r.from);
+            if (!m)
+                break;
+            if (m->respondsTo != 0) {
+                auto slot = pendingRpcs_.find(m->respondsTo);
+                if (slot != pendingRpcs_.end()) {
+                    // Ours, or an outer rpc's that a nested call
+                    // drained first: park it in the pending slot.
+                    slot->second = *m;
+                    continue;
+                }
+            }
+            deliver(r.from, *m);
+        }
+        resp = pendingRpcs_[r.rpcId];
+        if (resp)
+            break;
+        // Nothing matched: charge the simulated-cycle deadline and
+        // go around for another attempt.
+        fi->retries().counter("timeouts") += 1;
+        machine_.stall(r.from, policy_.responseTimeoutCycles);
+        machine_.tracer().instant(TraceCategory::Chaos, "rpc.timeout",
+                                  r.from, 0, r.rpcId, attempt);
+    }
+    pendingRpcs_.erase(r.rpcId);
+    if (!resp) {
+        fi->retries().counter("gave_up") += 1;
+        machine_.tracer().instant(TraceCategory::Chaos, "rpc.gave_up",
+                                  r.from, 0, r.rpcId,
+                                  static_cast<std::uint64_t>(r.type));
+    }
+    return resp;
+}
+
+Errc
+MessageLayer::sendReliable(const Message &msg, bool dispatchNow)
+{
+    if (!machine_.faultInjector()) {
+        // Historical fire-and-forget behaviour, bit for bit.
+        Errc e = send(msg);
+        if (dispatchNow)
+            dispatchPending(msg.to);
+        return e;
+    }
+    auto resp = tryRpc(msg, MsgType::Ack);
+    return resp ? Errc::Ok : Errc::Unreachable;
 }
 
 void
@@ -179,14 +379,15 @@ ShmMessageLayer::ring(NodeId from, NodeId to)
     return *it->second;
 }
 
-void
+Errc
 ShmMessageLayer::transportSend(const Message &msg)
 {
     machine_.stall(msg.from, costs_.sendSetupCycles);
-    bool ok = ring(msg.from, msg.to).enqueue(msg.from, msg);
-    panic_if(!ok, "message ring full");
+    if (!ring(msg.from, msg.to).enqueue(msg.from, msg))
+        return Errc::RingFull;
     if (useIpi_)
         machine_.sendIpi(msg.from, msg.to);
+    return Errc::Ok;
 }
 
 std::optional<Message>
@@ -212,7 +413,7 @@ TcpMessageLayer::TcpMessageLayer(Machine &machine, MsgCosts costs)
 {
 }
 
-void
+Errc
 TcpMessageLayer::transportSend(const Message &msg)
 {
     // Sender: stack setup plus per-byte copy through the NIC path.
@@ -220,6 +421,7 @@ TcpMessageLayer::transportSend(const Message &msg)
         static_cast<double>(msg.wireSize()) * costs_.tcpPerByteCycles);
     machine_.stall(msg.from, costs_.sendSetupCycles + copy);
     queues_[msg.to].push_back(msg);
+    return Errc::Ok;
 }
 
 std::optional<Message>

@@ -24,12 +24,16 @@
 #ifndef STRAMASH_MSG_TRANSPORT_HH
 #define STRAMASH_MSG_TRANSPORT_HH
 
+#include <algorithm>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <optional>
+#include <unordered_map>
+#include <vector>
 
+#include "stramash/common/result.hh"
 #include "stramash/common/stats.hh"
 #include "stramash/msg/ring_buffer.hh"
 
@@ -55,6 +59,36 @@ struct MsgCosts
     double tcpPerByteCycles = 0.5;
 };
 
+/**
+ * Every simulated-cycle deadline the resilient request/response layer
+ * uses, in one place. Call sites must not carry their own magic
+ * numbers.
+ *
+ * Timeouts and backoff are charged to the *requester's* clock in
+ * simulated cycles, so a chaos run's timing results are exactly as
+ * reproducible as a fault-free run's.
+ */
+struct RpcPolicy
+{
+    /** Cycles the requester waits for a response before retrying. */
+    Cycles responseTimeoutCycles = 200000;
+    /** Transmission attempts per logical RPC before giving up. */
+    unsigned maxAttempts = 8;
+    /** First retry backoff; doubles per retry (exponential). */
+    Cycles backoffBaseCycles = 25000;
+    /** Backoff growth stops here. */
+    Cycles backoffCapCycles = 400000;
+
+    Cycles
+    backoffForAttempt(unsigned attempt) const
+    {
+        Cycles b = backoffBaseCycles;
+        for (unsigned i = 1; i < attempt && b < backoffCapCycles; ++i)
+            b *= 2;
+        return std::min(b, backoffCapCycles);
+    }
+};
+
 /** A kernel's message handler. */
 using MsgHandler = std::function<void(const Message &)>;
 
@@ -67,8 +101,12 @@ class MessageLayer
     /** Register the kernel message pump for @p node. */
     void registerHandler(NodeId node, MsgHandler handler);
 
-    /** Send one message (msg.from/msg.to must be set). */
-    void send(const Message &msg);
+    /**
+     * Send one message (msg.from/msg.to must be set).
+     * @return Errc::RingFull when the transport had no room (the
+     *         message was not delivered); Errc::Ok otherwise.
+     */
+    Errc send(const Message &msg);
 
     /** Pop one pending message for @p node, charging receive costs. */
     std::optional<Message> tryReceive(NodeId node);
@@ -84,9 +122,40 @@ class MessageLayer
      * Synchronous RPC: send @p req, drive the destination's pump,
      * and return the first @p respType message that arrives back.
      * Other messages arriving at the caller meanwhile are routed to
-     * the caller's own handler.
+     * the caller's own handler. Panics if the destination never
+     * responds — use tryRpc() at recoverable boundaries.
      */
     Message rpc(const Message &req, MsgType respType);
+
+    /**
+     * Resilient RPC. In fault-free operation this is exactly rpc():
+     * one send, one dispatch, same wire traffic, same costs. With a
+     * fault injector attached it becomes an at-most-once call:
+     * retries (fresh seq, same rpcId) with exponential backoff and
+     * simulated-cycle timeouts per RpcPolicy, duplicate-request
+     * suppression via the server-side reply cache, and duplicate /
+     * corrupted-delivery suppression via seq + CRC on the receive
+     * path.
+     *
+     * @return the response, or std::nullopt after maxAttempts
+     *         timeouts (the caller decides how to degrade).
+     */
+    std::optional<Message> tryRpc(const Message &req, MsgType respType);
+
+    /**
+     * Reliable one-way send. Without an injector this is exactly the
+     * historical fire-and-forget pattern: send() plus an optional
+     * immediate dispatchPending(to). With an injector the message is
+     * acknowledged (MsgType::Ack) and retried like any RPC, so a
+     * dropped delivery cannot silently lose a migration stage or a
+     * futex wakeup.
+     *
+     * @return Ok, or Unreachable when every attempt timed out.
+     */
+    Errc sendReliable(const Message &msg, bool dispatchNow = true);
+
+    RpcPolicy &rpcPolicy() { return policy_; }
+    const RpcPolicy &rpcPolicy() const { return policy_; }
 
     StatGroup &stats() { return stats_; }
 
@@ -98,8 +167,9 @@ class MessageLayer
     Machine &machine() { return machine_; }
 
   protected:
-    /** Transport-specific delivery; must charge sender-side costs. */
-    virtual void transportSend(const Message &msg) = 0;
+    /** Transport-specific delivery; must charge sender-side costs.
+     *  @return Errc::RingFull when the channel had no room. */
+    virtual Errc transportSend(const Message &msg) = 0;
     /** Transport-specific fetch; must charge receiver-side costs. */
     virtual std::optional<Message> transportReceive(NodeId node) = 0;
 
@@ -111,9 +181,46 @@ class MessageLayer
     std::uint64_t sent_ = 0;
     std::uint64_t bytes_ = 0;
     std::uint64_t seq_ = 0;
+    RpcPolicy policy_;
 
-    /** transportReceive plus receive-side tracing. */
+    // ---- resilient-mode state (touched only with an injector) ----
+
+    /** rpcId generator; ids are unique across the whole layer. */
+    std::uint32_t nextRpcId_ = 0;
+    /** Last delivered seq per (from, to) channel, for dedup. */
+    std::map<std::pair<NodeId, NodeId>, std::uint64_t> lastSeq_;
+    /** At-most-once reply cache: rpcId -> the response that served
+     *  it. Replayed instead of re-running the handler when a retried
+     *  request arrives (handlers stay non-idempotent-safe). */
+    std::unordered_map<std::uint32_t, Message> replyCache_;
+    std::deque<std::uint32_t> replyOrder_;
+    /** Outstanding tryRpc calls: responses drained by a *nested*
+     *  rpc's receive loop park here for the frame that owns them. */
+    std::map<std::uint32_t, std::optional<Message>> pendingRpcs_;
+    static constexpr std::size_t replyCacheCapacity = 1024;
+
+    /** One frame per rpc request currently being served. */
+    struct ServeCtx
+    {
+        NodeId requester;
+        std::uint32_t rpcId;
+        bool responded;
+    };
+    std::vector<ServeCtx> serveStack_;
+
+    /** True when the resilient machinery is active. */
+    bool resilient() const;
+
+    /** transportReceive plus receive-side tracing, CRC verification
+     *  and duplicate suppression. */
     std::optional<Message> receive(NodeId node);
+
+    /** Route one received message: reply-cache replay for retried
+     *  requests, handler invocation, response capture, auto-ack. */
+    void deliver(NodeId node, const Message &m);
+
+    /** Remember @p resp as the answer to @p rpcId. */
+    void cacheReply(std::uint32_t rpcId, const Message &resp);
 };
 
 /** Shared-memory rings + IPI/polling notification. */
@@ -139,7 +246,7 @@ class ShmMessageLayer final : public MessageLayer
     static constexpr Addr paperAreaBytes = 128 * 1024 * 1024;
 
   protected:
-    void transportSend(const Message &msg) override;
+    Errc transportSend(const Message &msg) override;
     std::optional<Message> transportReceive(NodeId node) override;
 
   private:
@@ -159,7 +266,7 @@ class TcpMessageLayer final : public MessageLayer
     explicit TcpMessageLayer(Machine &machine, MsgCosts costs = {});
 
   protected:
-    void transportSend(const Message &msg) override;
+    Errc transportSend(const Message &msg) override;
     std::optional<Message> transportReceive(NodeId node) override;
 
   private:

@@ -44,6 +44,10 @@ Machine::Machine(const MachineConfig &cfg)
     ipisReceived_.assign(nodes_.size(), 0);
     if (tracer_.enabled())
         domain_->setTracer(&tracer_);
+    if (cfg_.faultPlan) {
+        injector_ = std::make_unique<FaultInjector>(*cfg_.faultPlan);
+        injector_->setTracer(&tracer_);
+    }
 }
 
 Node &
@@ -148,6 +152,8 @@ Machine::ipiCycles(NodeId nid) const
 Cycles
 Machine::sendIpi(NodeId from, NodeId to)
 {
+    if (injector_ && injector_->shouldDropIpi(from, to))
+        return 0;
     Node &dst = node(to);
     Cycles lat = ipiCycles(to);
     // The receiver pays the delivery latency; the span covers it.

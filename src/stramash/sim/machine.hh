@@ -9,9 +9,11 @@
 #define STRAMASH_SIM_MACHINE_HH
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "stramash/cache/coherence.hh"
+#include "stramash/fault/fault.hh"
 #include "stramash/mem/guest_memory.hh"
 #include "stramash/mem/phys_map.hh"
 #include "stramash/sim/node.hh"
@@ -47,6 +49,9 @@ struct MachineConfig
     bool snoopFilterEnabled = true;
     /** Event-tracing knobs (stramash/trace). */
     TraceConfig trace{};
+    /** Attach a fault-injection plan (stramash/fault). Absent =
+     *  nothing is ever injected and the sites cost one branch. */
+    std::optional<FaultPlan> faultPlan;
 
     /** The evaluation's default pair: x86 Xeon Gold + Arm ThunderX2. */
     static MachineConfig paperPair(MemoryModel model,
@@ -69,6 +74,13 @@ class Machine
     /** The cross-layer event tracer (timestamps = node clocks). */
     Tracer &tracer() { return tracer_; }
     const Tracer &tracer() const { return tracer_; }
+
+    /** The fault injector; null when no plan is attached. */
+    FaultInjector *faultInjector() { return injector_.get(); }
+    const FaultInjector *faultInjector() const
+    {
+        return injector_.get();
+    }
 
     Node &node(NodeId id);
     const Node &node(NodeId id) const;
@@ -158,6 +170,7 @@ class Machine
     std::vector<std::unique_ptr<Node>> nodes_;
     std::vector<std::uint64_t> ipisReceived_;
     Tracer tracer_;
+    std::unique_ptr<FaultInjector> injector_;
     AccessTraceFn accessTrace_;
     RetireTraceFn retireTrace_;
 };

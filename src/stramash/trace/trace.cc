@@ -17,6 +17,7 @@ traceCategoryName(TraceCategory c)
       case TraceCategory::Alloc: return "alloc";
       case TraceCategory::Coherence: return "coherence";
       case TraceCategory::App: return "app";
+      case TraceCategory::Chaos: return "chaos";
     }
     panic("unknown TraceCategory");
 }

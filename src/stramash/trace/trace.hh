@@ -46,9 +46,10 @@ enum class TraceCategory : std::uint8_t {
     Alloc = 5,     ///< global-allocator block online / offline
     Coherence = 6, ///< writebacks and cross-node snoops
     App = 7,       ///< workload-defined phases
+    Chaos = 8,     ///< injected faults, retries, timeouts, give-ups
 };
 
-inline constexpr unsigned traceCategoryCount = 8;
+inline constexpr unsigned traceCategoryCount = 9;
 
 /** Human-readable category name ("fault", "msg", ...). */
 const char *traceCategoryName(TraceCategory c);

@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+
+#include "stramash/workloads/kvstore.hh"
+#include "stramash/workloads/npb.hh"
+
+using namespace stramash;
+
+namespace
+{
+
+/**
+ * The chaos harness: replay a real workload under a transient fault
+ * plan and insist it converges to the *same functional end state* as
+ * the fault-free run. The plans are deterministic (seeded PCG
+ * streams) and bounded (maxFaults), so transient faults must always
+ * heal: retries recover drops, CRC catches corruption, and the fault
+ * budget guarantees a quiet tail.
+ */
+
+constexpr std::uint64_t chaosSeeds[] = {3, 11, 29};
+
+struct Outcome
+{
+    std::uint64_t checksum = 0;
+    bool verified = false;
+    Cycles runtime = 0;
+    std::uint64_t messages = 0;
+    std::uint64_t faultsInjected = 0;
+    std::uint64_t retryAttempts = 0;
+};
+
+Outcome
+runNpb(OsDesign design, std::optional<FaultPlan> plan,
+       const std::string &kernel = "is")
+{
+    SystemConfig cfg;
+    cfg.osDesign = design;
+    cfg.faultPlan = plan;
+    System sys(cfg);
+    App app(sys, 0);
+    NpbConfig nc;
+    nc.iterations = 2;
+    nc.problemBytes = 256 * 1024;
+    nc.seed = 7;
+    NpbResult r = makeNpbKernel(kernel)->run(app, nc);
+
+    Outcome out;
+    out.checksum = r.checksum;
+    out.verified = r.verified;
+    out.runtime = sys.runtime();
+    out.messages = sys.messagesSent();
+    if (FaultInjector *fi = sys.machine().faultInjector()) {
+        out.faultsInjected = fi->faults().value("injected");
+        out.retryAttempts = fi->retries().value("attempts");
+    }
+    return out;
+}
+
+} // namespace
+
+TEST(ChaosNpb, PopcornConvergesToFaultFreeResultAcrossSeeds)
+{
+    Outcome baseline = runNpb(OsDesign::MultipleKernel, std::nullopt);
+    ASSERT_TRUE(baseline.verified);
+
+    for (std::uint64_t seed : chaosSeeds) {
+        Outcome chaos = runNpb(OsDesign::MultipleKernel,
+                               FaultPlan::transientChaos(seed));
+        EXPECT_TRUE(chaos.verified) << "seed " << seed;
+        EXPECT_EQ(chaos.checksum, baseline.checksum)
+            << "seed " << seed;
+        EXPECT_GT(chaos.faultsInjected, 0u) << "seed " << seed;
+        EXPECT_GT(chaos.retryAttempts, 0u) << "seed " << seed;
+    }
+}
+
+TEST(ChaosNpb, FusedDesignConvergesUnderAggressiveChaos)
+{
+    Outcome baseline = runNpb(OsDesign::FusedKernel, std::nullopt);
+    ASSERT_TRUE(baseline.verified);
+
+    for (std::uint64_t seed : chaosSeeds) {
+        // The fused design exchanges far fewer messages, so push the
+        // rates up to make the plan bite.
+        Outcome chaos = runNpb(OsDesign::FusedKernel,
+                               FaultPlan::transientChaos(seed, 0.3, 24));
+        EXPECT_TRUE(chaos.verified) << "seed " << seed;
+        EXPECT_EQ(chaos.checksum, baseline.checksum)
+            << "seed " << seed;
+        EXPECT_GT(chaos.faultsInjected, 0u) << "seed " << seed;
+    }
+}
+
+TEST(ChaosNpb, SameSeedReproducesBitForBit)
+{
+    FaultPlan plan = FaultPlan::transientChaos(chaosSeeds[0]);
+    Outcome a = runNpb(OsDesign::MultipleKernel, plan);
+    Outcome b = runNpb(OsDesign::MultipleKernel, plan);
+    EXPECT_EQ(a.checksum, b.checksum);
+    EXPECT_EQ(a.runtime, b.runtime);
+    EXPECT_EQ(a.messages, b.messages);
+    EXPECT_EQ(a.faultsInjected, b.faultsInjected);
+    EXPECT_EQ(a.retryAttempts, b.retryAttempts);
+}
+
+TEST(ChaosKvstore, RemoteServingKeepsEveryValueIntact)
+{
+    for (std::uint64_t seed : chaosSeeds) {
+        SystemConfig cfg;
+        cfg.osDesign = OsDesign::MultipleKernel;
+        cfg.cachePluginEnabled = false; // functional mode (§9.2.8)
+        cfg.faultPlan = FaultPlan::transientChaos(seed);
+        System sys(cfg);
+        App app(sys, 0);
+        KvStore store(app, 32, 256);
+        store.populate();
+
+        // Serve from the remote ISA: every request crosses the
+        // chaotic messaging layer (socket forwarding + DSM).
+        app.migrateToOther();
+        std::vector<std::uint8_t> payload(256);
+        for (std::uint64_t key = 0; key < 32; ++key) {
+            for (std::size_t i = 0; i < payload.size(); ++i) {
+                payload[i] = static_cast<std::uint8_t>(key + i);
+            }
+            store.exec(KvOp::Set, key, payload.data());
+        }
+        for (std::uint64_t key = 0; key < 32; ++key) {
+            auto back = store.getValue(key);
+            ASSERT_EQ(back.size(), payload.size());
+            for (std::size_t i = 0; i < back.size(); ++i) {
+                ASSERT_EQ(back[i],
+                          static_cast<std::uint8_t>(key + i))
+                    << "seed " << seed << " key " << key
+                    << " byte " << i;
+            }
+        }
+        EXPECT_GT(sys.machine().faultInjector()->injected(), 0u)
+            << "seed " << seed;
+    }
+}
+
+TEST(ChaosMigration, ProcessMigrationAbortsCleanlyAndEventuallyLands)
+{
+    for (std::uint64_t seed : chaosSeeds) {
+        SystemConfig cfg;
+        cfg.osDesign = OsDesign::MultipleKernel;
+        cfg.faultPlan = FaultPlan::transientChaos(seed, 0.2, 32);
+        System sys(cfg);
+        App app(sys, 0);
+
+        constexpr unsigned pages = 8;
+        Addr buf = app.mmap(pages * pageSize);
+        for (unsigned i = 0; i < pages; ++i)
+            app.write<std::uint64_t>(buf + i * pageSize,
+                                     0xabcd0000ull + i);
+
+        // An aborted attempt must leave the process fully usable at
+        // the source; the bounded budget guarantees a later attempt
+        // succeeds.
+        unsigned attempts = 0;
+        while (sys.whereIs(app.pid()) != 1) {
+            ASSERT_LT(attempts++, 64u) << "seed " << seed;
+            sys.migrateProcess(app.pid(), 1);
+            for (unsigned i = 0; i < pages; ++i) {
+                ASSERT_EQ(app.read<std::uint64_t>(buf + i * pageSize),
+                          0xabcd0000ull + i)
+                    << "seed " << seed << " after attempt "
+                    << attempts;
+            }
+        }
+        EXPECT_EQ(sys.whereIs(app.pid()), 1u);
+        EXPECT_EQ(sys.kernel(1).task(app.pid()).origin, 1u);
+        EXPECT_FALSE(sys.kernel(0).hasTask(app.pid()));
+    }
+}
+
+TEST(ChaosMigration, ThreadPingPongUnderChaosKeepsDataCoherent)
+{
+    for (std::uint64_t seed : chaosSeeds) {
+        SystemConfig cfg;
+        cfg.osDesign = OsDesign::MultipleKernel;
+        cfg.faultPlan = FaultPlan::transientChaos(seed);
+        System sys(cfg);
+        App app(sys, 0);
+
+        Addr buf = app.mmap(4 * pageSize);
+        std::uint64_t expect = 0;
+        for (unsigned round = 0; round < 6; ++round) {
+            // migrate() may abort under chaos — the thread then just
+            // keeps computing wherever it is.
+            app.migrate(round % 2 ? 0 : 1);
+            for (unsigned p = 0; p < 4; ++p) {
+                Addr a = buf + p * pageSize;
+                app.write<std::uint64_t>(
+                    a, app.read<std::uint64_t>(a) + round + p);
+            }
+            expect += round;
+        }
+        for (unsigned p = 0; p < 4; ++p) {
+            EXPECT_EQ(app.read<std::uint64_t>(buf + p * pageSize),
+                      expect + 6 * p)
+                << "seed " << seed << " page " << p;
+        }
+    }
+}
+
+TEST(ChaosTrace, InjectedFaultsAppearInTheChaosCategory)
+{
+    SystemConfig cfg;
+    cfg.osDesign = OsDesign::MultipleKernel;
+    cfg.trace.enabled = true;
+    cfg.faultPlan = FaultPlan::transientChaos(chaosSeeds[0]);
+    System sys(cfg);
+    App app(sys, 0);
+    NpbConfig nc;
+    nc.iterations = 1;
+    nc.problemBytes = 64 * 1024;
+    makeNpbKernel("is")->run(app, nc);
+
+    ASSERT_GT(sys.machine().faultInjector()->injected(), 0u);
+    std::uint64_t chaosEvents = 0;
+    for (const auto &ev : sys.tracer().merged()) {
+        if (ev.category == TraceCategory::Chaos)
+            ++chaosEvents;
+    }
+    EXPECT_GE(chaosEvents,
+              sys.machine().faultInjector()->injected());
+}

@@ -170,6 +170,48 @@ TEST_F(GmaTest, ArmAndX86ChargeDifferently)
     EXPECT_NE(x86, arm);
 }
 
+TEST_F(GmaTest, OfflineOnlineChurnKeepsPoolConsistent)
+{
+    // Hot-plug churn: blocks cycling between kernels under live
+    // allocation traffic must never leak or double-own a block.
+    AddrRange block{4_GiB, 4_GiB + 256_MiB};
+    for (unsigned round = 0; round < 6; ++round) {
+        KernelInstance &k = round % 2 ? k1_ : k0_;
+        gma_->onlineBlock(k, block);
+        EXPECT_EQ(gma_->freeBlocks(), 15u);
+        // Allocate and free some traffic while the block is online.
+        std::vector<Addr> pages;
+        for (unsigned i = 0; i < 32; ++i) {
+            auto p = k.palloc().allocPage();
+            ASSERT_TRUE(p.has_value());
+            pages.push_back(*p);
+        }
+        for (Addr p : pages)
+            k.palloc().freePage(p);
+        ASSERT_GT(gma_->offlineBlock(k, block), 0u);
+        EXPECT_EQ(gma_->freeBlocks(), 16u);
+        EXPECT_EQ(gma_->blocksOwnedBy(k.nodeId()), 0u);
+    }
+    EXPECT_EQ(gma_->stats().value("blocks_onlined"), 6u);
+    EXPECT_EQ(gma_->stats().value("blocks_offlined"), 6u);
+}
+
+TEST_F(GmaTest, ConcurrentPressureFromBothKernelsDrainsThePool)
+{
+    // Both kernels growing turn by turn must split the pool without
+    // ever handing the same block to two owners, and the direct
+    // (message-less) path must degrade to false when nothing is left
+    // to donate and both are equally pressured.
+    while (gma_->freeBlocks() > 0) {
+        ASSERT_TRUE(gma_->onLowMemory(k0_));
+        if (gma_->freeBlocks() == 0)
+            break;
+        ASSERT_TRUE(gma_->onLowMemory(k1_));
+    }
+    EXPECT_EQ(gma_->blocksOwnedBy(0) + gma_->blocksOwnedBy(1), 16u);
+    EXPECT_GE(gma_->blocksOwnedBy(0), 8u);
+}
+
 TEST_F(GmaTest, DeathOnForeignBlockOffline)
 {
     AddrRange block{4_GiB, 4_GiB + 256_MiB};

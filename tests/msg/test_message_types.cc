@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <string>
+
+#include "stramash/msg/message.hh"
+
+using namespace stramash;
+
+// Satellite: every MsgType must round-trip through msgTypeName() —
+// this is the canary that keeps the string table in sync when a new
+// message type is added.
+
+TEST(MsgTypeNames, EveryTypeHasAUniqueNonEmptyName)
+{
+    std::set<std::string> seen;
+    for (unsigned t = 0; t < msgTypeCount; ++t) {
+        const char *name = msgTypeName(static_cast<MsgType>(t));
+        ASSERT_NE(name, nullptr) << "type " << t;
+        EXPECT_GT(std::strlen(name), 0u) << "type " << t;
+        EXPECT_TRUE(seen.insert(name).second)
+            << "duplicate name '" << name << "' for type " << t;
+    }
+    EXPECT_EQ(seen.size(), msgTypeCount);
+}
+
+TEST(MsgTypeNames, CountMatchesLastEnumerator)
+{
+    // Ack is deliberately kept last; msgTypeCount derives from it.
+    EXPECT_EQ(static_cast<unsigned>(MsgType::Ack), msgTypeCount - 1);
+    EXPECT_STREQ(msgTypeName(MsgType::Ack), "ack");
+}
+
+TEST(MsgTypeNames, ResponseClassificationMatchesNaming)
+{
+    // The naming convention *is* the protocol convention: every
+    // "..._response"/"..._ack" type (and the bare ack) must classify
+    // as a response, and nothing else may.
+    for (unsigned t = 0; t < msgTypeCount; ++t) {
+        MsgType type = static_cast<MsgType>(t);
+        std::string name = msgTypeName(type);
+        auto endsWith = [&](const std::string &suffix) {
+            return name.size() >= suffix.size() &&
+                   name.compare(name.size() - suffix.size(),
+                                suffix.size(), suffix) == 0;
+        };
+        bool looksLikeResponse =
+            endsWith("_response") || endsWith("_ack") || name == "ack";
+        EXPECT_EQ(msgTypeIsResponse(type), looksLikeResponse)
+            << "type '" << name << "'";
+    }
+}
+
+TEST(MessageCrc, KnownVectorAndSensitivity)
+{
+    // IEEE 802.3 reflected CRC-32 check value.
+    const char *check = "123456789";
+    EXPECT_EQ(crc32(reinterpret_cast<const std::uint8_t *>(check), 9),
+              0xcbf43926u);
+
+    Message m;
+    m.type = MsgType::PageResponse;
+    m.from = 0;
+    m.to = 1;
+    m.arg0 = 42;
+    m.payload = {1, 2, 3, 4};
+    std::uint32_t c = m.computeCrc();
+    EXPECT_NE(c, 0u); // 0 is reserved for "unchecked"
+
+    // Any covered field changing must change the checksum...
+    Message flipped = m;
+    flipped.payload[2] ^= 0xff;
+    EXPECT_NE(flipped.computeCrc(), c);
+    flipped = m;
+    flipped.arg0 ^= 1;
+    EXPECT_NE(flipped.computeCrc(), c);
+    flipped = m;
+    flipped.rpcId = 7;
+    EXPECT_NE(flipped.computeCrc(), c);
+
+    // ...while seq is deliberately excluded: a retransmission gets a
+    // fresh seq but must keep the original checksum.
+    Message retx = m;
+    retx.seq = 991;
+    EXPECT_EQ(retx.computeCrc(), c);
+}
