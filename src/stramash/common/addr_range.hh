@@ -169,6 +169,9 @@ class IntervalSet
     bool empty() const { return map_.empty(); }
     std::size_t extentCount() const { return map_.size(); }
 
+    /** Drop every extent. */
+    void clear() { map_.clear(); }
+
     /** Snapshot of the disjoint extents in ascending order. */
     std::vector<AddrRange>
     extents() const

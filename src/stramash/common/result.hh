@@ -13,6 +13,7 @@
 #define STRAMASH_COMMON_RESULT_HH
 
 #include <optional>
+#include <ostream>
 #include <utility>
 
 #include "stramash/common/logging.hh"
@@ -50,6 +51,14 @@ errcName(Errc e)
       case Errc::NoMemory: return "no_memory";
     }
     panic("unknown Errc");
+}
+
+/** Stream Errc symbolically — gtest failure messages and logs print
+ *  "timeout" instead of a raw integer. */
+inline std::ostream &
+operator<<(std::ostream &os, Errc e)
+{
+    return os << errcName(e);
 }
 
 /**

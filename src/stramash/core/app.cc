@@ -66,6 +66,13 @@ App::mmap(Addr bytes, bool writable, VmaKind kind,
     return base;
 }
 
+KernelInstance &
+App::currentKernel()
+{
+    sys_.noteUserOp(pid_);
+    return sys_.kernel(where());
+}
+
 void
 App::migrate(NodeId dest)
 {

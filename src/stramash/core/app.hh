@@ -81,7 +81,11 @@ class App
     std::uint32_t fetchAdd(Addr uaddr, std::uint32_t delta);
     bool cas(Addr uaddr, std::uint32_t expected, std::uint32_t desired);
 
-    KernelInstance &currentKernel() { return sys_.kernel(where()); }
+    /** The kernel hosting the task right now. Every user-level
+     *  operation funnels through here, which is where the crash
+     *  guard hooks in: if this task's kernel has died, detection and
+     *  recovery run before the operation proceeds. */
+    KernelInstance &currentKernel();
     Task &currentTask() { return currentKernel().task(pid_); }
 
   private:

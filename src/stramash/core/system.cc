@@ -22,6 +22,12 @@ System::System(const SystemConfig &cfg) : cfg_(cfg)
     mc.snoopCosts = cfg.snoopCosts;
     mc.trace = cfg.trace;
     mc.faultPlan = cfg.faultPlan;
+    if (cfg.crash.enabled && !mc.faultPlan) {
+        // The detector needs the resilient transport (retries,
+        // timeouts) to ride out a peer dying mid-RPC; an empty plan
+        // turns that machinery on without injecting anything.
+        mc.faultPlan = FaultPlan{};
+    }
     machine_ = std::make_unique<Machine>(mc);
 
     // Messaging area (SHM transport): placed per the paper's rules,
@@ -114,6 +120,18 @@ System::System(const SystemConfig &cfg) : cfg_(cfg)
             }
         }
     }
+
+    bool crashPlanned = cfg.faultPlan && cfg.faultPlan->crashPlanned();
+    if (crashPlanned || cfg.crash.enabled) {
+        crash_ = std::make_unique<CrashManager>(
+            *machine_, *msg_, lookup(), kernels_.size(), cfg.osDesign,
+            *migrationPolicy_, cfg.crash);
+        crash_->setDsm(dsmEngine_.get());
+        crash_->setGma(gma_.get());
+        crash_->setStramashShared(stramashShared_.get());
+        for (auto &k : kernels_)
+            crash_->installHandlers(*k);
+    }
 }
 
 System::~System() = default;
@@ -153,6 +171,14 @@ System::spawn(NodeId origin)
 void
 System::exit(Pid pid)
 {
+    if (crash_) {
+        // Settle any pending crash first so the teardown below never
+        // frees frames into a dead (or rebooted) allocator; a reaped
+        // task was already torn down by recovery.
+        crash_->guardTask(pid);
+        if (crash_->taskReaped(pid))
+            return;
+    }
     // Frames borrowed from another kernel's allocator go home
     // before the task records disappear.
     std::vector<std::pair<NodeId, Addr>> borrowed;
@@ -174,6 +200,15 @@ System::exit(Pid pid)
 void
 System::migrate(Pid pid, NodeId dest)
 {
+    if (crash_) {
+        crash_->guardTask(pid);
+        if (crash_->taskReaped(pid))
+            return;
+        if (!machine_->nodeAlive(dest)) {
+            crash_->recovery().counter("migrations_refused_dead") += 1;
+            return;
+        }
+    }
     NodeId src = whereIs(pid);
     // Span on the source track: covers state transform, the wire
     // transfer and the destination-side handler (which runs nested
@@ -186,10 +221,34 @@ System::migrate(Pid pid, NodeId dest)
 void
 System::migrateProcess(Pid pid, NodeId dest)
 {
+    if (crash_) {
+        crash_->guardTask(pid);
+        if (crash_->taskReaped(pid))
+            return;
+        if (!machine_->nodeAlive(dest)) {
+            crash_->recovery().counter("migrations_refused_dead") += 1;
+            return;
+        }
+    }
     NodeId src = whereIs(pid);
     STRAMASH_TRACE_SPAN(machine_->tracer(), TraceCategory::Migrate,
                         "migrate.process", src, pid, src, dest);
     migrationPolicy_->migrateProcess(pid, dest);
+}
+
+void
+System::killNode(NodeId node)
+{
+    panic_if(!crash_, "killNode without crash machinery: set "
+                      "SystemConfig::crash.enabled or plan a crash");
+    crash_->killNow(node);
+}
+
+void
+System::rejoinNode(NodeId node)
+{
+    panic_if(!crash_, "rejoinNode without crash machinery");
+    crash_->rejoin(node);
 }
 
 NodeId
@@ -240,6 +299,8 @@ System::forEachStatGroup(
     }
     if (gma_)
         fn(gma_->stats());
+    if (crash_)
+        fn(crash_->recovery());
     if (FaultInjector *fi = machine_->faultInjector()) {
         fn(fi->faults());
         fn(fi->retries());

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "stramash/dsm/popcorn.hh"
+#include "stramash/fault/crash.hh"
 #include "stramash/fused/global_alloc.hh"
 #include "stramash/fused/stramash.hh"
 
@@ -54,6 +55,11 @@ struct SystemConfig
     /** Fault-injection plan (stramash/fault). Absent = nothing is
      *  injected and the transport runs the historical fast path. */
     std::optional<FaultPlan> faultPlan;
+    /** Crash-stop failure detection & recovery (stramash/fault).
+     *  A CrashManager is built when a crash is planned in faultPlan
+     *  or crash.enabled is set; otherwise the per-operation guard is
+     *  compiled out of the path entirely. */
+    CrashConfig crash{};
 };
 
 class System
@@ -94,6 +100,37 @@ class System
 
     /** Node the process currently runs on. */
     NodeId whereIs(Pid pid) const;
+
+    // ---- crash-stop failure & recovery ----
+
+    /**
+     * Hook called before every user-level operation (App routes all
+     * of its work through this): gives the failure detector a chance
+     * to run, and forces detection + recovery when @p pid's own
+     * kernel has crashed. One pointer test when no crash machinery
+     * is attached.
+     */
+    void
+    noteUserOp(Pid pid)
+    {
+        if (crash_)
+            crash_->guardTask(pid);
+    }
+
+    /** Crash a node immediately (chaos/test API). Recovery runs on
+     *  the next guarded operation. Requires crash machinery. */
+    void killNode(NodeId node);
+
+    /** Bring a declared-dead node back through the hot-plug flow. */
+    void rejoinNode(NodeId node);
+
+    bool isNodeAlive(NodeId node) const
+    {
+        return machine_->nodeAlive(node);
+    }
+
+    /** Non-null when a crash is planned or the detector enabled. */
+    CrashManager *crashManager() { return crash_.get(); }
 
     // ---- policy access ----
 
@@ -160,6 +197,7 @@ class System
     std::unique_ptr<StramashMigrationPolicy> stramashMigration_;
 
     std::unique_ptr<GlobalMemoryAllocator> gma_;
+    std::unique_ptr<CrashManager> crash_;
 
     FutexPolicy *futexPolicy_ = nullptr;
     MigrationPolicy *migrationPolicy_ = nullptr;

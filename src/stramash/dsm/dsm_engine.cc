@@ -75,6 +75,50 @@ DsmEngine::forgetTask(Pid pid)
     }
 }
 
+DsmEngine::DsmRecovery
+DsmEngine::recoverDeadNode(NodeId dead, NodeId survivor,
+                           const std::function<bool(Addr)> &isDeadFrame)
+{
+    DsmRecovery out;
+    const std::uint32_t deadBit = 1u << dead;
+    for (auto it = pages_.begin(); it != pages_.end();) {
+        PageState &ps = it->second;
+        ps.holders &= ~deadBit;
+        if (ps.owner != dead) {
+            ++it;
+            continue;
+        }
+        if (ps.holders == 0) {
+            // No surviving copy anywhere: the page's content died
+            // with its owner. Drop the record — the next touch
+            // re-faults it as a fresh anonymous page at the task's
+            // (recovered) origin.
+            ++out.lost;
+            it = pages_.erase(it);
+            continue;
+        }
+        // Prefer the designated survivor's copy; otherwise the lowest
+        // surviving holder. A read-only copy is fine — the first
+        // write after recovery upgrades it locally, as owner.
+        NodeId newOwner = survivor;
+        if (!(ps.holders & (1u << survivor))) {
+            newOwner = 0;
+            while (!(ps.holders & (1u << newOwner)))
+                ++newOwner;
+        }
+        ps.owner = newOwner;
+        ++out.reowned;
+        ++it;
+    }
+    for (auto fit = frameIndex_.begin(); fit != frameIndex_.end();) {
+        if (isDeadFrame(fit->first))
+            fit = frameIndex_.erase(fit);
+        else
+            ++fit;
+    }
+    return out;
+}
+
 void
 DsmEngine::indexFrame(Addr frame, Pid pid, Addr vpage)
 {

@@ -87,6 +87,29 @@ class DsmEngine
     /** Drop all metadata for an exiting task. */
     void forgetTask(Pid pid);
 
+    /** Outcome of a crash-recovery ownership sweep. */
+    struct DsmRecovery
+    {
+        /** Pages whose ownership moved to a surviving holder. */
+        std::uint64_t reowned = 0;
+        /** Pages with no surviving copy: metadata dropped; a later
+         *  touch re-faults them as fresh (zero-filled) pages — the
+         *  honest shared-nothing data-loss semantics. */
+        std::uint64_t lost = 0;
+    };
+
+    /**
+     * Crash recovery: walk every page record, strip the dead node
+     * from the holder sets, and re-assign ownership of pages the
+     * dead node owned — to @p survivor when it holds a copy, to the
+     * lowest surviving holder otherwise, or drop the record when no
+     * copy survives. Frame-index entries whose frame satisfies
+     * @p isDeadFrame (frames in the dead node's memory) are purged.
+     */
+    DsmRecovery recoverDeadNode(
+        NodeId dead, NodeId survivor,
+        const std::function<bool(Addr)> &isDeadFrame);
+
     /**
      * Cache write-back interplay (§9.2.2): a dirty line leaving a
      * node's LLC that belongs to a replicated page (another node

@@ -94,7 +94,23 @@ class PopcornMigrationPolicy final : public MigrationPolicy
 
     void resetCounters() override { engine_.resetCounters(); }
 
-    NodeId currentNode(Pid pid) const;
+    NodeId currentNode(Pid pid) const override;
+
+    void
+    setCurrentNode(Pid pid, NodeId node) override
+    {
+        current_[pid] = node;
+    }
+
+    void forgetTask(Pid pid) override { current_.erase(pid); }
+
+    void
+    forEachTask(
+        const std::function<void(Pid, NodeId)> &fn) const override
+    {
+        for (const auto &[pid, node] : current_)
+            fn(pid, node);
+    }
 
     /** Fixed cost of the state-transformation runtime, per side. */
     static constexpr Cycles transformCycles = 2000;

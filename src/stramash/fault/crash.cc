@@ -1,0 +1,552 @@
+#include "stramash/fault/crash.hh"
+
+#include <algorithm>
+
+#include "stramash/isa/page_table.hh"
+
+namespace stramash
+{
+
+namespace
+{
+
+/** Exit status recorded for tasks reaped by crash recovery. */
+constexpr int reapExitStatus = 128 + 9; // 128 + SIGKILL
+
+/** Instructions of heartbeat service work on the pinged node. */
+constexpr ICount heartbeatServeInst = 200;
+
+/** Popcorn-side cost of one robust-futex list repair step. */
+constexpr Cycles robustSweepCycles = 4'000;
+
+/** Cost of re-pointing a reaped/re-homed task's origin record. */
+constexpr Cycles rehomeBookkeepingCycles = 2'000;
+
+} // namespace
+
+CrashManager::CrashManager(Machine &machine, MessageLayer &msg,
+                           KernelLookup kernels,
+                           std::size_t nodeCount, OsDesign design,
+                           MigrationPolicy &migration, CrashConfig cfg)
+    : machine_(machine),
+      msg_(msg),
+      kernels_(std::move(kernels)),
+      nodeCount_(nodeCount),
+      design_(design),
+      migration_(migration),
+      cfg_(cfg),
+      recovery_("recovery"),
+      peers_(nodeCount),
+      dead_(nodeCount, false)
+{
+    panic_if(nodeCount_ < 2, "crash recovery needs a survivor");
+}
+
+void
+CrashManager::installHandlers(KernelInstance &k)
+{
+    k.registerMsgHandler(
+        MsgType::Heartbeat, [this, &k](const Message &m) {
+            // Alive-check service: echo the sequence number. The ack
+            // is fire-and-forget (rpcId 0), deliberately *not* a
+            // response type — see MsgType::HeartbeatAck.
+            machine_.retire(k.nodeId(), heartbeatServeInst);
+            Message ack;
+            ack.type = MsgType::HeartbeatAck;
+            ack.from = k.nodeId();
+            ack.to = m.from;
+            ack.arg0 = m.arg0;
+            msg_.send(ack);
+        });
+    k.registerMsgHandler(MsgType::HeartbeatAck,
+                         [this](const Message &m) {
+                             PeerState &ps = peers_[m.from];
+                             ps.lastAckSeq =
+                                 std::max(ps.lastAckSeq, m.arg0);
+                         });
+}
+
+bool
+CrashManager::taskReaped(Pid pid, int *status) const
+{
+    auto it = exitStatus_.find(pid);
+    if (it == exitStatus_.end())
+        return false;
+    if (status)
+        *status = it->second;
+    return true;
+}
+
+void
+CrashManager::killNow(NodeId node)
+{
+    recovery_.counter("manual_kills") += 1;
+    machine_.killNode(node);
+}
+
+NodeId
+CrashManager::anyLiveNode() const
+{
+    for (NodeId n = 0; n < nodeCount_; ++n) {
+        if (machine_.nodeAlive(n))
+            return n;
+    }
+    panic("crash recovery: every node is dead");
+}
+
+void
+CrashManager::guardTask(Pid pid)
+{
+    if (exitStatus_.count(pid))
+        return;
+    NodeId cur = migration_.currentNode(pid);
+    if (machine_.nodeAlive(cur)) {
+        pollFrom(cur);
+        return;
+    }
+    // The kernel hosting this task crashed out from under it. Force
+    // the survivor's detector to convergence — the declaration path
+    // runs recovery, after which the task is either re-homed (fused)
+    // or reaped (Popcorn) and the caller's operation can proceed.
+    NodeId obs = anyLiveNode();
+    while (!dead_[cur])
+        pingRound(obs, cur, true);
+}
+
+void
+CrashManager::pollFrom(NodeId observer)
+{
+    for (NodeId peer = 0; peer < nodeCount_; ++peer) {
+        if (peer == observer || dead_[peer])
+            continue;
+        pingRound(observer, peer, false);
+    }
+}
+
+bool
+CrashManager::pingRound(NodeId observer, NodeId peer, bool forced)
+{
+    PeerState &ps = peers_[peer];
+    Cycles now = machine_.node(observer).cycles();
+    if (!forced && now < ps.nextPingAt)
+        return true;
+    ps.nextPingAt = now + cfg_.pingIntervalCycles;
+
+    const std::uint64_t seq = ++ps.pingSeq;
+    Message ping;
+    ping.type = MsgType::Heartbeat;
+    ping.from = observer;
+    ping.to = peer;
+    ping.arg0 = seq;
+    msg_.send(ping);
+    msg_.dispatchPending(peer);     // the peer answers, if it can
+    msg_.dispatchPending(observer); // drain the ack
+
+    if (ps.lastAckSeq < seq) {
+        // Miss so far: charge the detection timeout, then look again
+        // — under a delay-injecting plan a slow ack can land during
+        // the wait.
+        machine_.stall(observer, cfg_.ackTimeoutCycles);
+        msg_.dispatchPending(observer);
+    }
+    if (ps.lastAckSeq >= seq) {
+        ps.suspicion = 0;
+        return true;
+    }
+    ++ps.suspicion;
+    recovery_.counter("heartbeat_misses") += 1;
+    machine_.tracer().instant(TraceCategory::Chaos, "crash.suspect",
+                              observer, 0, peer, ps.suspicion);
+    if (ps.suspicion >= cfg_.suspicionThreshold)
+        declareDead(peer, observer);
+    return false;
+}
+
+void
+CrashManager::declareDead(NodeId peer, NodeId observer)
+{
+    if (dead_[peer])
+        return;
+    // Fence first (STONITH): with two nodes there is no quorum, so a
+    // false suspicion must be made true — the peer is killed before
+    // its state is redistributed, never after.
+    machine_.killNode(peer);
+    dead_[peer] = true;
+    peers_[peer].suspicion = 0;
+    recovery_.counter("nodes_declared_dead") += 1;
+    machine_.tracer().instant(TraceCategory::Chaos,
+                              "crash.declare_dead", observer, 0, peer,
+                              observer);
+    recover(peer, observer);
+}
+
+void
+CrashManager::recover(NodeId dead, NodeId survivor)
+{
+    STRAMASH_TRACE_SPAN(machine_.tracer(), TraceCategory::Chaos,
+                        "crash.recover", survivor, 0, dead, survivor);
+
+    // 1. Silence the dead node's messaging: drain its inbox (free —
+    // its clock is frozen) so stale requests never get served.
+    msg_.purgeQueues(dead);
+
+    // 2. Robust-futex sweep: no surviving waiter may hang on a dead
+    // node's queue, and no dead waiter may absorb a future wake.
+    sweepFutexes(dead, survivor);
+
+    // 3. Orphaned tasks.
+    if (design_ == OsDesign::FusedKernel)
+        recoverTasksFused(dead, survivor);
+    else
+        recoverTasksPopcorn(dead, survivor);
+
+    // 4. Global-allocator reclamation — strictly after the frame
+    // sweep above, which copies live data out of the dead node's
+    // blocks.
+    if (gma_) {
+        recovery_.counter("gma_blocks_reclaimed") +=
+            static_cast<std::int64_t>(gma_->reclaimDeadNode(dead));
+    }
+
+    // 5. The migration mailbox lives in one kernel's data region; if
+    // that kernel died, drop it — the next migration re-allocates it
+    // from a live kernel.
+    if (shared_ && shared_->mailboxOwner == dead) {
+        shared_->mailbox = 0;
+        shared_->mailboxOwner = invalidNode;
+        recovery_.counter("mailboxes_rehomed") += 1;
+    }
+
+    recovery_.counter("recoveries") += 1;
+}
+
+void
+CrashManager::sweepFutexes(NodeId dead, NodeId survivor)
+{
+    std::int64_t reaped = 0;
+    std::int64_t woken = 0;
+
+    // Dead waiters parked in surviving kernels' tables are reaped so
+    // they never absorb a wake meant for a live thread.
+    for (NodeId n = 0; n < nodeCount_; ++n) {
+        if (n == dead)
+            continue;
+        reaped += static_cast<std::int64_t>(
+            kernels_(n).futexTable().removeWaitersOf(dead));
+    }
+
+    // The dead kernel's own table: reap its local waiters, wake each
+    // surviving waiter exactly once.
+    KernelInstance &ks = kernels_(survivor);
+    KernelInstance &kd = kernels_(dead);
+    for (auto &[uaddr, w] : kd.futexTable().drainAll()) {
+        if (w.node == dead) {
+            ++reaped;
+            continue;
+        }
+        if (design_ == OsDesign::FusedKernel) {
+            // The dead kernel's futex buckets are plain structures in
+            // coherent shared memory — the CPU died, the memory did
+            // not. The survivor unlinks the waiter with the same
+            // charged bucket walk as the §6.5 fast path.
+            Addr bucket = kd.dataAddrFor(uaddr ^ 0xf07e);
+            ks.remoteAccess(dead, AccessType::Store, bucket, 8);
+            ks.remoteAccess(dead, AccessType::Store, bucket + 64, 16);
+            ks.remoteAccess(dead, AccessType::Store, bucket, 8);
+        } else {
+            // Popcorn: the origin's queues died with it; the
+            // survivor re-creates local state, as a robust-futex
+            // EOWNERDEAD pass would.
+            machine_.stall(survivor, robustSweepCycles);
+        }
+        if (w.node != survivor)
+            machine_.sendIpi(survivor, w.node);
+        ++woken;
+        machine_.tracer().instant(TraceCategory::Chaos,
+                                  "crash.futex_wake", survivor, w.pid,
+                                  uaddr, w.node);
+    }
+    recovery_.counter("futex_waiters_woken") += woken;
+    recovery_.counter("futex_waiters_reaped") += reaped;
+}
+
+void
+CrashManager::adoptTaskFused(Pid pid, NodeId dead, NodeId survivor)
+{
+    KernelInstance &kd = kernels_(dead);
+    Task *tdead = kd.findTask(pid);
+    NodeId cur = migration_.currentNode(pid);
+    NodeId host = cur == dead ? survivor : cur;
+    KernelInstance &kh = kernels_(host);
+
+    Task *t = kh.findTask(pid);
+    NodeId origin = t ? t->origin : tdead->origin;
+
+    // Every read of the dead kernel's structures below is an ordinary
+    // coherent load: the fused design's recovery superpower.
+    auto touch = [&](AccessType type, Addr a) {
+        kh.remoteAccess(dead, type, a, 8);
+    };
+
+    if (!t) {
+        // The surviving kernel never hosted this task; rebuild the
+        // record straight out of the dead kernel's memory.
+        t = &kh.createTask(pid, origin == dead ? host : origin);
+        t->heapBrk = tdead->heapBrk;
+    }
+
+    if (tdead) {
+        // VMA copy, §6.4-style but lock-free: the tree's owner is
+        // dead, so nobody else can be writing it.
+        unsigned i = 0;
+        tdead->as->vmas().forEach([&](const Vma &v) {
+            kh.remoteAccess(dead, AccessType::Load,
+                            kd.dataAddrFor((Addr{pid} << 32) ^ i),
+                            64);
+            ++i;
+            if (!t->as->vmas().find(v.start))
+                (void)t->as->vmas().insert(v);
+        });
+
+        // Frame adoption through the Software Remote Page Table
+        // Walker: pages present only in the dead table are re-pointed
+        // into the survivor's table — same frames, no copies. Frames
+        // that live in the dead node's own memory are dealt with by
+        // sweepDeadFrames() afterwards.
+        const PteFormat &dfmt = tdead->as->pageTable().format();
+        kh.remoteAccess(dead, AccessType::Store,
+                        tdead->as->ptlAddr(), 8);
+        t->as->vmas().forEach([&](const Vma &v) {
+            for (Addr va = v.start; va < v.end; va += pageSize) {
+                if (t->as->pageTable().walk(va))
+                    continue;
+                auto w = walkForeign(
+                    machine_.memory(), dfmt,
+                    tdead->as->pageTable().rootAddr(), va, touch,
+                    &t->as->pageTable().format());
+                if (!w)
+                    continue;
+                (void)t->as->mapPage(
+                    va, w->pte.frame,
+                    vmaPageAttrs(v, v.prot.writable));
+                recovery_.counter("pages_adopted") += 1;
+            }
+        });
+        kh.remoteAccess(dead, AccessType::Store,
+                        tdead->as->ptlAddr(), 8);
+
+        // Frames the dead record borrowed from live kernels follow
+        // the task; frames it owned die with the kernel (the frame
+        // sweep re-copies any that are still mapped).
+        for (auto [home, pa] : tdead->borrowedPages) {
+            if (home != dead)
+                t->borrowedPages.emplace_back(home, pa);
+        }
+        tdead->borrowedPages.clear();
+        tdead->ownedPages.clear();
+    }
+
+    if (cur == dead) {
+        // Register-state handover out of the dead kernel's memory —
+        // the §6.4 mailbox path, minus the notification message
+        // (there is nobody left to notify).
+        panic_if(!tdead, "task ", pid, " ran on dead node ", dead,
+                 " with no record");
+        std::size_t wire = migrationStateWireSize();
+        for (std::size_t off = 0; off < wire; off += 8) {
+            kh.remoteAccess(dead, AccessType::Load,
+                            kd.dataAddrFor((Addr{pid} << 16) ^ off),
+                            8);
+        }
+        t->state = tdead->state;
+        machine_.stall(host, StramashMigrationPolicy::transformCycles);
+        migration_.setCurrentNode(pid, host);
+        recovery_.counter("tasks_rehomed") += 1;
+        machine_.tracer().instant(TraceCategory::Chaos,
+                                  "crash.rehome", host, pid, dead,
+                                  host);
+    }
+
+    if (origin == dead) {
+        t->origin = host;
+        if (shared_)
+            shared_->foreignMapped.erase(pid);
+        machine_.stall(host, rehomeBookkeepingCycles);
+        recovery_.counter("origins_rehomed") += 1;
+    }
+}
+
+void
+CrashManager::recoverTasksFused(NodeId dead, NodeId survivor)
+{
+    KernelInstance &kd = kernels_(dead);
+
+    std::vector<std::pair<Pid, NodeId>> tracked;
+    migration_.forEachTask([&](Pid p, NodeId n) {
+        tracked.emplace_back(p, n);
+    });
+    for (auto [pid, cur] : tracked) {
+        bool involved = cur == dead || kd.hasTask(pid);
+        if (!involved) {
+            Task *t = kernels_(cur).findTask(pid);
+            involved = t && t->origin == dead;
+        }
+        if (involved)
+            adoptTaskFused(pid, dead, survivor);
+    }
+
+    sweepDeadFrames(dead, survivor);
+
+    // Drop the dead kernel's task records last — the sweeps above
+    // read through them. Their owned/borrowed page lists were
+    // cleared during adoption, so destroyTask only erases records.
+    std::vector<Pid> deadPids;
+    kd.forEachTask([&](Task &t) { deadPids.push_back(t.pid); });
+    for (Pid p : deadPids)
+        kd.destroyTask(p);
+}
+
+void
+CrashManager::sweepDeadFrames(NodeId dead, NodeId survivor)
+{
+    KernelInstance &kd = kernels_(dead);
+    std::int64_t copied = 0;
+    for (NodeId n = 0; n < nodeCount_; ++n) {
+        if (n == dead)
+            continue;
+        KernelInstance &k = kernels_(n);
+        k.forEachTask([&](Task &t) {
+            // Borrowed-frame entries pointing at the dead allocator
+            // must go before its blocks return to the pool.
+            std::erase_if(t.borrowedPages, [&](const auto &bp) {
+                return bp.first == dead;
+            });
+            t.as->vmas().forEach([&](const Vma &v) {
+                for (Addr va = v.start; va < v.end; va += pageSize) {
+                    auto w = t.as->pageTable().walk(va);
+                    if (!w || !kd.palloc().manages(w->pte.frame))
+                        continue;
+                    Addr fresh = k.allocUserPage(false);
+                    machine_.memory().copy(fresh, w->pte.frame,
+                                           pageSize);
+                    machine_.streamAccess(n, AccessType::Load,
+                                          w->pte.frame, pageSize);
+                    machine_.streamAccess(n, AccessType::Store, fresh,
+                                          pageSize);
+                    (void)t.as->unmapPage(va);
+                    (void)t.as->mapPage(
+                        va, fresh, vmaPageAttrs(v, v.prot.writable));
+                    t.ownedPages.push_back(fresh);
+                    ++copied;
+                }
+            });
+        });
+    }
+    recovery_.counter("pages_copied_from_dead") += copied;
+    if (copied) {
+        machine_.tracer().instant(
+            TraceCategory::Chaos, "crash.frame_sweep", survivor, 0,
+            static_cast<std::uint64_t>(copied), dead);
+    }
+}
+
+void
+CrashManager::reapTask(Pid pid, NodeId dead)
+{
+    exitStatus_[pid] = reapExitStatus;
+
+    // Route borrowed frames home (live homes only) before the
+    // records disappear, mirroring System::exit.
+    std::vector<std::pair<NodeId, Addr>> borrowed;
+    for (NodeId n = 0; n < nodeCount_; ++n) {
+        Task *t = kernels_(n).findTask(pid);
+        if (!t)
+            continue;
+        for (auto [home, pa] : t->borrowedPages) {
+            if (home != dead && machine_.nodeAlive(home))
+                borrowed.emplace_back(home, pa);
+        }
+        t->borrowedPages.clear();
+    }
+    for (NodeId n = 0; n < nodeCount_; ++n) {
+        KernelInstance &k = kernels_(n);
+        if (k.hasTask(pid))
+            k.destroyTask(pid);
+    }
+    for (auto [home, pa] : borrowed)
+        kernels_(home).freeUserPage(pa);
+
+    if (dsm_)
+        dsm_->forgetTask(pid);
+    migration_.forgetTask(pid);
+    recovery_.counter("tasks_reaped") += 1;
+    machine_.tracer().instant(TraceCategory::Chaos, "crash.reap",
+                              dead, pid, static_cast<std::uint64_t>(
+                                             reapExitStatus),
+                              dead);
+}
+
+void
+CrashManager::recoverTasksPopcorn(NodeId dead, NodeId survivor)
+{
+    std::vector<std::pair<Pid, NodeId>> tracked;
+    migration_.forEachTask([&](Pid p, NodeId n) {
+        tracked.emplace_back(p, n);
+    });
+    for (auto [pid, cur] : tracked) {
+        if (cur == dead) {
+            // Shared-nothing: the thread context is unreachable.
+            // Crash-stop semantics are honest here — reap with an
+            // exit status rather than pretend to resurrect state the
+            // survivor cannot read.
+            reapTask(pid, dead);
+            continue;
+        }
+        KernelInstance &kc = kernels_(cur);
+        Task *t = kc.findTask(pid);
+        if (t && t->origin == dead) {
+            // The thread survived but its home kernel did not:
+            // re-home the origin so future DSM and futex traffic
+            // stays local to the survivor.
+            t->origin = cur;
+            machine_.stall(cur, rehomeBookkeepingCycles);
+            recovery_.counter("origins_rehomed") += 1;
+        }
+        // Stale records on the dead kernel (if any) keep their page
+        // lists but lend no frames in the shared-nothing design;
+        // they are cleared hook-free when the node rejoins.
+    }
+
+    if (dsm_) {
+        KernelInstance &kd = kernels_(dead);
+        auto r = dsm_->recoverDeadNode(dead, survivor, [&](Addr f) {
+            return kd.palloc().manages(f);
+        });
+        recovery_.counter("dsm_pages_reowned") +=
+            static_cast<std::int64_t>(r.reowned);
+        recovery_.counter("dsm_pages_lost") +=
+            static_cast<std::int64_t>(r.lost);
+    }
+}
+
+void
+CrashManager::rejoin(NodeId node)
+{
+    panic_if(!dead_[node], "rejoin(", node,
+             "): node was never declared dead");
+    // The rebooted kernel's clock starts past every survivor's: the
+    // cluster kept running while it booted.
+    Cycles clock = 0;
+    for (NodeId n = 0; n < nodeCount_; ++n) {
+        if (machine_.nodeAlive(n))
+            clock = std::max(clock, machine_.node(n).cycles());
+    }
+    clock += cfg_.rebootCycles;
+    machine_.reviveNode(node, clock);
+    kernels_(node).resetForRejoin();
+    dead_[node] = false;
+    peers_[node] = PeerState{};
+    recovery_.counter("rejoins") += 1;
+}
+
+} // namespace stramash

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Crash-stop kernel-node failure, failure detection, and recovery.
+ *
+ * A Stramash machine is one chip with several kernels on it; a kernel
+ * node can crash-stop (firmware fault, watchdog reset, deliberate
+ * power-gating) while the *memory system keeps running* — the fabric,
+ * the LLCs of the surviving nodes, and DRAM stay coherent. That
+ * asymmetry is the whole point of this subsystem: in the fused design
+ * the survivor can read the dead kernel's structures (task records,
+ * VMA trees, page tables, futex buckets) directly out of shared
+ * memory and *re-home* everything; in the shared-nothing Popcorn
+ * design the dead node's state is simply gone and the survivor can
+ * only reap what lived there and re-own what it holds copies of.
+ *
+ * Three pieces:
+ *
+ *  - failure detection: a heartbeat protocol layered on the ordinary
+ *    message transport. Each user-level operation gives the hosting
+ *    kernel a chance to ping its peers (the simulator is synchronous,
+ *    so the detector is driven from the operation stream rather than
+ *    a timer tick). An unanswered ping charges the detection timeout
+ *    and raises suspicion; enough consecutive misses and the peer is
+ *    declared dead. With only two nodes there is no quorum to ask —
+ *    the survivor's word is final, and declaration *fences* the peer
+ *    (STONITH): even a false suspicion is made true by killing the
+ *    node before its state is redistributed.
+ *
+ *  - recovery: purge the dead node's message queues, sweep its futex
+ *    waiters (robust-futex semantics: every surviving waiter woken
+ *    exactly once, every dead waiter reaped), re-home or reap its
+ *    tasks, return its global-allocator blocks to the pool, and
+ *    re-own the DSM pages it owned.
+ *
+ *  - rejoin: the existing memory hot-plug flow in reverse. The node
+ *    reboots with its firmware-map memory, a fresh kernel state, and
+ *    a clock ahead of every survivor's.
+ *
+ * When no crash is planned and the detector is disabled the System
+ * never constructs a CrashManager, so the hot paths are untouched —
+ * zero overhead, bit-identical behaviour.
+ */
+
+#ifndef STRAMASH_FAULT_CRASH_HH
+#define STRAMASH_FAULT_CRASH_HH
+
+#include <map>
+#include <vector>
+
+#include "stramash/dsm/dsm_engine.hh"
+#include "stramash/fused/global_alloc.hh"
+#include "stramash/fused/stramash.hh"
+#include "stramash/kernel/kernel.hh"
+#include "stramash/kernel/policy.hh"
+
+namespace stramash
+{
+
+/** Failure-detector tuning. */
+struct CrashConfig
+{
+    /**
+     * Construct the detector even without a planned crash (manual
+     * kills via killNow / System::killNode still recover). When
+     * false, a CrashManager is only built if the fault plan
+     * schedules a crash.
+     */
+    bool enabled = false;
+    /** Minimum cycles between heartbeat pings to one peer. */
+    Cycles pingIntervalCycles = 250'000;
+    /** Cycles the observer waits for an ack before counting a miss. */
+    Cycles ackTimeoutCycles = 60'000;
+    /** Consecutive misses before the peer is declared dead. */
+    unsigned suspicionThreshold = 3;
+    /** Boot time modelled for a rejoining node. */
+    Cycles rebootCycles = 2'000'000;
+};
+
+/**
+ * The crash-stop failure detector and recovery coordinator.
+ *
+ * Owned by the System when (and only when) a crash is planned or the
+ * detector is explicitly enabled. All recovery work is charged to
+ * the surviving node's clock; the dead node's clock is frozen at the
+ * instant of death.
+ */
+class CrashManager
+{
+  public:
+    CrashManager(Machine &machine, MessageLayer &msg,
+                 KernelLookup kernels, std::size_t nodeCount,
+                 OsDesign design, MigrationPolicy &migration,
+                 CrashConfig cfg = {});
+
+    /** Optional subsystem hooks (design-dependent). */
+    void setDsm(DsmEngine *dsm) { dsm_ = dsm; }
+    void setGma(GlobalMemoryAllocator *gma) { gma_ = gma; }
+    void setStramashShared(StramashShared *s) { shared_ = s; }
+
+    /** Register the heartbeat request/ack handlers on a kernel. */
+    void installHandlers(KernelInstance &k);
+
+    /**
+     * The per-operation guard, called before every user-level
+     * operation on @p pid. Runs the heartbeat detector from the
+     * task's kernel; if that kernel itself has crashed, forces
+     * detection from a survivor and recovers before returning, so
+     * the caller sees the task already re-homed (fused) or reaped
+     * (Popcorn).
+     */
+    void guardTask(Pid pid);
+
+    /** True once @p node has been declared dead (and not rejoined). */
+    bool
+    isDeclaredDead(NodeId node) const
+    {
+        return dead_[node];
+    }
+
+    /**
+     * True if @p pid was reaped by crash recovery; the exit status
+     * (128 + SIGKILL) is written through @p status when given.
+     */
+    bool taskReaped(Pid pid, int *status = nullptr) const;
+
+    /**
+     * Kill a node immediately (test / chaos API). Detection and
+     * recovery still run through the normal heartbeat path on the
+     * next guarded operation.
+     */
+    void killNow(NodeId node);
+
+    /**
+     * Declare @p peer dead as seen from @p observer: fence it
+     * (STONITH), then run full recovery. Idempotent.
+     */
+    void declareDead(NodeId peer, NodeId observer);
+
+    /**
+     * Bring a dead node back through the hot-plug flow: revive its
+     * clock past every survivor's (plus the modelled reboot time),
+     * reset its kernel to boot state, and clear detector state so
+     * heartbeats to it resume.
+     */
+    void rejoin(NodeId node);
+
+    StatGroup &recovery() { return recovery_; }
+    const CrashConfig &config() const { return cfg_; }
+
+  private:
+    /** Detector state for one pinged peer. */
+    struct PeerState
+    {
+        Cycles nextPingAt = 0;
+        std::uint64_t pingSeq = 0;
+        std::uint64_t lastAckSeq = 0;
+        unsigned suspicion = 0;
+    };
+
+    Machine &machine_;
+    MessageLayer &msg_;
+    KernelLookup kernels_;
+    std::size_t nodeCount_;
+    OsDesign design_;
+    MigrationPolicy &migration_;
+    CrashConfig cfg_;
+    StatGroup recovery_;
+    DsmEngine *dsm_ = nullptr;
+    GlobalMemoryAllocator *gma_ = nullptr;
+    StramashShared *shared_ = nullptr;
+    std::vector<PeerState> peers_;
+    std::vector<bool> dead_;
+    /** pid -> exit status for tasks reaped by recovery. */
+    std::map<Pid, int> exitStatus_;
+
+    NodeId anyLiveNode() const;
+
+    /** Run every due ping from @p observer. */
+    void pollFrom(NodeId observer);
+
+    /**
+     * One ping exchange from @p observer to @p peer. @p forced
+     * ignores the ping schedule (used when a task's own kernel is
+     * found dead and detection must converge now).
+     * @return true if the peer answered.
+     */
+    bool pingRound(NodeId observer, NodeId peer, bool forced);
+
+    /** Full recovery, run once per death from declareDead(). */
+    void recover(NodeId dead, NodeId survivor);
+
+    void sweepFutexes(NodeId dead, NodeId survivor);
+    void recoverTasksFused(NodeId dead, NodeId survivor);
+    void recoverTasksPopcorn(NodeId dead, NodeId survivor);
+
+    /**
+     * Fused re-homing of one task touched by the crash: rebuild or
+     * extend the surviving record straight out of the dead kernel's
+     * coherent memory (VMA tree, page table, register state), then
+     * re-point the task's home.
+     */
+    void adoptTaskFused(Pid pid, NodeId dead, NodeId survivor);
+
+    /**
+     * Copy every surviving mapping that still points into the dead
+     * node's memory onto fresh local frames. Must run before the
+     * global allocator reclaims the dead node's blocks.
+     */
+    void sweepDeadFrames(NodeId dead, NodeId survivor);
+
+    /** Popcorn reap of a task whose hosting kernel died. */
+    void reapTask(Pid pid, NodeId dead);
+};
+
+} // namespace stramash
+
+#endif // STRAMASH_FAULT_CRASH_HH

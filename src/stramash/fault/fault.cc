@@ -109,6 +109,24 @@ FaultInjector::shouldDenyMemBlock(NodeId donor)
                 donor, donor, 0);
 }
 
+bool
+FaultInjector::shouldCrashNode(NodeId nid, Cycles now)
+{
+    if (!crashArmed() || nid != plan_.crashNode ||
+        now < plan_.crashAtCycle) {
+        return false;
+    }
+    crashFired_ = true;
+    ++injected_;
+    faults_.counter("injected") += 1;
+    faults_.counter("crash.node_killed") += 1;
+    if (tracer_) {
+        tracer_->instant(TraceCategory::Chaos, "crash.node_killed",
+                         nid, 0, nid, now);
+    }
+    return true;
+}
+
 void
 FaultInjector::corrupt(std::vector<std::uint8_t> &payload,
                        std::uint64_t &arg0)

@@ -72,6 +72,18 @@ struct FaultPlan
      *  bounded budget makes the plan transient by construction. */
     std::uint64_t maxFaults = UINT64_MAX;
 
+    // ---- crash-stop site ----
+    /** Kill this kernel node outright (invalidNode = never). Unlike
+     *  the transient sites above this is a *scheduled* fault: it
+     *  fires exactly once, at a chosen simulated cycle, and is not
+     *  subject to maxFaults (a crash is not transient). */
+    NodeId crashNode = invalidNode;
+    /** Node clock reading at (or after) which the crash fires. */
+    Cycles crashAtCycle = 0;
+
+    /** True when the plan schedules a crash-stop failure. */
+    bool crashPlanned() const { return crashNode != invalidNode; }
+
     /** True when any site can fire. */
     bool
     any() const
@@ -123,6 +135,22 @@ class FaultInjector
     bool shouldDenyMemBlock(NodeId donor);
 
     /**
+     * Crash-stop site. The machine polls this after every clock
+     * advance of @p nid; it fires exactly once, when the scheduled
+     * node's clock reaches the scheduled cycle. Bypasses the
+     * maxFaults budget — a crash is permanent, not transient.
+     */
+    bool shouldCrashNode(NodeId nid, Cycles now);
+
+    /** True while a scheduled crash has not fired yet — lets the
+     *  machine's per-access poll stay one predictable branch. */
+    bool
+    crashArmed() const
+    {
+        return plan_.crashPlanned() && !crashFired_;
+    }
+
+    /**
      * Deterministically damage a message: flip one payload byte, or
      * one bit of @p arg0 when the payload is empty.
      */
@@ -158,6 +186,7 @@ class FaultInjector
     FaultPlan plan_;
     std::vector<Rng> rngs_;
     std::uint64_t injected_ = 0;
+    bool crashFired_ = false;
     StatGroup faults_;
     StatGroup retries_;
     Tracer *tracer_ = nullptr;

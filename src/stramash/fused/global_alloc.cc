@@ -234,6 +234,29 @@ GlobalMemoryAllocator::onMemBlockRequest(KernelInstance &k,
     msg_->send(resp);
 }
 
+std::size_t
+GlobalMemoryAllocator::reclaimDeadNode(NodeId dead)
+{
+    // Ownership recovery after a crash: every block the dead kernel
+    // had onlined returns to the global pool. Its allocator state is
+    // gone with it — no evacuation, no isolation pass; the survivor's
+    // frame sweep has already copied out anything it still needs.
+    std::size_t reclaimed = 0;
+    for (auto &kv : blocks_) {
+        if (kv.second.second != dead)
+            continue;
+        kv.second.second = invalidNode;
+        ++reclaimed;
+    }
+    if (reclaimed) {
+        stats_.counter("blocks_reclaimed") +=
+            static_cast<std::int64_t>(reclaimed);
+        machine_.tracer().instant(TraceCategory::Chaos, "gma.reclaim",
+                                  dead, 0, reclaimed, dead);
+    }
+    return reclaimed;
+}
+
 Result<AddrRange>
 GlobalMemoryAllocator::requestBlockFrom(KernelInstance &kernel,
                                         KernelInstance &donor)
@@ -273,6 +296,10 @@ GlobalMemoryAllocator::onLowMemory(KernelInstance &kernel)
     KernelInstance *donor = nullptr;
     for (auto *k : kernels_) {
         if (k->nodeId() == kernel.nodeId())
+            continue;
+        // A crashed kernel cannot negotiate; its blocks come back to
+        // the pool through reclaimDeadNode(), not eviction.
+        if (!machine_.nodeAlive(k->nodeId()))
             continue;
         if (k->palloc().pressure() < myPressure &&
             (!donor || k->palloc().pressure() <

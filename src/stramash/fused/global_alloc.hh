@@ -106,6 +106,15 @@ class GlobalMemoryAllocator
     /** Blocks currently assigned to @p node. */
     std::vector<AddrRange> ownedBlocks(NodeId node) const;
 
+    /**
+     * Crash recovery: return every block owned by the crashed node
+     * @p dead to the free pool. The dead kernel's allocator is not
+     * consulted (it no longer exists); callers must have finished
+     * copying any frames they still need out of these blocks.
+     * @return the number of blocks reclaimed.
+     */
+    std::size_t reclaimDeadNode(NodeId dead);
+
     StatGroup &stats() { return stats_; }
 
   private:

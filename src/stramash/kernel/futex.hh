@@ -13,7 +13,10 @@
 #define STRAMASH_KERNEL_FUTEX_HH
 
 #include <deque>
+#include <iterator>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "stramash/common/types.hh"
 
@@ -68,6 +71,53 @@ class FutexTable
     }
 
     std::size_t activeFutexes() const { return queues_.size(); }
+
+    // ---- crash-recovery sweeps (robust-futex semantics) ----
+
+    /**
+     * Drop every waiter whose thread ran on @p node — a dead node's
+     * waiters no longer exist and must not absorb future wakes.
+     * @return the number of waiters removed.
+     */
+    std::size_t
+    removeWaitersOf(NodeId node)
+    {
+        std::size_t removed = 0;
+        for (auto it = queues_.begin(); it != queues_.end();) {
+            auto &q = it->second;
+            for (auto w = q.begin(); w != q.end();) {
+                if (w->node == node) {
+                    w = q.erase(w);
+                    ++removed;
+                } else {
+                    ++w;
+                }
+            }
+            it = q.empty() ? queues_.erase(it) : std::next(it);
+        }
+        return removed;
+    }
+
+    /**
+     * Empty the whole table, returning every (uaddr, waiter) pair in
+     * queue order. The recovery sweep over a dead kernel's table uses
+     * this: each surviving waiter must be woken exactly once, each
+     * dead waiter reaped.
+     */
+    std::vector<std::pair<Addr, FutexWaiter>>
+    drainAll()
+    {
+        std::vector<std::pair<Addr, FutexWaiter>> out;
+        for (auto &[uaddr, q] : queues_) {
+            for (const auto &w : q)
+                out.emplace_back(uaddr, w);
+        }
+        queues_.clear();
+        return out;
+    }
+
+    /** Forget everything (rejoin reboot). */
+    void clear() { queues_.clear(); }
 
   private:
     std::unordered_map<Addr, std::deque<FutexWaiter>> queues_;

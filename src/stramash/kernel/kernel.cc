@@ -40,6 +40,7 @@ KernelInstance::KernelInstance(Machine &machine, NodeId node,
 
     for (const auto &r : usable.extents())
         palloc_.addRange(r);
+    bootExtents_ = usable.extents();
 
     // Fused namespace defaults (paper §6.6); System overwrites them
     // with a synchronised set when the fused design is active.
@@ -146,6 +147,37 @@ KernelInstance::destroyTask(Pid pid)
     t->ownedPages.clear();
     tasks_.erase(pid);
     stats_.counter("tasks_destroyed") += 1;
+}
+
+void
+KernelInstance::forEachTask(const std::function<void(Task &)> &fn)
+{
+    for (auto &[pid, t] : tasks_)
+        fn(*t);
+}
+
+void
+KernelInstance::resetForRejoin()
+{
+    // Task records go without the policy exit hooks: this kernel
+    // crashed, and crash recovery has already settled whatever shared
+    // state referenced these tasks. The address-space destructors
+    // still run their frame callbacks (guard revocations), which is
+    // harmless against the pre-reset allocator state.
+    tasks_.clear();
+    futexes_.clear();
+
+    // A rebooted kernel rediscovers its memory from the firmware map:
+    // exactly the boot-time extents, regardless of what the global
+    // allocator had onlined or offlined before the crash.
+    palloc_.reset();
+    for (const auto &r : bootExtents_)
+        palloc_.addRange(r);
+    dataBump_ = dataRegion_.start;
+
+    stats_.counter("rejoins") += 1;
+    machine_.tracer().instant(TraceCategory::Chaos, "crash.rejoin",
+                              node_, 0, node_, 0);
 }
 
 Addr

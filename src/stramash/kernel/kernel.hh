@@ -74,6 +74,19 @@ class KernelInstance
     /** Tear down the task on this kernel (policy hook runs first). */
     void destroyTask(Pid pid);
 
+    /** Visit every task record this kernel holds. */
+    void forEachTask(const std::function<void(Task &)> &fn);
+
+    /**
+     * Reboot this kernel instance for the hot-plug rejoin path: every
+     * task record, futex queue and allocation is discarded and the
+     * boot-time memory layout restored, as a freshly booted kernel
+     * would rediscover it from the firmware map. Policy exit hooks do
+     * NOT run — the node crashed; recovery already dealt with shared
+     * state.
+     */
+    void resetForRejoin();
+
     // ------------------------------------------------------------
     // Physical pages
     // ------------------------------------------------------------
@@ -194,6 +207,9 @@ class KernelInstance
     Addr dataBump_ = 0;
     Addr dataHashBase_ = 0;
     Addr dataHashSize_ = 0;
+    /** The allocator ranges discovered at boot (after the data-region
+     *  carve) — what a rejoining kernel re-discovers. */
+    std::vector<AddrRange> bootExtents_;
 
     /** Size of the per-kernel data region carved at boot. */
     static constexpr Addr dataRegionBytes = 64 * 1024 * 1024;

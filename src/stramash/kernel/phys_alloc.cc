@@ -101,6 +101,15 @@ PhysAllocator::pressure() const
            static_cast<double>(totalPages_);
 }
 
+void
+PhysAllocator::reset()
+{
+    free_.clear();
+    managed_.clear();
+    totalPages_ = 0;
+    stats_.counter("resets") += 1;
+}
+
 std::vector<Addr>
 PhysAllocator::allocatedIn(const AddrRange &r) const
 {

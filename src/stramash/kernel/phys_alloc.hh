@@ -62,6 +62,14 @@ class PhysAllocator
     /** Allocated frames inside @p r (evacuation worklist). */
     std::vector<Addr> allocatedIn(const AddrRange &r) const;
 
+    /**
+     * Forget everything — managed ranges, allocations, the lot. The
+     * rejoin path uses this to model a rebooted kernel rediscovering
+     * its memory from the firmware map (the caller re-adds the boot
+     * ranges). Counters survive; they describe history, not state.
+     */
+    void reset();
+
     StatGroup &stats() { return stats_; }
 
   private:

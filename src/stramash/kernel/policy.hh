@@ -9,6 +9,8 @@
 #ifndef STRAMASH_KERNEL_POLICY_HH
 #define STRAMASH_KERNEL_POLICY_HH
 
+#include <functional>
+
 #include "stramash/kernel/address_space.hh"
 #include "stramash/kernel/task.hh"
 
@@ -75,6 +77,25 @@ class MigrationPolicy
      *  (Table 3 bookkeeping lives with the policy). */
     virtual std::uint64_t replicatedPages() const = 0;
     virtual void resetCounters() = 0;
+
+    // ---- thread-location bookkeeping ----
+    // Both designs track where each task's thread currently runs;
+    // crash recovery needs to read and rewrite that record through
+    // the common interface (re-home a task whose node died, forget a
+    // reaped one).
+
+    /** Node the task's thread currently runs on. */
+    virtual NodeId currentNode(Pid pid) const = 0;
+
+    /** Rewrite the location record without moving any state. */
+    virtual void setCurrentNode(Pid pid, NodeId node) = 0;
+
+    /** Drop the location record (task reaped). */
+    virtual void forgetTask(Pid pid) = 0;
+
+    /** Visit every tracked (pid, current node) pair. */
+    virtual void forEachTask(
+        const std::function<void(Pid, NodeId)> &fn) const = 0;
 };
 
 } // namespace stramash

@@ -32,6 +32,8 @@ msgTypeName(MsgType t)
       case MsgType::AppRequest: return "app_request";
       case MsgType::AppResponse: return "app_response";
       case MsgType::Ack: return "ack";
+      case MsgType::Heartbeat: return "heartbeat";
+      case MsgType::HeartbeatAck: return "heartbeat_ack";
     }
     panic("unknown MsgType");
 }
@@ -62,6 +64,10 @@ msgTypeIsResponse(MsgType t)
       case MsgType::ProcessVma:
       case MsgType::ProcessPage:
       case MsgType::AppRequest:
+      // See message.hh: heartbeat acks must not be captured as an
+      // unrelated RPC's response by the serve-stack machinery.
+      case MsgType::Heartbeat:
+      case MsgType::HeartbeatAck:
         return false;
     }
     panic("unknown MsgType");

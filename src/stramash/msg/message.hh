@@ -55,11 +55,19 @@ enum class MsgType : std::uint8_t {
     AppResponse,
     /** Generic delivery acknowledgement (reliable one-way sends). */
     Ack,
+    /** Failure-detector ping (arg0 = ping sequence number). */
+    Heartbeat,
+    /** Failure-detector ping reply (arg0 echoes the ping seq).
+     *  Deliberately *not* response-typed: heartbeats are
+     *  fire-and-forget (rpcId = 0), and a response-typed ack emitted
+     *  while an unrelated RPC is being served would be captured as
+     *  that RPC's reply. */
+    HeartbeatAck,
 };
 
 /** Number of MsgType enumerators (keep in sync with the enum). */
 inline constexpr unsigned msgTypeCount =
-    static_cast<unsigned>(MsgType::Ack) + 1;
+    static_cast<unsigned>(MsgType::HeartbeatAck) + 1;
 
 const char *msgTypeName(MsgType t);
 

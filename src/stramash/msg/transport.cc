@@ -41,6 +41,18 @@ Errc
 MessageLayer::send(const Message &msg)
 {
     panic_if(msg.from == msg.to, "message to self");
+    // Crash-stop silencing: a dead node neither sends nor is sent to.
+    // From the live sender's point of view the message just vanishes
+    // (exactly like a wire drop); its retry/timeout machinery is what
+    // notices the peer is gone.
+    if (machine_.anyNodeDead() &&
+        (!machine_.nodeAlive(msg.from) || !machine_.nodeAlive(msg.to))) {
+        stats_.counter("dropped_dead_node") += 1;
+        machine_.tracer().instant(
+            TraceCategory::Chaos, "msg.drop_dead", msg.from, 0,
+            static_cast<std::uint64_t>(msg.type), msg.to);
+        return Errc::Ok;
+    }
     Message m = msg;
     m.seq = ++seq_;
     FaultInjector *fi = machine_.faultInjector();
@@ -211,12 +223,34 @@ MessageLayer::deliver(NodeId node, const Message &m)
 void
 MessageLayer::dispatchPending(NodeId node)
 {
+    // A crashed kernel runs no pump: whatever is queued for it stays
+    // queued until purgeQueues() discards it at declaration time.
+    if (machine_.anyNodeDead() && !machine_.nodeAlive(node))
+        return;
     for (;;) {
         auto m = receive(node);
         if (!m)
             return;
         deliver(node, *m);
     }
+}
+
+std::size_t
+MessageLayer::purgeQueues(NodeId node)
+{
+    // Discard everything queued for a crashed node without running
+    // handlers. The receive-side stalls land on the dead node's
+    // frozen clock, so draining is free in simulated time.
+    std::size_t purged = 0;
+    while (auto m = transportReceive(node))
+        ++purged;
+    if (purged) {
+        stats_.counter("purged_dead") +=
+            static_cast<std::int64_t>(purged);
+        machine_.tracer().instant(TraceCategory::Chaos, "msg.purge",
+                                  node, 0, purged, node);
+    }
+    return purged;
 }
 
 Message

@@ -114,9 +114,18 @@ class MessageLayer
     /**
      * Deliver every pending message for @p node to its handler.
      * Handlers may send further messages (including back to the
-     * original sender); dispatch is re-entrant.
+     * original sender); dispatch is re-entrant. No-op for a crashed
+     * node (its pump no longer runs).
      */
     void dispatchPending(NodeId node);
+
+    /**
+     * Discard every message queued for @p node without running any
+     * handler — the crash-recovery path's way of emptying a dead
+     * kernel's inbox so a later rejoin starts clean.
+     * @return how many messages were discarded.
+     */
+    std::size_t purgeQueues(NodeId node);
 
     /**
      * Synchronous RPC: send @p req, drive the destination's pump,

@@ -95,6 +95,7 @@ Machine::dataAccess(NodeId nid, AccessType type, Addr pa, unsigned size)
         lat = n.profile().l1;
     }
     n.stall(lat);
+    maybeFireCrash(nid);
     return lat;
 }
 
@@ -111,6 +112,7 @@ Machine::streamAccess(NodeId nid, AccessType type, Addr pa,
     if (!cfg_.cachePluginEnabled || size == 0) {
         Cycles lat = n.profile().l1;
         n.stall(lat);
+        maybeFireCrash(nid);
         return lat;
     }
     Cycles total = 0;
@@ -125,6 +127,7 @@ Machine::streamAccess(NodeId nid, AccessType type, Addr pa,
             total += r.latency;
     }
     n.stall(total);
+    maybeFireCrash(nid);
     return total;
 }
 
@@ -134,12 +137,14 @@ Machine::retire(NodeId nid, ICount n)
     if (retireTrace_)
         retireTrace_(nid, n);
     node(nid).retire(n);
+    maybeFireCrash(nid);
 }
 
 void
 Machine::stall(NodeId nid, Cycles c)
 {
     node(nid).stall(c);
+    maybeFireCrash(nid);
 }
 
 Cycles
@@ -152,6 +157,9 @@ Machine::ipiCycles(NodeId nid) const
 Cycles
 Machine::sendIpi(NodeId from, NodeId to)
 {
+    // A dead node neither raises nor takes interrupts.
+    if (anyNodeDead() && (!nodeAlive(from) || !nodeAlive(to)))
+        return 0;
     if (injector_ && injector_->shouldDropIpi(from, to))
         return 0;
     Node &dst = node(to);
@@ -164,6 +172,40 @@ Machine::sendIpi(NodeId from, NodeId to)
     tracer_.emit(TraceCategory::Ipi, "ipi.deliver", to, 0, start,
                  dst.cycles(), from, to);
     return lat;
+}
+
+void
+Machine::fireCrashIfDue(NodeId nid)
+{
+    if (injector_->shouldCrashNode(nid, node(nid).cycles()))
+        killNode(nid);
+}
+
+void
+Machine::killNode(NodeId id)
+{
+    Node &n = node(id);
+    if (!n.alive())
+        return;
+    n.setAlive(false);
+    ++deadNodes_;
+    n.stats().counter("crashes") += 1;
+    tracer_.instant(TraceCategory::Chaos, "crash.node_dead", id, 0,
+                    id, n.cycles());
+}
+
+void
+Machine::reviveNode(NodeId id, Cycles clock)
+{
+    Node &n = node(id);
+    panic_if(n.alive(), "reviveNode(", id, "): node is not dead");
+    panic_if(deadNodes_ == 0, "reviveNode with no dead nodes");
+    n.syncClock(clock);
+    n.setAlive(true);
+    --deadNodes_;
+    n.stats().counter("revives") += 1;
+    tracer_.instant(TraceCategory::Chaos, "crash.node_revive", id, 0,
+                    id, clock);
 }
 
 std::uint64_t

@@ -86,6 +86,36 @@ class Machine
     const Node &node(NodeId id) const;
     std::size_t nodeCount() const { return nodes_.size(); }
 
+    // ---- crash-stop node lifecycle ----
+
+    /**
+     * True while @p id is running. Costs one integer compare while
+     * nothing is dead (the common case), so the transport and IPI
+     * paths can gate on it without measurable overhead.
+     */
+    bool
+    nodeAlive(NodeId id) const
+    {
+        return deadNodes_ == 0 || node(id).alive();
+    }
+
+    /** True while at least one node is crashed. */
+    bool anyNodeDead() const { return deadNodes_ != 0; }
+
+    /**
+     * Crash-stop @p id: freeze its clock (retire/stall become
+     * no-ops) and mark it dead so the transport silences it.
+     * Idempotent.
+     */
+    void killNode(NodeId id);
+
+    /**
+     * Bring a crashed node back (the rejoin path). Its clock is
+     * fast-forwarded to @p clock — a rebooted machine re-enters at
+     * the survivor's "now", not at the instant it died.
+     */
+    void reviveNode(NodeId id, Cycles clock);
+
     /** The node whose ISA is @p isa (paper machines have one each). */
     Node &nodeByIsa(IsaType isa);
 
@@ -163,6 +193,20 @@ class Machine
     }
 
   private:
+    /**
+     * Poll the scheduled crash site after a clock advance on @p nid.
+     * Two predictable branches when no crash is armed (the injector
+     * pointer, then crashArmed()); the slow path lives in the .cc.
+     */
+    void
+    maybeFireCrash(NodeId nid)
+    {
+        if (injector_ && injector_->crashArmed())
+            fireCrashIfDue(nid);
+    }
+
+    void fireCrashIfDue(NodeId nid);
+
     MachineConfig cfg_;
     GuestMemory mem_;
     PhysMap map_;
@@ -173,6 +217,8 @@ class Machine
     std::unique_ptr<FaultInjector> injector_;
     AccessTraceFn accessTrace_;
     RetireTraceFn retireTrace_;
+    /** Count of crashed nodes; non-zero activates liveness checks. */
+    unsigned deadNodes_ = 0;
 };
 
 } // namespace stramash

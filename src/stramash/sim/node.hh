@@ -52,6 +52,8 @@ class Node
     void
     retire(ICount n)
     {
+        if (!alive_)
+            return;
         icount_ += n;
         cycles_ += static_cast<Cycles>(
             static_cast<double>(n) / desc_.fixedIpc);
@@ -61,6 +63,8 @@ class Node
     void
     stall(Cycles c)
     {
+        if (!alive_)
+            return;
         cycles_ += c;
         memCycles_ += c;
     }
@@ -78,6 +82,22 @@ class Node
         memCycles_ = 0;
     }
 
+    /**
+     * Crash-stop lifecycle. A dead node's clock is frozen: retire()
+     * and stall() become no-ops, so every code path that would charge
+     * time to a crashed node silently stops making progress there.
+     * Machine::killNode()/reviveNode() are the only callers.
+     */
+    bool alive() const { return alive_; }
+    void setAlive(bool alive) { alive_ = alive; }
+
+    /** Fast-forward a rejoining node's frozen clock to @p c. */
+    void
+    syncClock(Cycles c)
+    {
+        cycles_ = c;
+    }
+
     StatGroup &stats() { return stats_; }
 
   private:
@@ -88,6 +108,7 @@ class Node
     ICount icount_ = 0;
     Cycles cycles_ = 0;
     Cycles memCycles_ = 0;
+    bool alive_ = true;
 };
 
 } // namespace stramash

@@ -100,6 +100,17 @@ KvStore::socketRoundTrip()
     System &sys = app_.system();
     NodeId cur = app_.where();
     Machine &machine = sys.machine();
+    if (!sys.isNodeAlive(originNode_)) {
+        // The server-socket node crashed: crash recovery re-homed the
+        // task (fused) or re-pointed its origin (survivor-side
+        // Popcorn); fail the socket over to the task's current home
+        // and keep serving.
+        originNode_ = sys.kernel(cur).task(app_.pid()).origin;
+        if (!sys.isNodeAlive(originNode_))
+            originNode_ = cur;
+        if (CrashManager *cm = sys.crashManager())
+            cm->recovery().counter("kv_socket_failovers") += 1;
+    }
     if (cur == originNode_) {
         // Local service: just the stack work.
         machine.stall(cur, stackCycles);

@@ -192,8 +192,9 @@ TEST(ResilientMsg, GiveUpAfterMaxAttemptsReturnsNullopt)
     EXPECT_EQ(rig.injector().retries().value("timeouts"),
               pol.maxAttempts);
     EXPECT_EQ(rig.injector().retries().value("gave_up"), 1u);
-    EXPECT_EQ(rig.layer->sendReliable(rig.request()),
-              Errc::Unreachable);
+    // Errc streams symbolically ("unreachable", not a raw integer).
+    Errc e = rig.layer->sendReliable(rig.request());
+    EXPECT_EQ(e, Errc::Unreachable) << "sendReliable returned " << e;
 }
 
 TEST(ResilientMsg, DelayedDeliveryChargesTheReceiverClock)

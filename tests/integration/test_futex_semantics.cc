@@ -114,6 +114,52 @@ TEST_P(FutexSemantics, DistinctWordsDistinctQueues)
     EXPECT_EQ(app.futexWake(page + 64, 8), 1u);
 }
 
+TEST_P(FutexSemantics, PartialWakeReleasesOldestAndKeepsOrder)
+{
+    // Three distinct tasks park on the same word; a partial wake
+    // must release the oldest waiters and leave the remainder queued
+    // in arrival order (FUTEX_WAKE is strictly FIFO).
+    App a(*sys_, 0);
+    App b(*sys_, 0);
+    App c(*sys_, 0);
+    // Identical layouts: the word sits at the same VA in each task.
+    Addr page = a.mmap(pageSize);
+    ASSERT_EQ(b.mmap(pageSize), page);
+    ASSERT_EQ(c.mmap(pageSize), page);
+    a.write<std::uint32_t>(page, 1);
+    b.write<std::uint32_t>(page, 1);
+    c.write<std::uint32_t>(page, 1);
+
+    KernelInstance &k0 = sys_->kernel(0);
+    FutexPolicy &fp = sys_->futexPolicy();
+    EXPECT_TRUE(fp.wait(k0, k0.task(a.pid()), page, 1));
+    EXPECT_TRUE(fp.wait(k0, k0.task(b.pid()), page, 1));
+    EXPECT_TRUE(fp.wait(k0, k0.task(c.pid()), page, 1));
+
+    EXPECT_EQ(fp.wake(k0, k0.task(a.pid()), page, 2), 2u);
+    EXPECT_EQ(k0.futexTable().waiters(page), 1u);
+    // The survivor of the partial wake is the youngest arrival.
+    auto rest = k0.futexTable().wake(page, 8);
+    ASSERT_EQ(rest.size(), 1u);
+    EXPECT_EQ(rest[0].pid, c.pid());
+}
+
+TEST_P(FutexSemantics, DoubleWakeIsIdempotent)
+{
+    // A waiter is woken at most once: a second wake on the same word
+    // finds the queue empty and returns zero instead of re-waking or
+    // underflowing.
+    App app(*sys_, 0);
+    Addr page = app.mmap(pageSize);
+    app.write<std::uint32_t>(page, 1);
+    EXPECT_TRUE(app.futexWait(page, 1));
+    EXPECT_EQ(app.futexWake(page, 1), 1u);
+    EXPECT_EQ(app.futexWake(page, 1), 0u);
+    EXPECT_EQ(app.futexWake(page, 8), 0u);
+    EXPECT_EQ(sys_->kernel(0).futexTable().waiters(page), 0u);
+    EXPECT_EQ(sys_->kernel(0).futexTable().activeFutexes(), 0u);
+}
+
 INSTANTIATE_TEST_SUITE_P(Designs, FutexSemantics,
                          testing::Values(OsDesign::MultipleKernel,
                                          OsDesign::FusedKernel),

@@ -27,9 +27,11 @@ TEST(MsgTypeNames, EveryTypeHasAUniqueNonEmptyName)
 
 TEST(MsgTypeNames, CountMatchesLastEnumerator)
 {
-    // Ack is deliberately kept last; msgTypeCount derives from it.
-    EXPECT_EQ(static_cast<unsigned>(MsgType::Ack), msgTypeCount - 1);
-    EXPECT_STREQ(msgTypeName(MsgType::Ack), "ack");
+    // HeartbeatAck is deliberately kept last; msgTypeCount derives
+    // from it.
+    EXPECT_EQ(static_cast<unsigned>(MsgType::HeartbeatAck),
+              msgTypeCount - 1);
+    EXPECT_STREQ(msgTypeName(MsgType::HeartbeatAck), "heartbeat_ack");
 }
 
 TEST(MsgTypeNames, ResponseClassificationMatchesNaming)
@@ -47,6 +49,12 @@ TEST(MsgTypeNames, ResponseClassificationMatchesNaming)
         };
         bool looksLikeResponse =
             endsWith("_response") || endsWith("_ack") || name == "ack";
+        // Exception: heartbeat acks are fire-and-forget (rpcId = 0)
+        // and must never be captured by the RPC serve stack as an
+        // unrelated request's response, so they classify as
+        // non-responses despite the "_ack" suffix.
+        if (type == MsgType::HeartbeatAck)
+            looksLikeResponse = false;
         EXPECT_EQ(msgTypeIsResponse(type), looksLikeResponse)
             << "type '" << name << "'";
     }
