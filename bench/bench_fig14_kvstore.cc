@@ -45,7 +45,7 @@ makeServer(OsDesign design, Transport transport)
     r.store = std::make_unique<KvStore>(*r.app, 512, 1024);
     r.store->populate();
     // The modified Redis-server migrates during its time_event.
-    r.app->migrateToOther();
+    r.app->migrateToNext();
     return r;
 }
 

@@ -79,17 +79,34 @@ App::migrate(NodeId dest)
     sys_.migrate(pid_, dest);
 }
 
+NodeId
+App::migrateToNext()
+{
+    NodeId cur = where();
+    std::size_t n = sys_.nodeCount();
+    panic_if(n < 2, "migrateToNext: no other node to migrate to");
+    for (std::size_t step = 1; step < n; ++step) {
+        NodeId cand = static_cast<NodeId>((cur + step) % n);
+        if (sys_.isNodeAlive(cand)) {
+            migrate(cand);
+            return cand;
+        }
+    }
+    // Every peer is dead. Attempt the cyclic successor anyway: the
+    // migration layer refuses it (migrations_refused_dead), exactly
+    // like the historical two-node dead-peer path.
+    NodeId cand = static_cast<NodeId>((cur + 1) % n);
+    migrate(cand);
+    return cand;
+}
+
 void
 App::migrateToOther()
 {
-    NodeId cur = where();
-    for (NodeId n = 0; n < sys_.nodeCount(); ++n) {
-        if (n != cur) {
-            migrate(n);
-            return;
-        }
-    }
-    panic("no other node to migrate to");
+    panic_if(sys_.nodeCount() != 2,
+             "migrateToOther is a two-node shim; use migrateToNext() "
+             "or migrateTo(peer) on an N-node machine");
+    migrateToNext();
 }
 
 void

@@ -45,7 +45,24 @@ class App
     /** Migrate to @p dest (no-op if already there). */
     void migrate(NodeId dest);
 
-    /** Migrate to the other node (two-node machines). */
+    /** Alias of migrate(): reads better at topology-aware call
+     *  sites paired with migrateToNext(). */
+    void migrateTo(NodeId peer) { migrate(peer); }
+
+    /**
+     * Migrate to the next alive node in cyclic node order — the
+     * topology-aware successor of migrateToOther(). On the paper
+     * pair this is exactly "the other node"; on an N-node machine
+     * the task round-robins across the topology.
+     * @return the destination node.
+     */
+    NodeId migrateToNext();
+
+    /**
+     * Migrate to the other node. DEPRECATED two-node shim kept for
+     * one release: panics on machines with more than two nodes —
+     * use migrateToNext() or migrateTo(peer) there.
+     */
     void migrateToOther();
 
     // ---- memory access (charged, faulting, real data) ----

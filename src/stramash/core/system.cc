@@ -14,8 +14,12 @@ System::lookup()
 
 System::System(const SystemConfig &cfg) : cfg_(cfg)
 {
-    MachineConfig mc = MachineConfig::paperPair(cfg.memoryModel,
-                                                cfg.l3Size);
+    MachineConfig mc =
+        cfg.topology
+            ? MachineConfig::fromTopology(*cfg.topology, cfg.l3Size)
+            : MachineConfig::paperPair(cfg.memoryModel, cfg.l3Size);
+    // The spec owns the memory model on the topology path.
+    cfg_.memoryModel = mc.memoryModel;
     mc.crossIsaIpiUs = cfg.crossIsaIpiUs;
     mc.cachePluginEnabled = cfg.cachePluginEnabled;
     mc.streamMlp = cfg.streamMlp;
@@ -34,7 +38,8 @@ System::System(const SystemConfig &cfg) : cfg_(cfg)
     // reserved from kernel allocators.
     std::vector<AddrRange> reserved;
     if (cfg.transport == Transport::SharedMemory) {
-        Addr base = ShmMessageLayer::paperAreaBase(cfg.memoryModel);
+        Addr base =
+            ShmMessageLayer::areaBaseFor(machine_->physMap());
         reserved.push_back(
             {base, base + ShmMessageLayer::paperAreaBytes});
         msg_ = std::make_unique<ShmMessageLayer>(
@@ -149,11 +154,21 @@ System::kernel(NodeId node)
 KernelInstance &
 System::kernelByIsa(IsaType isa)
 {
+    // Only well-defined when exactly one alive kernel runs the ISA;
+    // N-node topologies can run it on several nodes, and silently
+    // picking whichever was built first would hide the ambiguity.
+    KernelInstance *match = nullptr;
     for (auto &k : kernels_) {
-        if (k->isa() == isa)
-            return *k;
+        if (k->isa() != isa || !machine_->nodeAlive(k->nodeId()))
+            continue;
+        panic_if(match, "kernelByIsa(", isaName(isa),
+                 "): ambiguous — kernels on nodes ", match->nodeId(),
+                 " and ", k->nodeId(), " both run ", isaName(isa),
+                 "; address kernels by node id in N-node topologies");
+        match = k.get();
     }
-    panic("no kernel with ISA ", isaName(isa));
+    panic_if(!match, "no alive kernel with ISA ", isaName(isa));
+    return *match;
 }
 
 Pid

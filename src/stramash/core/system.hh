@@ -30,6 +30,14 @@ struct SystemConfig
 {
     OsDesign osDesign = OsDesign::FusedKernel;
     MemoryModel memoryModel = MemoryModel::Shared;
+    /**
+     * N-node machine description. Absent (the default) stands up the
+     * paper's hard-wired x86+Arm pair — bit-identical to the
+     * pre-topology code, as the differential tests check. When set,
+     * it overrides `memoryModel` and decides node count, ISAs, DRAM
+     * sizes and the messaging-area placement.
+     */
+    std::optional<TopologySpec> topology;
     Transport transport = Transport::SharedMemory;
     /** Per-node L3 (4 MiB default; 32 MiB in Fig. 10). */
     Addr l3Size = 4 * 1024 * 1024;

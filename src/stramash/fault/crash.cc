@@ -36,7 +36,7 @@ CrashManager::CrashManager(Machine &machine, MessageLayer &msg,
       migration_(migration),
       cfg_(cfg),
       recovery_("recovery"),
-      peers_(nodeCount),
+      det_(nodeCount, std::vector<PeerState>(nodeCount)),
       dead_(nodeCount, false)
 {
     panic_if(nodeCount_ < 2, "crash recovery needs a survivor");
@@ -60,7 +60,9 @@ CrashManager::installHandlers(KernelInstance &k)
         });
     k.registerMsgHandler(MsgType::HeartbeatAck,
                          [this](const Message &m) {
-                             PeerState &ps = peers_[m.from];
+                             // m.to is the observer whose ping this
+                             // answers, m.from the pinged peer.
+                             PeerState &ps = det_[m.to][m.from];
                              ps.lastAckSeq =
                                  std::max(ps.lastAckSeq, m.arg0);
                          });
@@ -124,14 +126,9 @@ CrashManager::pollFrom(NodeId observer)
 }
 
 bool
-CrashManager::pingRound(NodeId observer, NodeId peer, bool forced)
+CrashManager::heartbeatExchange(NodeId observer, NodeId peer)
 {
-    PeerState &ps = peers_[peer];
-    Cycles now = machine_.node(observer).cycles();
-    if (!forced && now < ps.nextPingAt)
-        return true;
-    ps.nextPingAt = now + cfg_.pingIntervalCycles;
-
+    PeerState &ps = det_[observer][peer];
     const std::uint64_t seq = ++ps.pingSeq;
     Message ping;
     ping.type = MsgType::Heartbeat;
@@ -149,7 +146,19 @@ CrashManager::pingRound(NodeId observer, NodeId peer, bool forced)
         machine_.stall(observer, cfg_.ackTimeoutCycles);
         msg_.dispatchPending(observer);
     }
-    if (ps.lastAckSeq >= seq) {
+    return ps.lastAckSeq >= seq;
+}
+
+bool
+CrashManager::pingRound(NodeId observer, NodeId peer, bool forced)
+{
+    PeerState &ps = det_[observer][peer];
+    Cycles now = machine_.node(observer).cycles();
+    if (!forced && now < ps.nextPingAt)
+        return true;
+    ps.nextPingAt = now + cfg_.pingIntervalCycles;
+
+    if (heartbeatExchange(observer, peer)) {
         ps.suspicion = 0;
         return true;
     }
@@ -158,8 +167,54 @@ CrashManager::pingRound(NodeId observer, NodeId peer, bool forced)
     machine_.tracer().instant(TraceCategory::Chaos, "crash.suspect",
                               observer, 0, peer, ps.suspicion);
     if (ps.suspicion >= cfg_.suspicionThreshold)
-        declareDead(peer, observer);
+        tryDeclareDead(peer, observer);
     return false;
+}
+
+void
+CrashManager::tryDeclareDead(NodeId peer, NodeId suspector)
+{
+    if (dead_[peer])
+        return;
+    // Quorum poll over the other surviving observers. The suspector
+    // already voted dead; each other survivor probes the suspect once
+    // on its own channel. On the two-node machine the loop finds no
+    // voters and the suspector's word is final (STONITH fallback).
+    unsigned voters = 1;
+    unsigned deadVotes = 1;
+    for (NodeId obs = 0; obs < nodeCount_; ++obs) {
+        if (obs == peer || obs == suspector || dead_[obs] ||
+            !machine_.nodeAlive(obs)) {
+            continue;
+        }
+        ++voters;
+        recovery_.counter("quorum_probes") += 1;
+        if (!heartbeatExchange(obs, peer))
+            ++deadVotes;
+    }
+    if (deadVotes * 2 > voters) {
+        declareDead(peer, suspector);
+        return;
+    }
+    // Outvoted: the suspect answered a majority of the probes, so the
+    // suspector's link (not the peer) is the likely fault. Reset its
+    // count and keep the peer alive.
+    det_[suspector][peer].suspicion = 0;
+    recovery_.counter("suspicions_outvoted") += 1;
+    machine_.tracer().instant(TraceCategory::Chaos, "crash.outvoted",
+                              suspector, 0, peer, deadVotes);
+}
+
+void
+CrashManager::forceSuspicion(NodeId observer, NodeId peer)
+{
+    panic_if(observer == peer, "a node cannot suspect itself");
+    det_[observer][peer].suspicion = cfg_.suspicionThreshold;
+    recovery_.counter("forced_suspicions") += 1;
+    machine_.tracer().instant(TraceCategory::Chaos,
+                              "crash.force_suspect", observer, 0, peer,
+                              cfg_.suspicionThreshold);
+    tryDeclareDead(peer, observer);
 }
 
 void
@@ -172,7 +227,8 @@ CrashManager::declareDead(NodeId peer, NodeId observer)
     // its state is redistributed, never after.
     machine_.killNode(peer);
     dead_[peer] = true;
-    peers_[peer].suspicion = 0;
+    for (NodeId obs = 0; obs < nodeCount_; ++obs)
+        det_[obs][peer].suspicion = 0;
     recovery_.counter("nodes_declared_dead") += 1;
     machine_.tracer().instant(TraceCategory::Chaos,
                               "crash.declare_dead", observer, 0, peer,
@@ -314,6 +370,24 @@ CrashManager::adoptTaskFused(Pid pid, NodeId dead, NodeId survivor)
         // that live in the dead node's own memory are dealt with by
         // sweepDeadFrames() afterwards.
         const PteFormat &dfmt = tdead->as->pageTable().format();
+        // Tagged entries in the dead table decode in their recorded
+        // writer's format (N-node machines can have several foreign
+        // writers); unrecorded tags default to the adopter's format.
+        const PteFormat *hostFmt = &t->as->pageTable().format();
+        TaggedFmtFn taggedFmtOf = [&](Addr va) -> const PteFormat * {
+            if (shared_) {
+                auto pit = shared_->foreignMapped.find(pid);
+                if (pit != shared_->foreignMapped.end()) {
+                    auto vit = pit->second.find(pageBase(va));
+                    if (vit != pit->second.end()) {
+                        return isaDescriptor(
+                                   machine_.node(vit->second).isa())
+                            .pteFormat;
+                    }
+                }
+            }
+            return hostFmt;
+        };
         kh.remoteAccess(dead, AccessType::Store,
                         tdead->as->ptlAddr(), 8);
         t->as->vmas().forEach([&](const Vma &v) {
@@ -323,7 +397,7 @@ CrashManager::adoptTaskFused(Pid pid, NodeId dead, NodeId survivor)
                 auto w = walkForeign(
                     machine_.memory(), dfmt,
                     tdead->as->pageTable().rootAddr(), va, touch,
-                    &t->as->pageTable().format());
+                    taggedFmtOf);
                 if (!w)
                     continue;
                 (void)t->as->mapPage(
@@ -545,7 +619,11 @@ CrashManager::rejoin(NodeId node)
     machine_.reviveNode(node, clock);
     kernels_(node).resetForRejoin();
     dead_[node] = false;
-    peers_[node] = PeerState{};
+    // Every observer's view of the rebooted node starts over; the
+    // node's own rows survive (its detector counters are monotonic
+    // and a stale nextPingAt is already in the past).
+    for (NodeId obs = 0; obs < nodeCount_; ++obs)
+        det_[obs][node] = PeerState{};
     recovery_.counter("rejoins") += 1;
 }
 

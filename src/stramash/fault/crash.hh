@@ -20,11 +20,17 @@
  *    kernel a chance to ping its peers (the simulator is synchronous,
  *    so the detector is driven from the operation stream rather than
  *    a timer tick). An unanswered ping charges the detection timeout
- *    and raises suspicion; enough consecutive misses and the peer is
- *    declared dead. With only two nodes there is no quorum to ask —
- *    the survivor's word is final, and declaration *fences* the peer
- *    (STONITH): even a false suspicion is made true by killing the
- *    node before its state is redistributed.
+ *    and raises suspicion; enough consecutive misses and the observer
+ *    moves to declare the peer dead. On a machine with three or more
+ *    nodes the declaration first runs a *quorum poll*: every other
+ *    surviving node probes the suspect once, and only a strict
+ *    majority of dead votes (suspector included) lets the
+ *    declaration proceed — a single observer with a bad link is
+ *    outvoted and the suspect survives. With only two nodes there is
+ *    nobody to ask, so the poll degenerates to the survivor's word
+ *    being final; either way declaration *fences* the peer (STONITH):
+ *    even a false suspicion is made true by killing the node before
+ *    its state is redistributed.
  *
  *  - recovery: purge the dead node's message queues, sweep its futex
  *    waiters (robust-futex semantics: every surviving waiter woken
@@ -132,9 +138,19 @@ class CrashManager
 
     /**
      * Declare @p peer dead as seen from @p observer: fence it
-     * (STONITH), then run full recovery. Idempotent.
+     * (STONITH), then run full recovery. Idempotent. Bypasses the
+     * quorum poll — callers with their own certainty only.
      */
     void declareDead(NodeId peer, NodeId observer);
+
+    /**
+     * Chaos/test API: make @p observer fully suspect @p peer right
+     * now, as a broken observer-side link would, and run the normal
+     * declaration path — including the quorum poll on N>=3 machines,
+     * where a healthy peer gets probed by the other survivors and
+     * the false suspicion is outvoted (suspicions_outvoted).
+     */
+    void forceSuspicion(NodeId observer, NodeId peer);
 
     /**
      * Bring a dead node back through the hot-plug flow: revive its
@@ -148,7 +164,7 @@ class CrashManager
     const CrashConfig &config() const { return cfg_; }
 
   private:
-    /** Detector state for one pinged peer. */
+    /** Detector state one observer keeps about one pinged peer. */
     struct PeerState
     {
         Cycles nextPingAt = 0;
@@ -168,7 +184,10 @@ class CrashManager
     DsmEngine *dsm_ = nullptr;
     GlobalMemoryAllocator *gma_ = nullptr;
     StramashShared *shared_ = nullptr;
-    std::vector<PeerState> peers_;
+    /** det_[observer][peer]: the full observer x peer matrix. On the
+     *  paper pair each peer has exactly one possible observer, so
+     *  this collapses to the historical per-peer vector. */
+    std::vector<std::vector<PeerState>> det_;
     std::vector<bool> dead_;
     /** pid -> exit status for tasks reaped by recovery. */
     std::map<Pid, int> exitStatus_;
@@ -185,6 +204,24 @@ class CrashManager
      * @return true if the peer answered.
      */
     bool pingRound(NodeId observer, NodeId peer, bool forced);
+
+    /**
+     * The bare wire exchange of one heartbeat: send, give the peer a
+     * chance to answer, charge the ack timeout on a miss. No
+     * suspicion bookkeeping — pingRound() and the quorum poll both
+     * sit on top of this.
+     * @return true if the peer answered.
+     */
+    bool heartbeatExchange(NodeId observer, NodeId peer);
+
+    /**
+     * A suspicion crossed the threshold: poll every other surviving
+     * node for a probe of @p peer and declare it dead only on a
+     * strict majority of dead votes (@p suspector included). On the
+     * two-node machine there are no other voters and the suspector's
+     * word stands — the historical STONITH path, bit-identical.
+     */
+    void tryDeclareDead(NodeId peer, NodeId suspector);
 
     /** Full recovery, run once per death from declareDead(). */
     void recover(NodeId dead, NodeId survivor);

@@ -5,6 +5,32 @@
 namespace stramash
 {
 
+namespace
+{
+
+/**
+ * The PTE format a tagged (foreign-inserted) leaf entry was written
+ * in: the recorded writer node's native format, or @p fallback when
+ * no record exists (single untracked insertion — decode as the
+ * calling remote kernel's own format, the historical two-node rule).
+ */
+const PteFormat &
+taggedWriterFormat(const StramashShared &shared, Machine &machine,
+                   Pid pid, Addr vpage, const PteFormat &fallback)
+{
+    auto pit = shared.foreignMapped.find(pid);
+    if (pit != shared.foreignMapped.end()) {
+        auto vit = pit->second.find(vpage);
+        if (vit != pit->second.end()) {
+            return *isaDescriptor(machine.node(vit->second).isa())
+                        .pteFormat;
+        }
+    }
+    return fallback;
+}
+
+} // namespace
+
 // ===================== StramashFaultHandler ==========================
 
 StramashFaultHandler::StramashFaultHandler(MessageLayer &msg,
@@ -150,9 +176,16 @@ StramashFaultHandler::handleFault(KernelInstance &kernel, Task &task,
     Addr leafEa = table + ofmt.indexOf(vpage, 0) * 8;
     touch(AccessType::Load, leafEa);
     std::uint64_t raw = mem.load<std::uint64_t>(leafEa);
-    DecodedPte leaf = (raw & foreignFormatTag)
-                          ? sfmt.decode(raw & ~foreignFormatTag, 0)
-                          : ofmt.decode(raw, 0);
+    DecodedPte leaf;
+    if (raw & foreignFormatTag) {
+        // A tagged entry decodes in its *writer's* format — on an
+        // N-node machine that may be a third kernel, not us.
+        const PteFormat &wfmt = taggedWriterFormat(
+            shared_, kernel.machine(), task.pid, vpage, sfmt);
+        leaf = wfmt.decode(raw & ~foreignFormatTag, 0);
+    } else {
+        leaf = ofmt.decode(raw, 0);
+    }
 
     PteAttrs attrs = vmaPageAttrs(*vma, vma->prot.writable);
 
@@ -178,7 +211,7 @@ StramashFaultHandler::handleFault(KernelInstance &kernel, Task &task,
         touch(AccessType::Store, leafEa);
         mem.store<std::uint64_t>(leafEa, sfmt.encodeLeaf(pa, attrs) |
                                              foreignFormatTag);
-        shared_.foreignMapped[task.pid].push_back(vpage);
+        shared_.foreignMapped[task.pid][vpage] = self;
         ++shared_.foreignInsertions;
         kernel.stats().counter("stramash_foreign_inserts") += 1;
         kernel.machine().tracer().instant(TraceCategory::Fault,
@@ -397,12 +430,20 @@ StramashMigrationPolicy::migrateProcess(Pid pid, NodeId dest)
     auto touch = [&](AccessType at, Addr a) {
         kd.remoteAccess(src, at, a, 8);
     };
+    // Tagged entries in the source's table decode in their recorded
+    // writer's format; an unrecorded tag defaults to the
+    // destination's format (the only possible writer on the pair).
+    const PteFormat *destFmt = &td.as->pageTable().format();
+    TaggedFmtFn taggedFmtOf = [&](Addr va) -> const PteFormat * {
+        return &taggedWriterFormat(shared_, machine, pid,
+                                   pageBase(va), *destFmt);
+    };
     kd.remoteAccess(src, AccessType::Store, ts.as->ptlAddr(), 8);
     for (const Vma &v : vmas) {
         for (Addr va = v.start; va < v.end; va += pageSize) {
             auto w = walkForeign(mem, sfmt,
                                  ts.as->pageTable().rootAddr(), va,
-                                 touch, &td.as->pageTable().format());
+                                 touch, taggedFmtOf);
             if (!w)
                 continue;
             bool ok = td.as->mapPage(
@@ -478,7 +519,7 @@ StramashMigrationPolicy::reconcile(KernelInstance &origin, Pid pid)
     GuestMemory &mem = origin.machine().memory();
     const PteFormat &ofmt = t.as->pageTable().format();
 
-    for (Addr vpage : it->second) {
+    for (const auto &[vpage, writer] : it->second) {
         auto w = t.as->pageTable().walk(vpage);
         if (!w)
             continue; // entry was unmapped meanwhile
@@ -486,15 +527,11 @@ StramashMigrationPolicy::reconcile(KernelInstance &origin, Pid pid)
         if (!(raw & foreignFormatTag))
             continue;
         // "the origin kernel can simply reconfigure the PTE to its
-        // own format" (§6.4). The writer's format is the other
-        // node's.
-        NodeId other = invalidNode;
-        for (NodeId n = 0; n < origin.machine().nodeCount(); ++n) {
-            if (n != origin.nodeId())
-                other = n;
-        }
+        // own format" (§6.4). The entry decodes in the format of the
+        // remote kernel that inserted it.
         const PteFormat &wfmt =
-            *isaDescriptor(origin.machine().node(other).isa()).pteFormat;
+            *isaDescriptor(origin.machine().node(writer).isa())
+                 .pteFormat;
         bool ok = reconcileForeign(mem, ofmt, wfmt,
                                    t.as->pageTable().rootAddr(), vpage);
         panic_if(!ok, "tagged PTE vanished during reconcile");

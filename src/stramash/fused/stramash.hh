@@ -42,10 +42,13 @@ namespace stramash
 /** Bookkeeping shared by the Stramash policies. */
 struct StramashShared
 {
-    /** (pid -> vpages) the remote kernel inserted into the origin's
-     *  table in foreign format — Table 3's Stramash "replicated
-     *  pages", reconciled at migrate-back. */
-    std::map<Pid, std::vector<Addr>> foreignMapped;
+    /** pid -> (vpage -> writer node) for leaf PTEs a remote kernel
+     *  inserted into the origin's table in its own format — Table 3's
+     *  Stramash "replicated pages", reconciled at migrate-back. The
+     *  writer matters on N-node machines: the tagged entry decodes
+     *  in the *writer's* PTE format, and different remote nodes may
+     *  run different ISAs. */
+    std::map<Pid, std::map<Addr, NodeId>> foreignMapped;
     /** Total foreign-format insertions (monotonic counter). */
     std::uint64_t foreignInsertions = 0;
     /** Shared-frame mappings established by remote faults. */

@@ -187,6 +187,35 @@ walkForeign(const GuestMemory &mem, const PteFormat &fmt, Addr root,
     return WalkResult{d, leaf};
 }
 
+std::optional<WalkResult>
+walkForeign(const GuestMemory &mem, const PteFormat &fmt, Addr root,
+            Addr va, const TouchFn &touch,
+            const TaggedFmtFn &taggedFmtOf)
+{
+    // Upper levels are always in the table's own format; only the
+    // leaf can carry a tagged writer-format entry.
+    Addr table = root;
+    for (int level = fmt.levels() - 1; level > 0; --level) {
+        Addr ea = table + fmt.indexOf(va, level) * 8;
+        if (touch)
+            touch(AccessType::Load, ea);
+        std::uint64_t raw = mem.load<std::uint64_t>(ea);
+        DecodedPte d = fmt.decode(raw, level);
+        if (!d.attrs.present)
+            return std::nullopt;
+        table = d.frame;
+    }
+    Addr leaf = table + fmt.indexOf(va, 0) * 8;
+    if (touch)
+        touch(AccessType::Load, leaf);
+    std::uint64_t raw = mem.load<std::uint64_t>(leaf);
+    DecodedPte d = decodeRaw(raw, 0, fmt,
+                             taggedFmtOf ? taggedFmtOf(va) : nullptr);
+    if (!d.attrs.present)
+        return std::nullopt;
+    return WalkResult{d, leaf};
+}
+
 int
 foreignPresentDepth(const GuestMemory &mem, const PteFormat &fmt,
                     Addr root, Addr va, const TouchFn &touch)

@@ -130,6 +130,22 @@ walkForeign(const GuestMemory &mem, const PteFormat &fmt, Addr root,
             Addr va, const TouchFn &touch,
             const PteFormat *taggedFmt = nullptr);
 
+/** Resolve the format a tagged leaf entry for @p va was written in.
+ *  May return null when no record exists (the entry then panics if
+ *  actually tagged). */
+using TaggedFmtFn = std::function<const PteFormat *(Addr va)>;
+
+/**
+ * walkForeign() for N-node machines: tagged leaf entries may have
+ * been written by *different* remote kernels in different formats, so
+ * the decode format is looked up per page instead of being fixed for
+ * the whole walk.
+ */
+std::optional<WalkResult>
+walkForeign(const GuestMemory &mem, const PteFormat &fmt, Addr root,
+            Addr va, const TouchFn &touch,
+            const TaggedFmtFn &taggedFmtOf);
+
 /** presentDepth() over a foreign table, charging through @p touch. */
 int
 foreignPresentDepth(const GuestMemory &mem, const PteFormat &fmt,

@@ -9,32 +9,48 @@ namespace stramash
 {
 
 PhysMap
-PhysMap::paperDefault(MemoryModel model, NodeId x86Node, NodeId armNode)
+PhysMap::generate(const TopologySpec &spec)
 {
-    const Addr gib = 1_GiB;
-    const Addr half = 512_MiB;
+    spec.validate();
     std::vector<PhysRegion> regions;
 
-    // Low memory: always the boot-local split.
-    regions.push_back({{0, gib + half}, x86Node, false});
-    regions.push_back({{gib + half, 3 * gib}, armNode, false});
-    // [3 GiB, 4 GiB) is the MMIO hole: deliberately absent.
-
-    switch (model) {
-      case MemoryModel::Separated:
-      case MemoryModel::FullyShared:
-        // High memory is split between the nodes. Under FullyShared
-        // the split only defines allocation ownership; every access
-        // is local-latency.
-        regions.push_back({{4 * gib, 6 * gib}, x86Node, false});
-        regions.push_back({{6 * gib, 8 * gib}, armNode, false});
-        break;
-      case MemoryModel::Shared:
-        // High memory is the CXL shared pool.
-        regions.push_back({{4 * gib, 8 * gib}, invalidNode, true});
-        break;
+    // Low memory: one boot-local strip per node, consecutive from 0.
+    Addr cursor = 0;
+    std::vector<Addr> bootBytes(spec.nodeCount());
+    for (const auto &n : spec.nodes) {
+        Addr boot = std::min(n.dramBytes, spec.bootStripBytes);
+        bootBytes[n.id] = boot;
+        regions.push_back({{cursor, cursor + boot}, n.id, false});
+        cursor += boot;
     }
-    return PhysMap(model, std::move(regions));
+
+    // The MMIO hole sits directly after the boot strips: deliberately
+    // absent from the region list (paper: [3 GiB, 4 GiB)).
+    cursor += spec.mmioHoleBytes;
+
+    // High memory: per-node remainders in node order. Under
+    // FullyShared the split only defines allocation ownership; every
+    // access is local-latency.
+    for (const auto &n : spec.nodes) {
+        Addr rem = n.dramBytes - bootBytes[n.id];
+        if (rem == 0)
+            continue;
+        regions.push_back({{cursor, cursor + rem}, n.id, false});
+        cursor += rem;
+    }
+
+    // The CXL shared pool closes the layout (Shared model only).
+    if (spec.poolBytes) {
+        regions.push_back(
+            {{cursor, cursor + spec.poolBytes}, invalidNode, true});
+    }
+    return PhysMap(spec.memoryModel, std::move(regions));
+}
+
+PhysMap
+PhysMap::paperDefault(MemoryModel model, NodeId x86Node, NodeId armNode)
+{
+    return generate(TopologySpec::paperPair(model, x86Node, armNode));
 }
 
 PhysMap::PhysMap(MemoryModel model, std::vector<PhysRegion> regions)

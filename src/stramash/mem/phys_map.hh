@@ -24,6 +24,7 @@
 
 #include "stramash/common/addr_range.hh"
 #include "stramash/common/types.hh"
+#include "stramash/mem/topology.hh"
 
 namespace stramash
 {
@@ -39,14 +40,28 @@ struct PhysRegion
 };
 
 /**
- * Physical memory map for a two-node machine under a given memory
+ * Physical memory map for an N-node machine under a given memory
  * model. Immutable after construction.
  */
 class PhysMap
 {
   public:
     /**
+     * Parametric layout generator: the N-node generalisation of the
+     * paper's Figure-4 layout. Boot-local strips (one per node, in
+     * node order, `spec.bootStripBytes` each) are laid out
+     * consecutively from address 0, followed by the MMIO hole, the
+     * per-node high remainders (dramBytes minus the boot strip, again
+     * in node order), and finally the shared pool (Shared model).
+     *
+     * generate(TopologySpec::paperPair(model)) is bit-identical to
+     * paperDefault(model) — the differential tests hold us to it.
+     */
+    static PhysMap generate(const TopologySpec &spec);
+
+    /**
      * Build the paper's default 8 GiB layout for a given model.
+     * Delegates to generate() on the paper-pair spec.
      * @param model  hardware memory model
      * @param x86Node node id of the x86 instance (Arm is the other)
      */

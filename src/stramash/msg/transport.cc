@@ -405,6 +405,28 @@ ShmMessageLayer::paperAreaBase(MemoryModel model)
     panic("unknown MemoryModel");
 }
 
+Addr
+ShmMessageLayer::areaBaseFor(const PhysMap &map, Addr areaBytes)
+{
+    if (map.model() == MemoryModel::Shared) {
+        auto pools = map.poolRanges();
+        panic_if(pools.empty() ||
+                     pools.front().size() < areaBytes,
+                 "messaging area (", areaBytes,
+                 " bytes) does not fit the shared pool");
+        return pools.front().start;
+    }
+    // Separated / FullyShared: node 0's lowest DRAM range (its boot
+    // strip — bootRanges() is sorted ascending).
+    auto boots = map.bootRanges(0);
+    panic_if(boots.empty(),
+             "node 0 has no DRAM to host the messaging area");
+    AddrRange strip = boots.front();
+    panic_if(strip.size() <= areaBytes, "messaging area (", areaBytes,
+             " bytes) does not fit node 0's boot strip");
+    return std::min(strip.start + 1_GiB, strip.end - areaBytes);
+}
+
 MessageRing &
 ShmMessageLayer::ring(NodeId from, NodeId to)
 {

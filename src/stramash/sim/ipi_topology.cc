@@ -1,5 +1,7 @@
 #include "stramash/sim/ipi_topology.hh"
 
+#include <algorithm>
+
 #include "stramash/common/logging.hh"
 
 namespace stramash
@@ -35,6 +37,20 @@ IpiTopologyModel::bigX86()
     // Dual Xeon Gold 6230R: 26 cores per socket on a mesh; cluster =
     // mesh column of ~7 cores (pick 13 x 2 for a clean grid).
     return {"big_x86", 52, 13, 2, 1600.0, 300.0, 850.0, 240.0};
+}
+
+IpiTopologyModel
+IpiTopologyModel::fused(const TopologySpec &spec)
+{
+    spec.validate();
+    // One cluster per node, padded to the widest node so clusterOf()
+    // stays a plain division; one socket (one coherent fabric).
+    unsigned maxCores = 1;
+    for (const auto &n : spec.nodes)
+        maxCores = std::max(maxCores, n.numCores);
+    unsigned clusters = static_cast<unsigned>(spec.nodeCount());
+    return {"fused", maxCores * clusters, maxCores, clusters,
+            1550.0, 450.0, 0.0, 230.0};
 }
 
 double

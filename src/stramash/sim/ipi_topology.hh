@@ -19,6 +19,7 @@
 
 #include "stramash/common/rng.hh"
 #include "stramash/common/types.hh"
+#include "stramash/mem/topology.hh"
 
 namespace stramash
 {
@@ -43,6 +44,24 @@ struct IpiTopologyModel
     static IpiTopologyModel smallX86();
     /** Model of big_x86 (dual Xeon Gold 6230R, 26 cores/socket). */
     static IpiTopologyModel bigX86();
+
+    /**
+     * The interconnect of a fused machine built from @p spec: each
+     * topology node is one cluster of its cores, all on one coherent
+     * fabric ("socket"). Cross-node IPIs pay the cluster-crossing
+     * term tuned so the mean lands on the paper's ~2 us cross-ISA
+     * figure regardless of node count.
+     */
+    static IpiTopologyModel fused(const TopologySpec &spec);
+
+    /** First core id of topology node @p node (clusters are laid out
+     *  in node order). Only meaningful for fused() models, where
+     *  every node contributes coresPerCluster slots. */
+    unsigned
+    firstCoreOfNode(NodeId node) const
+    {
+        return node * coresPerCluster;
+    }
 
     unsigned
     socketOf(unsigned core) const

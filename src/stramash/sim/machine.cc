@@ -18,13 +18,62 @@ MachineConfig::paperPair(MemoryModel model, Addr l3Size)
     return cfg;
 }
 
+MachineConfig
+MachineConfig::fromTopology(const TopologySpec &spec, Addr l3Size)
+{
+    spec.validate();
+    MachineConfig cfg;
+    cfg.memoryModel = spec.memoryModel;
+    cfg.l3Size = l3Size;
+    cfg.nodes.reserve(spec.nodeCount());
+    for (const auto &n : spec.nodes)
+        cfg.nodes.push_back({n.id, n.isa, n.core, n.numCores});
+    cfg.topology = spec;
+    return cfg;
+}
+
+namespace
+{
+
+PhysMap
+buildPhysMap(const MachineConfig &cfg)
+{
+    return cfg.topology ? PhysMap::generate(*cfg.topology)
+                        : PhysMap::paperDefault(cfg.memoryModel);
+}
+
+} // namespace
+
 Machine::Machine(const MachineConfig &cfg)
     : cfg_(cfg),
-      map_(PhysMap::paperDefault(cfg.memoryModel)),
+      map_(buildPhysMap(cfg)),
       tracer_(cfg.trace, cfg.nodes.size(),
               [this](NodeId n) { return node(n).cycles(); })
 {
     fatal_if(cfg_.nodes.empty(), "machine needs at least one node");
+    if (cfg_.topology) {
+        fatal_if(cfg_.topology->memoryModel != cfg_.memoryModel,
+                 "machine: memoryModel disagrees with the topology "
+                 "spec (use MachineConfig::fromTopology)");
+        fatal_if(cfg_.topology->nodeCount() != cfg_.nodes.size(),
+                 "machine: node list disagrees with the topology spec "
+                 "(use MachineConfig::fromTopology)");
+        for (const auto &nc : cfg_.nodes) {
+            const TopologyNode *tn = cfg_.topology->nodeById(nc.id);
+            fatal_if(!tn || tn->isa != nc.isa || tn->core != nc.core,
+                     "machine: node ", nc.id, " disagrees with the "
+                     "topology spec (use MachineConfig::fromTopology)");
+        }
+    }
+    // Per-node tables below (IPI counters, tracer tracks) index by
+    // NodeId, so ids must be dense {0..n-1}.
+    std::vector<bool> seen(cfg_.nodes.size(), false);
+    for (const auto &nc : cfg_.nodes) {
+        fatal_if(nc.id >= cfg_.nodes.size() || seen[nc.id],
+                 "machine: node ids must be dense and unique (id ",
+                 nc.id, " in a ", cfg_.nodes.size(), "-node machine)");
+        seen[nc.id] = true;
+    }
 
     bool sharedLlc = cfg_.memoryModel == MemoryModel::FullyShared &&
                      cfg_.sharedLlcWhenFullyShared;
@@ -73,11 +122,22 @@ Machine::node(NodeId id) const
 Node &
 Machine::nodeByIsa(IsaType isa)
 {
+    // N-node machines can run the same ISA on several nodes; an
+    // ISA-keyed lookup is only well-defined when exactly one alive
+    // node matches, so name the ambiguity instead of silently
+    // returning whichever node was built first.
+    Node *match = nullptr;
     for (auto &n : nodes_) {
-        if (n->isa() == isa)
-            return *n;
+        if (n->isa() != isa || !n->alive())
+            continue;
+        panic_if(match, "nodeByIsa(", isaName(isa),
+                 "): ambiguous — nodes ", match->id(), " and ",
+                 n->id(), " both run ", isaName(isa),
+                 "; address nodes by id in N-node topologies");
+        match = n.get();
     }
-    panic("no node with ISA ", isaName(isa));
+    panic_if(!match, "no alive node with ISA ", isaName(isa));
+    return *match;
 }
 
 Cycles

@@ -27,6 +27,14 @@ struct MachineConfig
 {
     MemoryModel memoryModel = MemoryModel::Shared;
     std::vector<NodeConfig> nodes;
+    /**
+     * N-node topology. When set, the physical memory map is generated
+     * from it (PhysMap::generate) and `nodes`/`memoryModel` must
+     * agree with it — fromTopology() fills all three consistently.
+     * When absent, the paper's hard-wired two-node Figure-4 layout is
+     * used, exactly as before the topology refactor.
+     */
+    std::optional<TopologySpec> topology;
     /** Per-node private L3 size (ignored when the model fully shares
      *  a single LLC). 4 MiB in Fig. 9, 32 MiB in Fig. 10. */
     Addr l3Size = 4 * 1024 * 1024;
@@ -56,6 +64,11 @@ struct MachineConfig
     /** The evaluation's default pair: x86 Xeon Gold + Arm ThunderX2. */
     static MachineConfig paperPair(MemoryModel model,
                                    Addr l3Size = 4 * 1024 * 1024);
+
+    /** Build a consistent config (nodes + memory model + map) from a
+     *  topology spec. */
+    static MachineConfig fromTopology(const TopologySpec &spec,
+                                      Addr l3Size = 4 * 1024 * 1024);
 };
 
 class Machine
@@ -116,7 +129,12 @@ class Machine
      */
     void reviveNode(NodeId id, Cycles clock);
 
-    /** The node whose ISA is @p isa (paper machines have one each). */
+    /**
+     * The unique alive node whose ISA is @p isa (paper machines have
+     * one of each). Panics, naming both nodes, when an N-node
+     * topology runs the ISA on more than one alive node — address
+     * nodes by id there.
+     */
     Node &nodeByIsa(IsaType isa);
 
     /**

@@ -104,7 +104,7 @@ class IsKernel final : public NpbKernel
             }
 
             if (cfg.migrate)
-                app.migrateToOther();
+                app.migrateToNext();
 
             // --- ranking procedure (runs on the remote side) ---
             std::vector<std::uint32_t> counts(numBuckets, 0);
@@ -262,7 +262,7 @@ class CgKernel final : public NpbKernel
 
         for (unsigned iter = 0; iter < cfg.iterations; ++iter) {
             if (cfg.migrate)
-                app.migrateToOther();
+                app.migrateToNext();
 
             // Two mat-vec passes per procedure.
             for (int pass = 0; pass < 2; ++pass) {
@@ -391,7 +391,7 @@ class MgKernel final : public NpbKernel
 
         for (unsigned iter = 0; iter < cfg.iterations; ++iter) {
             if (cfg.migrate)
-                app.migrateToOther();
+                app.migrateToNext();
 
             // Smooth: read a sliding window of tiles, write the
             // result grid. Boundary elements use themselves as the
@@ -513,7 +513,7 @@ class FtKernel final : public NpbKernel
 
         for (unsigned iter = 0; iter < cfg.iterations; ++iter) {
             if (cfg.migrate)
-                app.migrateToOther();
+                app.migrateToNext();
 
             // Fresh scratch every procedure — first touched on the
             // remote side.

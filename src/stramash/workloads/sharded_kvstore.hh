@@ -1,0 +1,104 @@
+/**
+ * @file
+ * A sharded, multi-node kv-store: the N-node scaling companion of the
+ * Figure-14 single-server experiment (workloads/kvstore).
+ *
+ * One server task per topology node owns one shard of the key space
+ * (shard = key % N) and never migrates; requests arrive round-robin
+ * at every node's ingress socket. A request whose shard lives on the
+ * ingress node is served locally. A cross-shard request is forwarded
+ * to the shard owner the way each OS design can: the fused design
+ * drives the owner's socket state directly through coherent shared
+ * memory plus one IPI (§7.4), the multiple-kernel design pays a
+ * two-message RPC through the transport. The owner then executes the
+ * operation against its local slab.
+ *
+ * Work distributes across the per-node clocks, so aggregate
+ * throughput (requests per max-node-runtime) scales with node count
+ * — the curve bench/bench_scaling.cc sweeps. Like the paper's §9.2.8
+ * runs these are functional-mode experiments (cache plugin off), and
+ * every value written is mirrored host-side so a run can be verified
+ * end to end.
+ */
+
+#ifndef STRAMASH_WORKLOADS_SHARDED_KVSTORE_HH
+#define STRAMASH_WORKLOADS_SHARDED_KVSTORE_HH
+
+#include <memory>
+
+#include "stramash/common/rng.hh"
+#include "stramash/core/app.hh"
+#include "stramash/workloads/kvstore.hh"
+
+namespace stramash
+{
+
+struct ShardedKvConfig
+{
+    /** Keys per shard (global key space = shards * keysPerShard). */
+    std::size_t keysPerShard = 64;
+    /** Value size in bytes. */
+    std::size_t payloadBytes = 256;
+    /** Request-stream seed (key choice and get/set mix). */
+    std::uint64_t seed = 7;
+};
+
+class ShardedKvStore
+{
+  public:
+    /** Stands up one server task per node of @p sys. */
+    explicit ShardedKvStore(System &sys, ShardedKvConfig cfg = {});
+
+    /** Write the initial value of every slot in every shard. */
+    void populate();
+
+    /** Number of shards (= nodes). */
+    std::size_t shards() const { return servers_.size(); }
+
+    NodeId
+    shardOf(std::uint64_t key) const
+    {
+        return static_cast<NodeId>(key % servers_.size());
+    }
+
+    /** Serve one request arriving at @p ingress. Only Get and Set
+     *  are part of the scaling experiment. */
+    void exec(KvOp op, std::uint64_t key, NodeId ingress);
+
+    /**
+     * Serve @p totalRequests from the seeded request stream, ingress
+     * round-robin across nodes.
+     * @return the max-node-runtime delta the batch cost.
+     */
+    Cycles run(std::uint64_t totalRequests);
+
+    /** Re-read every slot and compare against the host-side mirror.
+     *  @return true when nothing was lost or corrupted. */
+    bool verify();
+
+    std::uint64_t requestsServed() const { return requests_; }
+    std::uint64_t crossShardRequests() const { return crossShard_; }
+
+  private:
+    System &sys_;
+    ShardedKvConfig cfg_;
+    Rng rng_;
+    std::size_t slotBytes_;
+    std::vector<std::unique_ptr<App>> servers_;
+    /** Per-shard slab base (in that server's address space). */
+    std::vector<Addr> slabs_;
+    /** Host-side mirror of every slot's tag word, for verify(). */
+    std::vector<std::vector<std::uint64_t>> expected_;
+    std::uint64_t requests_ = 0;
+    std::uint64_t crossShard_ = 0;
+
+    Addr slotAddr(NodeId shard, std::uint64_t key) const;
+
+    /** Ingress-side socket work, plus forwarding when the shard
+     *  owner is another node. */
+    void ingressPath(NodeId ingress, NodeId owner);
+};
+
+} // namespace stramash
+
+#endif // STRAMASH_WORKLOADS_SHARDED_KVSTORE_HH

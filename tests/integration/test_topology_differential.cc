@@ -1,0 +1,160 @@
+/**
+ * @file
+ * The bit-identity contract of the topology generalisation: a System
+ * built with no topology (the historical hard-wired paper pair) and
+ * one built with `topology = TopologySpec::paperPair(model)` must be
+ * indistinguishable — same cycle counts, same message counts, same
+ * stats JSON — on the Figure-9 NPB and Figure-14 kv-store
+ * configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "stramash/workloads/kvstore.hh"
+#include "stramash/workloads/npb.hh"
+
+using namespace stramash;
+
+namespace
+{
+
+struct Capture
+{
+    Cycles runtime = 0;
+    std::vector<Cycles> nodeCycles;
+    std::uint64_t messages = 0;
+    std::uint64_t checksum = 0;
+    std::string statsJson;
+};
+
+std::string
+slurpStats(System &sys, const std::string &tag)
+{
+    std::string path = ::testing::TempDir() + "topo_diff_" + tag +
+                       ".json";
+    if (!sys.writeStatsJson(path))
+        return "<write failed>";
+    std::ifstream in(path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+void
+finishCapture(System &sys, Capture &c, const std::string &tag)
+{
+    c.runtime = sys.runtime();
+    for (NodeId n = 0; n < sys.nodeCount(); ++n)
+        c.nodeCycles.push_back(sys.machine().node(n).cycles());
+    c.messages = sys.messagesSent();
+    c.statsJson = slurpStats(sys, tag);
+}
+
+/** One Figure-9 style NPB run: migrate cross-ISA, run IS, verify. */
+Capture
+runNpbScenario(OsDesign design, MemoryModel model,
+               std::optional<TopologySpec> topo, const std::string &tag)
+{
+    SystemConfig cfg;
+    cfg.osDesign = design;
+    cfg.memoryModel = model;
+    cfg.topology = topo;
+    System sys(cfg);
+    App app(sys, 0);
+    app.migrateToNext();
+    NpbConfig nc;
+    nc.iterations = 2;
+    nc.problemBytes = 256 * 1024;
+    nc.seed = 7;
+    NpbResult r = makeNpbKernel("is")->run(app, nc);
+    EXPECT_TRUE(r.verified);
+
+    Capture c;
+    c.checksum = r.checksum;
+    finishCapture(sys, c, tag);
+    return c;
+}
+
+/** One Figure-14 style kv-store run: migrated server, mixed round. */
+Capture
+runKvScenario(OsDesign design, std::optional<TopologySpec> topo,
+              const std::string &tag)
+{
+    SystemConfig cfg;
+    cfg.osDesign = design;
+    cfg.memoryModel = MemoryModel::Shared;
+    cfg.cachePluginEnabled = false;
+    cfg.topology = topo;
+    System sys(cfg);
+    App app(sys, 0);
+    KvStore store(app, 128, 256);
+    store.populate();
+    app.migrateToNext();
+    Rng rng(42);
+    Capture c;
+    c.checksum += store.measureRound(KvOp::Get, 400, rng);
+    c.checksum += store.measureRound(KvOp::Set, 400, rng);
+    finishCapture(sys, c, tag);
+    return c;
+}
+
+void
+expectIdentical(const Capture &a, const Capture &b,
+                const std::string &what)
+{
+    EXPECT_EQ(a.runtime, b.runtime) << what;
+    ASSERT_EQ(a.nodeCycles.size(), b.nodeCycles.size()) << what;
+    for (std::size_t n = 0; n < a.nodeCycles.size(); ++n)
+        EXPECT_EQ(a.nodeCycles[n], b.nodeCycles[n])
+            << what << " node " << n;
+    EXPECT_EQ(a.messages, b.messages) << what;
+    EXPECT_EQ(a.checksum, b.checksum) << what;
+    EXPECT_EQ(a.statsJson, b.statsJson) << what;
+}
+
+} // namespace
+
+TEST(TopologyDifferential, Fig9NpbIsBitIdenticalUnderEveryModel)
+{
+    const MemoryModel models[] = {MemoryModel::Separated,
+                                  MemoryModel::Shared,
+                                  MemoryModel::FullyShared};
+    const OsDesign designs[] = {OsDesign::FusedKernel,
+                                OsDesign::MultipleKernel};
+    for (OsDesign d : designs) {
+        for (MemoryModel m : models) {
+            std::string what =
+                std::string("design ") +
+                (d == OsDesign::FusedKernel ? "fused" : "popcorn") +
+                " model " + std::to_string(static_cast<int>(m));
+            Capture imp = runNpbScenario(d, m, std::nullopt,
+                                         "npb_implicit_" + what);
+            Capture exp = runNpbScenario(
+                d, m, TopologySpec::paperPair(m),
+                "npb_explicit_" + what);
+            expectIdentical(imp, exp, what);
+        }
+    }
+}
+
+TEST(TopologyDifferential, Fig14KvstoreIsBitIdentical)
+{
+    const OsDesign designs[] = {OsDesign::FusedKernel,
+                                OsDesign::MultipleKernel};
+    for (OsDesign d : designs) {
+        std::string what =
+            d == OsDesign::FusedKernel ? "fused" : "popcorn";
+        Capture imp = runKvScenario(d, std::nullopt,
+                                    "kv_implicit_" + what);
+        Capture exp =
+            runKvScenario(d, TopologySpec::paperPair(MemoryModel::Shared),
+                          "kv_explicit_" + what);
+        expectIdentical(imp, exp, what);
+    }
+}

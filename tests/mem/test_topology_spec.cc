@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Property tests of the parametric physical-layout generator: every
+ * spec produces a non-overlapping, fully classified layout, and the
+ * paper-pair spec reduces bit-identically to the historical
+ * hard-wired Figure-4 map.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stramash/common/units.hh"
+#include "stramash/mem/phys_map.hh"
+#include "stramash/mem/topology.hh"
+
+using namespace stramash;
+
+namespace
+{
+
+const MemoryModel allModels[] = {MemoryModel::Separated,
+                                 MemoryModel::Shared,
+                                 MemoryModel::FullyShared};
+
+/** The spec zoo the properties are checked over. */
+std::vector<TopologySpec>
+specZoo()
+{
+    std::vector<TopologySpec> specs;
+    for (MemoryModel m : allModels) {
+        specs.push_back(TopologySpec::paperPair(m));
+        for (std::size_t n : {2, 3, 4, 8})
+            specs.push_back(TopologySpec::alternating(n, m));
+    }
+    // Heterogeneous DRAM sizes: one node smaller than the boot strip
+    // (all its DRAM becomes boot-local), one much larger.
+    TopologySpec lopsided = TopologySpec::alternating(
+        3, MemoryModel::Separated);
+    lopsided.nodes[0].dramBytes = 1_GiB;
+    lopsided.nodes[1].dramBytes = 6_GiB;
+    lopsided.nodes[2].dramBytes = 2_GiB;
+    specs.push_back(lopsided);
+    return specs;
+}
+
+} // namespace
+
+TEST(TopologySpec, RegionsAscendingAndNonOverlapping)
+{
+    for (const TopologySpec &spec : specZoo()) {
+        PhysMap map = PhysMap::generate(spec);
+        const auto &regions = map.regions();
+        ASSERT_FALSE(regions.empty());
+        for (std::size_t i = 0; i < regions.size(); ++i) {
+            EXPECT_LT(regions[i].range.start, regions[i].range.end);
+            if (i + 1 < regions.size()) {
+                EXPECT_LE(regions[i].range.end,
+                          regions[i + 1].range.start)
+                    << "regions " << i << " and " << i + 1
+                    << " overlap";
+            }
+        }
+    }
+}
+
+TEST(TopologySpec, EveryDramByteFullyClassifiedUnderEveryModel)
+{
+    for (const TopologySpec &spec : specZoo()) {
+        PhysMap map = PhysMap::generate(spec);
+        for (const PhysRegion &r : map.regions()) {
+            // Probe the first, middle and last line of every region.
+            const Addr probes[] = {r.range.start,
+                                   r.range.start + r.range.size() / 2,
+                                   r.range.end - 1};
+            for (Addr a : probes) {
+                ASSERT_TRUE(map.isDram(a));
+                for (const TopologyNode &n : spec.nodes) {
+                    MemoryClass c = map.classify(a, n.id);
+                    if (r.sharedPool) {
+                        EXPECT_EQ(c, MemoryClass::SharedPool);
+                    } else if (spec.memoryModel ==
+                               MemoryModel::FullyShared) {
+                        EXPECT_EQ(c, MemoryClass::Local);
+                    } else {
+                        EXPECT_EQ(c, r.homeNode == n.id
+                                         ? MemoryClass::Local
+                                         : MemoryClass::Remote);
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(TopologySpec, HoleBetweenBootStripsAndHighMemoryIsNotDram)
+{
+    for (const TopologySpec &spec : specZoo()) {
+        PhysMap map = PhysMap::generate(spec);
+        Addr bootEnd = 0;
+        for (const TopologyNode &n : spec.nodes)
+            bootEnd += std::min(n.dramBytes, spec.bootStripBytes);
+        EXPECT_FALSE(map.isDram(bootEnd));
+        EXPECT_FALSE(map.isDram(bootEnd + spec.mmioHoleBytes - 1));
+        EXPECT_EQ(map.regionOf(bootEnd), nullptr);
+    }
+}
+
+TEST(TopologySpec, DramAccountingMatchesTheSpec)
+{
+    for (const TopologySpec &spec : specZoo()) {
+        PhysMap map = PhysMap::generate(spec);
+        for (const TopologyNode &n : spec.nodes)
+            EXPECT_EQ(map.localBytes(n.id), n.dramBytes)
+                << "node " << n.id;
+        EXPECT_EQ(map.poolBytes(), spec.poolBytes);
+    }
+}
+
+TEST(TopologySpec, PaperPairReducesToTheHardWiredLayout)
+{
+    for (MemoryModel m : allModels) {
+        PhysMap gen =
+            PhysMap::generate(TopologySpec::paperPair(m));
+        PhysMap hard = PhysMap::paperDefault(m);
+        ASSERT_EQ(gen.regions().size(), hard.regions().size())
+            << "model " << static_cast<int>(m);
+        for (std::size_t i = 0; i < gen.regions().size(); ++i) {
+            const PhysRegion &a = gen.regions()[i];
+            const PhysRegion &b = hard.regions()[i];
+            EXPECT_EQ(a.range.start, b.range.start);
+            EXPECT_EQ(a.range.end, b.range.end);
+            EXPECT_EQ(a.homeNode, b.homeNode);
+            EXPECT_EQ(a.sharedPool, b.sharedPool);
+        }
+    }
+}
+
+TEST(TopologySpec, PaperPairIsTheDocumentedEightGigLayout)
+{
+    PhysMap map =
+        PhysMap::generate(TopologySpec::paperPair(MemoryModel::Shared));
+    ASSERT_EQ(map.regions().size(), 3u);
+    EXPECT_EQ(map.regions()[0].range.start, 0u);
+    EXPECT_EQ(map.regions()[0].range.end, Addr{3} * 1_GiB / 2);
+    EXPECT_EQ(map.regions()[1].range.end, 3_GiB);
+    EXPECT_EQ(map.regions()[2].range.start, 4_GiB);
+    EXPECT_EQ(map.regions()[2].range.end, 8_GiB);
+    EXPECT_TRUE(map.regions()[2].sharedPool);
+}
+
+TEST(TopologySpecDeathTest, ValidationRejectsMalformedSpecs)
+{
+    TopologySpec sparse = TopologySpec::alternating(
+        3, MemoryModel::Separated);
+    sparse.nodes[2].id = 5; // not dense
+    EXPECT_DEATH(sparse.validate(), "");
+
+    TopologySpec dup = TopologySpec::alternating(
+        3, MemoryModel::Separated);
+    dup.nodes[2].id = 0; // duplicate
+    EXPECT_DEATH(dup.validate(), "");
+
+    TopologySpec poolless =
+        TopologySpec::alternating(2, MemoryModel::Shared);
+    poolless.poolBytes = 0; // Shared model needs a pool
+    EXPECT_DEATH(poolless.validate(), "");
+
+    TopologySpec pooled =
+        TopologySpec::alternating(2, MemoryModel::Separated);
+    pooled.poolBytes = 1_GiB; // split models must not have one
+    EXPECT_DEATH(pooled.validate(), "");
+
+    TopologySpec empty;
+    EXPECT_DEATH(empty.validate(), "");
+}

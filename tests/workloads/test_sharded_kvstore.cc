@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The sharded multi-node kv-store: correctness of the shard map and
+ * the cross-shard forwarding paths, and the node-count scaling the
+ * workload exists to demonstrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "stramash/workloads/sharded_kvstore.hh"
+
+using namespace stramash;
+
+namespace
+{
+
+std::unique_ptr<System>
+makeSystem(OsDesign design, std::size_t nodes)
+{
+    SystemConfig cfg;
+    cfg.osDesign = design;
+    cfg.transport = Transport::SharedMemory;
+    cfg.cachePluginEnabled = false;
+    cfg.topology =
+        TopologySpec::alternating(nodes, MemoryModel::Shared);
+    return std::make_unique<System>(cfg);
+}
+
+double
+throughput(OsDesign design, std::size_t nodes,
+           std::uint64_t requests)
+{
+    auto sys = makeSystem(design, nodes);
+    ShardedKvStore store(*sys);
+    store.populate();
+    Cycles spent = store.run(requests);
+    EXPECT_TRUE(store.verify());
+    EXPECT_GT(spent, 0u);
+    return static_cast<double>(requests) /
+           static_cast<double>(spent);
+}
+
+} // namespace
+
+TEST(ShardedKvstore, ShardMapCoversEveryNode)
+{
+    auto sys = makeSystem(OsDesign::FusedKernel, 4);
+    ShardedKvStore store(*sys);
+    EXPECT_EQ(store.shards(), 4u);
+    for (std::uint64_t key = 0; key < 16; ++key)
+        EXPECT_EQ(store.shardOf(key), key % 4);
+}
+
+TEST(ShardedKvstore, FusedRunVerifiesAndCrossesShards)
+{
+    auto sys = makeSystem(OsDesign::FusedKernel, 4);
+    ShardedKvStore store(*sys);
+    store.populate();
+    ASSERT_TRUE(store.verify()) << "populate mirror broken";
+    store.run(1000);
+    EXPECT_EQ(store.requestsServed(), 1000u);
+    // Round-robin ingress over 4 shards: ~3/4 of requests forward.
+    EXPECT_GT(store.crossShardRequests(), 500u);
+    EXPECT_LT(store.crossShardRequests(), 1000u);
+    EXPECT_TRUE(store.verify());
+}
+
+TEST(ShardedKvstore, PopcornForwardingVerifiesToo)
+{
+    auto sys = makeSystem(OsDesign::MultipleKernel, 3);
+    ShardedKvStore store(*sys);
+    store.populate();
+    store.run(600);
+    EXPECT_GT(store.crossShardRequests(), 0u);
+    EXPECT_TRUE(store.verify());
+}
+
+TEST(ShardedKvstore, ExplicitExecRoutesToTheOwner)
+{
+    auto sys = makeSystem(OsDesign::FusedKernel, 2);
+    ShardedKvStore store(*sys);
+    store.populate();
+    // Same-shard ingress: no forwarding.
+    store.exec(KvOp::Get, 2, 0);
+    EXPECT_EQ(store.crossShardRequests(), 0u);
+    // Cross-shard ingress: exactly one forward.
+    store.exec(KvOp::Set, 3, 0);
+    EXPECT_EQ(store.crossShardRequests(), 1u);
+    EXPECT_TRUE(store.verify());
+}
+
+TEST(ShardedKvstore, FourNodesScaleAggregateThroughput)
+{
+    double two = throughput(OsDesign::FusedKernel, 2, 2000);
+    double four = throughput(OsDesign::FusedKernel, 4, 2000);
+    EXPECT_GE(four, 1.5 * two)
+        << "4-node fused aggregate throughput must be >= 1.5x 2-node"
+        << " (got " << four / two << "x)";
+}
