@@ -39,7 +39,7 @@ main()
                 static_cast<double>(local) / 1e6);
 
     // The time_event fires: migrate to the other ISA mid-service.
-    server.migrateToOther();
+    server.migrateToNext();
     std::printf("server migrated to %s (messages so far: %llu)\n",
                 isaName(sys.kernel(server.where()).isa()),
                 static_cast<unsigned long long>(sys.messagesSent()));
@@ -56,7 +56,7 @@ main()
     // migration boundary.
     std::vector<std::uint8_t> payload(1024, 0x5a);
     store.exec(KvOp::Set, 42, payload.data());
-    server.migrateToOther(); // back home
+    server.migrateToNext(); // back home
     bool ok = store.getValue(42) == payload;
     std::printf("value round-trip across ISAs: %s\n",
                 ok ? "consistent" : "INCONSISTENT");

@@ -36,14 +36,14 @@ runOnce(OsDesign design)
 
     // ...migrates to the AArch64 kernel (state transformation and
     // all), sums the buffer from the other ISA...
-    app.migrateToOther();
+    app.migrateToNext();
     std::uint64_t sum = 0;
     for (Addr a = 0; a < (1 << 20); a += 8)
         sum += app.read<std::uint64_t>(buf + a);
 
     // ...writes the result, and migrates home.
     app.write<std::uint64_t>(buf, sum);
-    app.migrateToOther();
+    app.migrateToNext();
     std::uint64_t check = app.read<std::uint64_t>(buf);
 
     std::printf("%-15s sum=%llu (read back on origin: %s)\n",

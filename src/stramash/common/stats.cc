@@ -115,14 +115,15 @@ StatGroup::dump(std::ostream &os) const
            << '\n';
     for (const auto &kv : histograms_) {
         const Histogram &h = kv.second;
-        char buf[160];
+        char buf[192];
         std::snprintf(buf, sizeof(buf),
                       "hist count=%llu min=%llu max=%llu mean=%.2f "
-                      "p50=%.2f p99=%.2f",
+                      "p50=%.2f p99=%.2f p999=%.2f",
                       static_cast<unsigned long long>(h.count()),
                       static_cast<unsigned long long>(h.minValue()),
                       static_cast<unsigned long long>(h.maxValue()),
-                      h.mean(), h.percentile(0.50), h.percentile(0.99));
+                      h.mean(), h.percentile(0.50), h.percentile(0.99),
+                      h.percentile(0.999));
         os << name_ << '.' << kv.first << ' ' << buf << '\n';
     }
 }

@@ -162,6 +162,7 @@ class StatGroup
      * token and carry the distribution summary:
      *
      *     group.name hist count=N min=A max=B mean=C p50=D p99=E
+     *         p999=F
      */
     void dump(std::ostream &os) const;
 

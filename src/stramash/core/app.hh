@@ -61,8 +61,11 @@ class App
     /**
      * Migrate to the other node. DEPRECATED two-node shim kept for
      * one release: panics on machines with more than two nodes —
-     * use migrateToNext() or migrateTo(peer) there.
+     * use migrateToNext() or migrateTo(peer) there. Every in-tree
+     * call site has been converted; new code must not add any.
      */
+    [[deprecated("two-node shim; use migrateToNext() or "
+                 "migrateTo(peer)")]]
     void migrateToOther();
 
     // ---- memory access (charged, faulting, real data) ----

@@ -1,5 +1,7 @@
 #include "stramash/core/system.hh"
 
+#include <algorithm>
+
 #include "stramash/trace/chrome_exporter.hh"
 #include "stramash/trace/json_stats.hh"
 
@@ -320,6 +322,25 @@ System::forEachStatGroup(
         fn(fi->faults());
         fn(fi->retries());
     }
+    for (const StatGroup *g : externalStats_)
+        fn(*g);
+}
+
+void
+System::registerExternalStatGroup(const StatGroup *group)
+{
+    panic_if(!group, "registerExternalStatGroup(nullptr)");
+    if (std::find(externalStats_.begin(), externalStats_.end(),
+                  group) == externalStats_.end())
+        externalStats_.push_back(group);
+}
+
+void
+System::unregisterExternalStatGroup(const StatGroup *group)
+{
+    externalStats_.erase(std::remove(externalStats_.begin(),
+                                     externalStats_.end(), group),
+                         externalStats_.end());
 }
 
 bool

@@ -179,9 +179,20 @@ class System
      */
     bool writeStatsJson(const std::string &path);
 
-    /** Visit every StatGroup owned by this system. */
+    /** Visit every StatGroup owned by this system, plus any
+     *  externally registered ones. */
     void forEachStatGroup(
         const std::function<void(const StatGroup &)> &fn);
+
+    /**
+     * Attach a StatGroup owned by a workload-side component (e.g.
+     * the open-loop load front end) so it appears in writeStatsJson /
+     * forEachStatGroup alongside the system-owned groups. The caller
+     * must unregister (or outlive every export) before destroying
+     * the group.
+     */
+    void registerExternalStatGroup(const StatGroup *group);
+    void unregisterExternalStatGroup(const StatGroup *group);
 
   private:
     SystemConfig cfg_;
@@ -206,6 +217,7 @@ class System
 
     std::unique_ptr<GlobalMemoryAllocator> gma_;
     std::unique_ptr<CrashManager> crash_;
+    std::vector<const StatGroup *> externalStats_;
 
     FutexPolicy *futexPolicy_ = nullptr;
     MigrationPolicy *migrationPolicy_ = nullptr;

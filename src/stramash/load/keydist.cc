@@ -1,0 +1,93 @@
+#include "stramash/load/keydist.hh"
+
+#include <cmath>
+
+namespace stramash
+{
+
+KeyDistConfig
+KeyDistConfig::zipfian(std::uint64_t numKeys, double theta,
+                       std::uint64_t seed)
+{
+    KeyDistConfig cfg;
+    cfg.kind = Kind::Zipfian;
+    cfg.numKeys = numKeys;
+    cfg.theta = theta;
+    cfg.seed = seed;
+    return cfg;
+}
+
+KeyDistConfig
+KeyDistConfig::uniform(std::uint64_t numKeys, std::uint64_t seed)
+{
+    KeyDistConfig cfg;
+    cfg.kind = Kind::Uniform;
+    cfg.numKeys = numKeys;
+    cfg.seed = seed;
+    return cfg;
+}
+
+KeyChooser::KeyChooser(KeyDistConfig cfg)
+    : cfg_(cfg), rng_(cfg.seed, 0x21bf)
+{
+    panic_if(cfg_.numKeys == 0, "key chooser with empty key space");
+    if (cfg_.kind == KeyDistConfig::Kind::Zipfian) {
+        panic_if(cfg_.theta <= 0.0 || cfg_.theta >= 1.0,
+                 "zipfian theta must be in (0, 1)");
+        theta_ = cfg_.theta;
+        for (std::uint64_t i = 1; i <= cfg_.numKeys; ++i)
+            zetan_ += 1.0 / std::pow(static_cast<double>(i), theta_);
+        double zeta2 = 1.0 + std::pow(0.5, theta_);
+        alpha_ = 1.0 / (1.0 - theta_);
+        double n = static_cast<double>(cfg_.numKeys);
+        eta_ = (1.0 - std::pow(2.0 / n, 1.0 - theta_)) /
+               (1.0 - zeta2 / zetan_);
+    }
+}
+
+std::uint64_t
+KeyChooser::nextRank()
+{
+    if (cfg_.kind == KeyDistConfig::Kind::Uniform)
+        return rng_.below64(cfg_.numKeys);
+
+    // Gray et al. O(1) bounded-Zipfian draw.
+    double u = rng_.uniform();
+    double uz = u * zetan_;
+    if (uz < 1.0)
+        return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_))
+        return 1;
+    double n = static_cast<double>(cfg_.numKeys);
+    auto rank = static_cast<std::uint64_t>(
+        n * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return rank >= cfg_.numKeys ? cfg_.numKeys - 1 : rank;
+}
+
+std::uint64_t
+KeyChooser::scramble(std::uint64_t rank) const
+{
+    if (cfg_.kind == KeyDistConfig::Kind::Uniform)
+        return rank;
+    // Affine permutation on the next power-of-two domain plus
+    // cycle-walking back into [0, numKeys): a true permutation, so
+    // distinct hot ranks land on distinct (and shard-spread) keys.
+    std::uint64_t m = 1;
+    while (m < cfg_.numKeys)
+        m <<= 1;
+    std::uint64_t mask = m - 1;
+    std::uint64_t x = rank;
+    do {
+        x = (x * 0x9e3779b97f4a7c15ULL + 0xbf58476d1ce4e5b9ULL) &
+            mask;
+    } while (x >= cfg_.numKeys);
+    return x;
+}
+
+std::uint64_t
+KeyChooser::next()
+{
+    return scramble(nextRank());
+}
+
+} // namespace stramash

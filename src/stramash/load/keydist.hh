@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Seeded key-skew generators for the open-loop traffic engine.
+ *
+ * Production kv-store traffic is never uniform: a few hot keys take
+ * most of the reads. The Zipfian generator here is the bounded
+ * Gray et al. construction (the one YCSB popularised): rank r is
+ * drawn with probability proportional to 1 / r^theta, in O(1) per
+ * draw after an O(n) zeta precomputation. Because rank 0 would
+ * otherwise always live on shard 0, ranks are scrambled through a
+ * splitmix64 finaliser before use, spreading the hot set across
+ * shards while preserving the rank-frequency shape.
+ *
+ * Draws come from a seeded PCG32 stream: identical seeds give
+ * bit-identical key sequences.
+ */
+
+#ifndef STRAMASH_LOAD_KEYDIST_HH
+#define STRAMASH_LOAD_KEYDIST_HH
+
+#include "stramash/common/rng.hh"
+
+namespace stramash
+{
+
+struct KeyDistConfig
+{
+    enum class Kind
+    {
+        Zipfian,
+        Uniform,
+    };
+
+    Kind kind = Kind::Zipfian;
+    /** Key-space size; keys are in [0, numKeys). */
+    std::uint64_t numKeys = 256;
+    /** Skew exponent (YCSB default 0.99). Ignored for Uniform. */
+    double theta = 0.99;
+    std::uint64_t seed = 1;
+
+    static KeyDistConfig zipfian(std::uint64_t numKeys,
+                                 double theta = 0.99,
+                                 std::uint64_t seed = 1);
+    static KeyDistConfig uniform(std::uint64_t numKeys,
+                                 std::uint64_t seed = 1);
+};
+
+class KeyChooser
+{
+  public:
+    explicit KeyChooser(KeyDistConfig cfg);
+
+    /**
+     * Next key in [0, numKeys). Zipfian ranks are scrambled so the
+     * hot set does not collapse onto low key ids (= shard 0).
+     */
+    std::uint64_t next();
+
+    /**
+     * Next *rank* in [0, numKeys): rank 0 is the hottest. The
+     * rank-frequency tests sample this stream directly; next() is
+     * scramble(nextRank()).
+     */
+    std::uint64_t nextRank();
+
+    /** The scramble permutation applied to ranks. */
+    std::uint64_t scramble(std::uint64_t rank) const;
+
+    const KeyDistConfig &config() const { return cfg_; }
+
+  private:
+    KeyDistConfig cfg_;
+    Rng rng_;
+
+    // Zipfian constants (Gray et al.).
+    double zetan_ = 0.0;
+    double theta_ = 0.0;
+    double alpha_ = 0.0;
+    double eta_ = 0.0;
+};
+
+} // namespace stramash
+
+#endif // STRAMASH_LOAD_KEYDIST_HH

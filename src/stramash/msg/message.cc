@@ -34,6 +34,7 @@ msgTypeName(MsgType t)
       case MsgType::Ack: return "ack";
       case MsgType::Heartbeat: return "heartbeat";
       case MsgType::HeartbeatAck: return "heartbeat_ack";
+      case MsgType::CacheInvalidate: return "cache_invalidate";
     }
     panic("unknown MsgType");
 }

@@ -63,11 +63,15 @@ enum class MsgType : std::uint8_t {
      *  while an unrelated RPC is being served would be captured as
      *  that RPC's reply. */
     HeartbeatAck,
+    /** Hot-key-cache invalidation note (multiple-kernel design only:
+     *  the fused design invalidates through coherent memory and never
+     *  sends one). arg0 = key. */
+    CacheInvalidate,
 };
 
 /** Number of MsgType enumerators (keep in sync with the enum). */
 inline constexpr unsigned msgTypeCount =
-    static_cast<unsigned>(MsgType::HeartbeatAck) + 1;
+    static_cast<unsigned>(MsgType::CacheInvalidate) + 1;
 
 const char *msgTypeName(MsgType t);
 

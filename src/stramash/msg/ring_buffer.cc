@@ -94,6 +94,9 @@ MessageRing::enqueue(NodeId producer, const Message &msg)
     // Publish: bump tail.
     mem.store<std::uint64_t>(tailAddr(), tail + 1);
     machine_.dataAccess(producer, AccessType::Store, tailAddr(), 8);
+    std::size_t depth = static_cast<std::size_t>(tail + 1 - head);
+    if (depth > highWatermark_)
+        highWatermark_ = depth;
     return true;
 }
 

@@ -48,6 +48,27 @@ class MessageRing
     /** Messages currently queued. */
     std::size_t size() const;
 
+    // ---- occupancy / backpressure hooks (uncharged host reads) ----
+
+    /** Free slots before enqueue() starts failing. */
+    std::size_t freeSlots() const { return capacity() - size(); }
+
+    /** True when the next enqueue() would be refused. */
+    bool full() const { return size() >= capacity(); }
+
+    /** Queued fraction of capacity, in [0, 1]. */
+    double
+    occupancy() const
+    {
+        return static_cast<double>(size()) /
+               static_cast<double>(capacity());
+    }
+
+    /** Deepest the ring has ever been (post-enqueue depth). An
+     *  admission controller consults this to size its shed
+     *  threshold; reset only by recreating the ring. */
+    std::size_t highWatermark() const { return highWatermark_; }
+
     /**
      * Enqueue, charging the producing node the control-word and slot
      * stores through the cache model.
@@ -73,6 +94,7 @@ class MessageRing
     Machine &machine_;
     Addr base_;
     std::size_t numSlots_;
+    std::size_t highWatermark_ = 0;
 
     Addr headAddr() const { return base_; }
     Addr tailAddr() const { return base_ + 8; }

@@ -435,12 +435,25 @@ ShmMessageLayer::ring(NodeId from, NodeId to)
     return *it->second;
 }
 
+double
+ShmMessageLayer::channelOccupancy(NodeId from, NodeId to) const
+{
+    auto it = rings_.find({from, to});
+    panic_if(it == rings_.end(), "no ring ", from, "->", to);
+    return it->second->occupancy();
+}
+
 Errc
 ShmMessageLayer::transportSend(const Message &msg)
 {
     machine_.stall(msg.from, costs_.sendSetupCycles);
-    if (!ring(msg.from, msg.to).enqueue(msg.from, msg))
+    MessageRing &r = ring(msg.from, msg.to);
+    if (!r.enqueue(msg.from, msg))
         return Errc::RingFull;
+    // Post-enqueue depth: the queue-depth distribution an admission
+    // controller needs to see to size its shed threshold.
+    stats_.histogram("ring_depth", {1, 2, 4, 8, 16, 32, 64, 128})
+        .sample(r.size());
     if (useIpi_)
         machine_.sendIpi(msg.from, msg.to);
     return Errc::Ok;

@@ -168,6 +168,19 @@ class MessageLayer
 
     StatGroup &stats() { return stats_; }
 
+    /**
+     * Occupancy of the @p from → @p to channel in [0, 1], for
+     * admission-control decisions (an open-loop front end sheds
+     * load *before* committing work when the transport is backed
+     * up). Transports without bounded channels report 0.
+     */
+    virtual double channelOccupancy(NodeId from, NodeId to) const
+    {
+        (void)from;
+        (void)to;
+        return 0.0;
+    }
+
     /** Total messages sent since construction (Table 3). */
     std::uint64_t messagesSent() const { return sent_; }
     std::uint64_t bytesSent() const { return bytes_; }
@@ -265,6 +278,8 @@ class ShmMessageLayer final : public MessageLayer
      */
     static Addr areaBaseFor(const PhysMap &map,
                             Addr areaBytes = paperAreaBytes);
+
+    double channelOccupancy(NodeId from, NodeId to) const override;
 
   protected:
     Errc transportSend(const Message &msg) override;

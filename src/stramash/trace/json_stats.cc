@@ -23,6 +23,7 @@ JsonStatsExporter::add(const StatGroup &group)
         hs.mean = h.mean();
         hs.p50 = h.percentile(0.50);
         hs.p99 = h.percentile(0.99);
+        hs.p999 = h.percentile(0.999);
         hs.edges = h.edges();
         hs.buckets = h.buckets();
         snap.histograms.emplace(kv.first, std::move(hs));
@@ -65,6 +66,9 @@ JsonStatsExporter::writeGroupsObject(std::ostream &os) const
             json::writeDouble(os, h.p50);
             os << ",\"p99\":";
             json::writeDouble(os, h.p99);
+            os << ",\"p999\":";
+            json::writeDouble(os, h.p999);
+            os << ",\"samples\":" << h.count;
             os << ",\"edges\":[";
             for (std::size_t i = 0; i < h.edges.size(); ++i)
                 os << (i ? "," : "") << h.edges[i];

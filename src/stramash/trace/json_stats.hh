@@ -16,6 +16,7 @@
  *         "histograms": {
  *           "wire_bytes": {"count":..., "min":..., "max":...,
  *                          "mean":..., "p50":..., "p99":...,
+ *                          "p999":..., "samples":...,
  *                          "edges":[...], "buckets":[...]}
  *         }
  *       }, ...
@@ -63,7 +64,7 @@ class JsonStatsExporter
     struct HistSnapshot
     {
         std::uint64_t count, min, max;
-        double mean, p50, p99;
+        double mean, p50, p99, p999;
         std::vector<std::uint64_t> edges;
         std::vector<std::uint64_t> buckets;
     };

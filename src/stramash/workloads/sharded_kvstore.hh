@@ -65,6 +65,36 @@ class ShardedKvStore
      *  are part of the scaling experiment. */
     void exec(KvOp op, std::uint64_t key, NodeId ingress);
 
+    // ---- hooks for the open-loop front end (stramash/load) ----
+
+    std::size_t keysPerShard() const { return cfg_.keysPerShard; }
+    std::size_t payloadBytes() const { return cfg_.payloadBytes; }
+    /** Global key-space size (shards * keysPerShard). */
+    std::size_t keySpace() const
+    {
+        return servers_.size() * cfg_.keysPerShard;
+    }
+
+    /** Guest address of @p key's slot inside its owner's slab. */
+    Addr slotAddr(NodeId shard, std::uint64_t key) const;
+
+    /**
+     * The current tag word of @p key's slot (host-side mirror; no
+     * simulated cost). A hot-key cache validates its copy against
+     * this — the fused design by one coherent load of the slot's
+     * version line, which is what makes its invalidation nearly
+     * free.
+     */
+    std::uint64_t
+    currentTag(std::uint64_t key) const
+    {
+        NodeId owner = shardOf(key);
+        return expected_[owner]
+                        [(key / servers_.size()) % cfg_.keysPerShard];
+    }
+
+    System &system() { return sys_; }
+
     /**
      * Serve @p totalRequests from the seeded request stream, ingress
      * round-robin across nodes.
@@ -91,8 +121,6 @@ class ShardedKvStore
     std::vector<std::vector<std::uint64_t>> expected_;
     std::uint64_t requests_ = 0;
     std::uint64_t crossShard_ = 0;
-
-    Addr slotAddr(NodeId shard, std::uint64_t key) const;
 
     /** Ingress-side socket work, plus forwarding when the shard
      *  owner is another node. */

@@ -21,7 +21,7 @@ runLittle(OsDesign design, MemoryModel model)
     Addr buf = app.mmap(64 * pageSize);
     for (int i = 0; i < 64; ++i)
         app.write<std::uint64_t>(buf + Addr(i) * pageSize, i);
-    app.migrateToOther();
+    app.migrateToNext();
     for (int i = 0; i < 64; ++i)
         app.read<std::uint64_t>(buf + Addr(i) * pageSize);
     return sys;

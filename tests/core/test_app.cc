@@ -84,7 +84,7 @@ TEST_F(AppTest, ComputeRetiresIsaExpandedInstructions)
     app_->compute(1000);
     EXPECT_EQ(sys_->machine().node(0).icount() - x86Before, 1000u);
 
-    app_->migrateToOther();
+    app_->migrateToNext();
     ICount armBefore = sys_->machine().node(1).icount();
     app_->compute(1000);
     // Arm retires ~18% more instructions for the same work.
@@ -96,7 +96,7 @@ TEST_F(AppTest, MigrationPreservesUserData)
     Addr buf = app_->mmap(8 * pageSize);
     for (int i = 0; i < 64; ++i)
         app_->write<std::uint64_t>(buf + Addr(i) * 512, i * 31 + 1);
-    app_->migrateToOther();
+    app_->migrateToNext();
     for (int i = 0; i < 64; ++i) {
         EXPECT_EQ(app_->read<std::uint64_t>(buf + Addr(i) * 512),
                   static_cast<std::uint64_t>(i * 31 + 1));
@@ -110,7 +110,7 @@ TEST_F(AppTest, WriteVisibleAcrossRepeatedMigrations)
     for (int round = 0; round < 6; ++round) {
         expect = expect * 3 + round;
         app_->write<std::uint64_t>(buf, expect);
-        app_->migrateToOther();
+        app_->migrateToNext();
         EXPECT_EQ(app_->read<std::uint64_t>(buf), expect);
     }
 }
@@ -128,7 +128,7 @@ TEST_F(AppTest, CasAndFetchAdd)
 TEST_F(AppTest, CurrentKernelFollowsMigration)
 {
     EXPECT_EQ(app_->currentKernel().nodeId(), 0u);
-    app_->migrateToOther();
+    app_->migrateToNext();
     EXPECT_EQ(app_->currentKernel().nodeId(), 1u);
     EXPECT_EQ(app_->currentTask().pid, app_->pid());
 }
@@ -136,7 +136,7 @@ TEST_F(AppTest, CurrentKernelFollowsMigration)
 TEST_F(AppTest, DestructorCleansUpTasks)
 {
     Pid pid = app_->pid();
-    app_->migrateToOther();
+    app_->migrateToNext();
     app_.reset();
     EXPECT_FALSE(sys_->kernel(0).hasTask(pid));
     EXPECT_FALSE(sys_->kernel(1).hasTask(pid));

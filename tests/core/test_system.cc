@@ -29,12 +29,12 @@ TEST_P(SystemMatrix, ConstructsAndRunsAnApp)
     Addr buf = app.mmap(16 * pageSize);
     for (int i = 0; i < 16; ++i)
         app.write<std::uint64_t>(buf + Addr(i) * pageSize, i * 7);
-    app.migrateToOther();
+    app.migrateToNext();
     for (int i = 0; i < 16; ++i) {
         EXPECT_EQ(app.read<std::uint64_t>(buf + Addr(i) * pageSize),
                   static_cast<std::uint64_t>(i * 7));
     }
-    app.migrateToOther();
+    app.migrateToNext();
     EXPECT_EQ(app.read<std::uint64_t>(buf), 0u);
     EXPECT_GT(sys.runtime(), 0u);
 }
@@ -115,7 +115,7 @@ TEST(System, ResetExperimentCountersClearsEverything)
     App app(sys, 0);
     Addr buf = app.mmap(pageSize);
     app.write<std::uint64_t>(buf, 1);
-    app.migrateToOther();
+    app.migrateToNext();
     app.read<std::uint64_t>(buf);
     EXPECT_GT(sys.messagesSent(), 0u);
     EXPECT_GT(sys.runtime(), 0u);

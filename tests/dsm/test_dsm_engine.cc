@@ -40,7 +40,7 @@ TEST_F(DsmTest, OriginFirstTouchHasNoMessages)
 TEST_F(DsmTest, RemoteReadReplicatesPage)
 {
     app_->write<std::uint64_t>(buf_, 0x1234);
-    app_->migrateToOther();
+    app_->migrateToNext();
     auto msgsBefore = sys_->messagesSent();
     EXPECT_EQ(app_->read<std::uint64_t>(buf_), 0x1234u);
     EXPECT_EQ(engine().replicatedPages(), 1u);
@@ -53,7 +53,7 @@ TEST_F(DsmTest, RemoteReadReplicatesPage)
 
 TEST_F(DsmTest, FreshRemoteTouchCostsAllocationRound)
 {
-    app_->migrateToOther();
+    app_->migrateToNext();
     auto msgsBefore = sys_->messagesSent();
     app_->write<std::uint64_t>(buf_, 5);
     // VMA round + allocation round + replication round.
@@ -64,7 +64,7 @@ TEST_F(DsmTest, FreshRemoteTouchCostsAllocationRound)
 TEST_F(DsmTest, SecondAccessToReplicaIsFree)
 {
     app_->write<std::uint64_t>(buf_, 9);
-    app_->migrateToOther();
+    app_->migrateToNext();
     app_->read<std::uint64_t>(buf_);
     auto msgs = sys_->messagesSent();
     auto repl = engine().replicatedPages();
@@ -78,14 +78,14 @@ TEST_F(DsmTest, SecondAccessToReplicaIsFree)
 TEST_F(DsmTest, WriteUpgradeInvalidatesOtherCopy)
 {
     app_->write<std::uint64_t>(buf_, 10); // origin owns, RW
-    app_->migrateToOther();
+    app_->migrateToNext();
     app_->read<std::uint64_t>(buf_); // remote RO replica
     auto inv = engine().invalidations();
     app_->write<std::uint64_t>(buf_, 20); // remote upgrade
     EXPECT_GT(engine().invalidations(), inv);
     // Migrate home: the origin's copy was invalidated, so its read
     // must re-fetch — and see the new value.
-    app_->migrateToOther();
+    app_->migrateToNext();
     EXPECT_EQ(app_->read<std::uint64_t>(buf_), 20u);
 }
 
@@ -96,18 +96,18 @@ TEST_F(DsmTest, OwnershipPingPong)
     for (int round = 0; round < 4; ++round) {
         app_->write<std::uint64_t>(buf_,
                                    static_cast<std::uint64_t>(round));
-        app_->migrateToOther();
+        app_->migrateToNext();
         EXPECT_EQ(app_->read<std::uint64_t>(buf_),
                   static_cast<std::uint64_t>(round));
         app_->write<std::uint64_t>(buf_, round + 100u);
-        app_->migrateToOther();
+        app_->migrateToNext();
         EXPECT_EQ(app_->read<std::uint64_t>(buf_), round + 100u);
     }
 }
 
 TEST_F(DsmTest, RemoteVmaFetchedOnce)
 {
-    app_->migrateToOther();
+    app_->migrateToNext();
     app_->write<std::uint64_t>(buf_, 1);
     auto vmaMsgs = sys_->msg().stats().value("sent.vma_request");
     EXPECT_EQ(vmaMsgs, 1u);
@@ -120,7 +120,7 @@ TEST_F(DsmTest, DistinctPagesReplicateIndependently)
 {
     for (int p = 0; p < 8; ++p)
         app_->write<std::uint64_t>(buf_ + Addr{4096} * p, p);
-    app_->migrateToOther();
+    app_->migrateToNext();
     for (int p = 0; p < 8; ++p) {
         EXPECT_EQ(app_->read<std::uint64_t>(buf_ + Addr{4096} * p),
                   static_cast<std::uint64_t>(p));
@@ -131,9 +131,9 @@ TEST_F(DsmTest, DistinctPagesReplicateIndependently)
 TEST_F(DsmTest, ReadSharingKeepsBothCopiesReadable)
 {
     app_->write<std::uint64_t>(buf_, 0x42);
-    app_->migrateToOther();
+    app_->migrateToNext();
     EXPECT_EQ(app_->read<std::uint64_t>(buf_), 0x42u);
-    app_->migrateToOther(); // back home
+    app_->migrateToNext(); // back home
     // The origin kept its RO copy: no new replication needed.
     auto repl = engine().replicatedPages();
     EXPECT_EQ(app_->read<std::uint64_t>(buf_), 0x42u);
@@ -143,7 +143,7 @@ TEST_F(DsmTest, ReadSharingKeepsBothCopiesReadable)
 TEST_F(DsmTest, ForgetTaskClearsState)
 {
     app_->write<std::uint64_t>(buf_, 1);
-    app_->migrateToOther();
+    app_->migrateToNext();
     app_->read<std::uint64_t>(buf_);
     Pid pid = app_->pid();
     EXPECT_TRUE(engine().isManaged(pid, buf_));
@@ -158,7 +158,7 @@ TEST_F(DsmTest, PayloadContentTravelsCorrectly)
     for (std::size_t i = 0; i < pattern.size(); ++i)
         pattern[i] = static_cast<std::uint8_t>((i * 31) ^ 0x5a);
     app_->writeBuf(buf_, pattern.data(), pattern.size());
-    app_->migrateToOther();
+    app_->migrateToNext();
     std::vector<std::uint8_t> back(pageSize);
     app_->readBuf(buf_, back.data(), back.size());
     EXPECT_EQ(back, pattern);

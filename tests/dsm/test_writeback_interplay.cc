@@ -31,9 +31,9 @@ TEST(WritebackInterplay, DirtyEvictionOnReplicatedPageTriggersAction)
     // the origin still holds the dirty lines.
     for (Addr a = 0; a < pageSize; a += cacheLineSize)
         app.write<std::uint64_t>(buf + a, a);
-    app.migrateToOther();
+    app.migrateToNext();
     app.read<std::uint64_t>(buf);
-    app.migrateToOther(); // back home; holders = {origin, remote}
+    app.migrateToNext(); // back home; holders = {origin, remote}
 
     // Flood the origin's caches with reads elsewhere so the dirty
     // lines of the replicated page must be written back.
@@ -67,7 +67,7 @@ TEST(WritebackInterplay, ReplicaInstallLeavesCleanLines)
     App app(sys, 0);
     Addr buf = app.mmap(pageSize);
     app.write<std::uint64_t>(buf, 7);
-    app.migrateToOther();
+    app.migrateToNext();
     app.read<std::uint64_t>(buf); // replicates to node 1
 
     Pid pid = app.pid();

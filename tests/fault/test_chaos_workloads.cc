@@ -120,7 +120,7 @@ TEST(ChaosKvstore, RemoteServingKeepsEveryValueIntact)
 
         // Serve from the remote ISA: every request crosses the
         // chaotic messaging layer (socket forwarding + DSM).
-        app.migrateToOther();
+        app.migrateToNext();
         std::vector<std::uint8_t> payload(256);
         for (std::uint64_t key = 0; key < 32; ++key) {
             for (std::size_t i = 0; i < payload.size(); ++i) {

@@ -243,7 +243,7 @@ TEST(CrashRecovery, PopcornReownsDsmPagesFromSurvivingReplicas)
         app.write<std::uint64_t>(buf + i * pageSize, 0xd5a00 + i);
 
     // Replicate every page onto node 1, then lose the origin.
-    app.migrateToOther();
+    app.migrateToNext();
     ASSERT_EQ(app.where(), 1u);
     for (unsigned i = 0; i < pages; ++i)
         ASSERT_EQ(app.read<std::uint64_t>(buf + i * pageSize),

@@ -157,7 +157,7 @@ TEST(CrashKvstore, KillingTheServerNodeFailsTheSocketOver)
 
         // Serve from the remote node, then kill the server-socket
         // node mid-stream at a seed-derived request index.
-        app.migrateToOther();
+        app.migrateToNext();
         std::vector<std::uint8_t> payload(256);
         for (std::uint64_t key = 0; key < 32; ++key) {
             if (key == seed % 32)
@@ -202,7 +202,7 @@ TEST(CrashKvstore, KillingTheClientNodeRehomesAndServesLocally)
         KvStore store(app, 32, 256);
         store.populate();
 
-        app.migrateToOther();
+        app.migrateToNext();
         ASSERT_EQ(app.where(), 1u);
         std::vector<std::uint8_t> payload(256);
         for (std::uint64_t key = 0; key < 32; ++key) {

@@ -293,7 +293,7 @@ TEST(DsmPageIntegrity, CorruptedPageResponseIsNeverInstalled)
         app.write<std::uint64_t>(buf + i * pageSize,
                                  0xfeed0000ull + i);
 
-    app.migrateToOther();
+    app.migrateToNext();
     for (unsigned i = 0; i < pages; ++i) {
         EXPECT_EQ(app.read<std::uint64_t>(buf + i * pageSize),
                   0xfeed0000ull + i)

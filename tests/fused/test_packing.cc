@@ -105,9 +105,9 @@ TEST_F(PackingTest, RemoteOwnedFramesAreSkipped)
     // insertions) must not be moved by the origin's packer.
     Addr region = app_->mmap(8 * pageSize);
     app_->write<std::uint64_t>(region, 1); // origin-owned page
-    app_->migrateToOther();
+    app_->migrateToNext();
     app_->write<std::uint64_t>(region + pageSize, 2); // remote-owned
-    app_->migrateToOther();
+    app_->migrateToNext();
 
     KernelInstance &k = sys_->kernel(0);
     Task &t = k.task(app_->pid());

@@ -31,7 +31,7 @@ TEST_F(StramashTest, RemoteReadSharesOriginFrame)
     App app(*sys_, 0);
     Addr buf = app.mmap(8 * pageSize);
     app.write<std::uint64_t>(buf, 0x77);
-    app.migrateToOther();
+    app.migrateToNext();
 
     auto msgs = sys_->messagesSent();
     EXPECT_EQ(app.read<std::uint64_t>(buf), 0x77u);
@@ -54,9 +54,9 @@ TEST_F(StramashTest, RemoteWriteIsImmediatelyVisibleAtOrigin)
     App app(*sys_, 0);
     Addr buf = app.mmap(pageSize);
     app.write<std::uint64_t>(buf, 1);
-    app.migrateToOther();
+    app.migrateToNext();
     app.write<std::uint64_t>(buf, 2); // same frame, no replication
-    app.migrateToOther();
+    app.migrateToNext();
     EXPECT_EQ(app.read<std::uint64_t>(buf), 2u);
     EXPECT_EQ(sys_->replicatedPages(), 0u);
 }
@@ -67,7 +67,7 @@ TEST_F(StramashTest, FastPathInsertsForeignFormatPte)
     Addr buf = app.mmap(8 * pageSize);
     // Touch one page at the origin so the table chain exists.
     app.write<std::uint64_t>(buf, 1);
-    app.migrateToOther();
+    app.migrateToNext();
 
     auto msgs = sys_->messagesSent();
     // Fresh page in the same leaf table: remote fast path.
@@ -94,11 +94,11 @@ TEST_F(StramashTest, MigrateBackReconcilesForeignPtes)
     App app(*sys_, 0);
     Addr buf = app.mmap(8 * pageSize);
     app.write<std::uint64_t>(buf, 1);
-    app.migrateToOther();
+    app.migrateToNext();
     app.write<std::uint64_t>(buf + pageSize, 42);
     ASSERT_EQ(shared().foreignMapped[app.pid()].size(), 1u);
 
-    app.migrateToOther(); // back to origin: reconcile runs
+    app.migrateToNext(); // back to origin: reconcile runs
     EXPECT_TRUE(shared().foreignMapped[app.pid()].empty());
     EXPECT_EQ(sys_->kernel(0).stats().value("ptes_reconciled"), 1u);
 
@@ -118,7 +118,7 @@ TEST_F(StramashTest, SlowPathUsesOneMessageRound)
     App app(*sys_, 0);
     // A region never touched at the origin: no table chain at all.
     Addr buf = app.mmap(8 * pageSize);
-    app.migrateToOther();
+    app.migrateToNext();
 
     auto msgs = sys_->messagesSent();
     auto slow = shared().slowPathFaults;
@@ -141,7 +141,7 @@ TEST_F(StramashTest, RemoteVmaWalkCopiesVmaWithoutMessages)
     App app(*sys_, 0);
     Addr buf = app.mmap(4 * pageSize);
     app.write<std::uint64_t>(buf, 1);
-    app.migrateToOther();
+    app.migrateToNext();
     auto msgs = sys_->messagesSent();
     app.read<std::uint64_t>(buf);
     EXPECT_EQ(sys_->messagesSent(), msgs);
@@ -163,7 +163,7 @@ TEST_F(StramashTest, FutexDirectAccessAndSingleIpi)
     EXPECT_EQ(sys_->kernel(0).futexTable().waiters(page), 1u);
 
     // Wake from the remote side: zero messages, exactly one IPI.
-    app.migrateToOther();
+    app.migrateToNext();
     auto msgs = sys_->messagesSent();
     auto ipis = sys_->machine().ipisReceived(0);
     EXPECT_EQ(app.futexWake(page, 1), 1u);
@@ -177,7 +177,7 @@ TEST_F(StramashTest, FutexRemoteWaitEnqueuesAtOriginDirectly)
     App app(*sys_, 0);
     Addr page = app.mmap(pageSize);
     app.write<std::uint32_t>(page, 5);
-    app.migrateToOther();
+    app.migrateToNext();
     auto msgs = sys_->messagesSent();
     EXPECT_TRUE(app.futexWait(page, 5));
     EXPECT_EQ(sys_->messagesSent(), msgs); // direct list access
@@ -214,7 +214,7 @@ TEST_F(StramashTest, TaskExitReleasesRemotePages)
         App app(*sys_, 0);
         Addr buf = app.mmap(4 * pageSize);
         app.write<std::uint64_t>(buf, 1);
-        app.migrateToOther();
+        app.migrateToNext();
         app.write<std::uint64_t>(buf + pageSize, 2); // remote alloc
         EXPECT_GT(remotePalloc.usedPages(), usedBefore);
     }

@@ -63,7 +63,7 @@ TEST_P(FutexSemantics, MixedKernelWaiters)
     KernelInstance &k0 = sys_->kernel(0);
     EXPECT_TRUE(
         sys_->futexPolicy().wait(k0, k0.task(app.pid()), page, 7));
-    app.migrateToOther();
+    app.migrateToNext();
     KernelInstance &k1 = sys_->kernel(1);
     EXPECT_TRUE(
         sys_->futexPolicy().wait(k1, k1.task(app.pid()), page, 7));
@@ -86,7 +86,7 @@ TEST_P(FutexSemantics, StaleValueNeverBlocks)
     Addr page = app.mmap(pageSize);
     app.write<std::uint32_t>(page, 10);
     EXPECT_FALSE(app.futexWait(page, 11));
-    app.migrateToOther();
+    app.migrateToNext();
     EXPECT_FALSE(app.futexWait(page, 12));
     EXPECT_EQ(sys_->kernel(0).futexTable().waiters(page), 0u);
 }
@@ -97,7 +97,7 @@ TEST_P(FutexSemantics, WakeOnEmptyFutexIsZero)
     Addr page = app.mmap(pageSize);
     app.write<std::uint32_t>(page, 0);
     EXPECT_EQ(app.futexWake(page, 4), 0u);
-    app.migrateToOther();
+    app.migrateToNext();
     EXPECT_EQ(app.futexWake(page, 4), 0u);
 }
 

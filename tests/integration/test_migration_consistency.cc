@@ -69,7 +69,7 @@ TEST_P(MigrationConsistency, RandomOpsMatchShadow)
                 << "step " << step << " idx " << idx << " on node "
                 << app.where();
         } else if (choice < 97) { // migrate
-            app.migrateToOther();
+            app.migrateToNext();
         } else { // bulk check of a random page
             std::size_t page = rng.below(32);
             std::uint64_t tile[512];

@@ -100,7 +100,7 @@ TEST_P(ProcessMigration, ReclaimsRemotelyOwnedPagesFirst)
     // process migration with its latest value.
     Addr buf = app_->mmap(4 * pageSize);
     app_->write<std::uint64_t>(buf, 1);
-    app_->migrateToOther();
+    app_->migrateToNext();
     app_->write<std::uint64_t>(buf, 2); // remote now owns the page
     app_->migrate(0);                   // thread home; page stays owned remotely
     sys_->migrateProcess(app_->pid(), 1);

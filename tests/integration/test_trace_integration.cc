@@ -41,7 +41,7 @@ class TraceIntegration : public testing::TestWithParam<OsDesign>
         Addr buf = app_->mmap(16 * pageSize);
         for (Addr off = 0; off < 4 * pageSize; off += pageSize)
             app_->write<std::uint32_t>(buf + off, 1);
-        app_->migrateToOther();
+        app_->migrateToNext();
         for (Addr off = 4 * pageSize; off < 8 * pageSize;
              off += pageSize)
             app_->write<std::uint32_t>(buf + off, 2);
@@ -126,7 +126,7 @@ TEST_P(TraceIntegration, DisabledTracerStaysSilent)
     App app(quiet, 0);
     Addr buf = app.mmap(4 * pageSize);
     app.write<std::uint32_t>(buf, 1);
-    app.migrateToOther();
+    app.migrateToNext();
     app.write<std::uint32_t>(buf + pageSize, 2);
     EXPECT_EQ(quiet.tracer().totalEvents(), 0u);
     EXPECT_EQ(quiet.tracer().totalDropped(), 0u);

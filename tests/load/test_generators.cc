@@ -1,0 +1,170 @@
+/**
+ * @file
+ * The seeded traffic generators: Poisson and on/off arrival
+ * statistics, the bounded-Zipfian rank-frequency shape, the rank
+ * scramble being a true permutation, and bit-identical replay for
+ * identical seeds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "stramash/load/arrival.hh"
+#include "stramash/load/keydist.hh"
+
+using namespace stramash;
+
+namespace
+{
+
+/** Mean and squared coefficient of variation of n gaps. */
+std::pair<double, double>
+gapStats(ArrivalProcess &p, std::size_t n)
+{
+    double sum = 0.0, sumSq = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        auto g = static_cast<double>(p.next());
+        sum += g;
+        sumSq += g * g;
+    }
+    double mean = sum / n;
+    double var = sumSq / n - mean * mean;
+    return {mean, var / (mean * mean)};
+}
+
+} // namespace
+
+TEST(Arrival, PoissonMeanMatchesConfiguredRate)
+{
+    // 100 requests per Mcycle -> mean inter-arrival gap of 10000
+    // cycles. 50k draws put the sample mean within a couple percent.
+    ArrivalProcess p(ArrivalConfig::poisson(100.0, 7));
+    auto [mean, cv2] = gapStats(p, 50000);
+    EXPECT_NEAR(mean, 10000.0, 250.0);
+    // Exponential gaps: squared coefficient of variation ~= 1.
+    EXPECT_NEAR(cv2, 1.0, 0.15);
+}
+
+TEST(Arrival, PoissonRateScalesInversely)
+{
+    ArrivalProcess fast(ArrivalConfig::poisson(400.0, 7));
+    auto [mean, cv2] = gapStats(fast, 50000);
+    (void)cv2;
+    EXPECT_NEAR(mean, 2500.0, 80.0);
+}
+
+TEST(Arrival, OnOffIsBurstierThanPoisson)
+{
+    // The modulated process mixes a 4x-rate on phase with a 0.25x
+    // idle phase, so its gap distribution is over-dispersed relative
+    // to the exponential: squared CV well above 1.
+    ArrivalProcess p(ArrivalConfig::onOff(100.0, 7));
+    auto [mean, cv2] = gapStats(p, 50000);
+    EXPECT_GT(mean, 0.0);
+    EXPECT_GT(cv2, 1.3);
+}
+
+TEST(Arrival, IdenticalSeedsBitIdenticalStreams)
+{
+    for (auto mk : {&ArrivalConfig::poisson, &ArrivalConfig::onOff}) {
+        ArrivalProcess a(mk(123.0, 99));
+        ArrivalProcess b(mk(123.0, 99));
+        for (int i = 0; i < 2000; ++i)
+            ASSERT_EQ(a.next(), b.next());
+    }
+}
+
+TEST(Arrival, DifferentSeedsDiverge)
+{
+    ArrivalProcess a(ArrivalConfig::poisson(100.0, 1));
+    ArrivalProcess b(ArrivalConfig::poisson(100.0, 2));
+    bool anyDiff = false;
+    for (int i = 0; i < 100 && !anyDiff; ++i)
+        anyDiff = a.next() != b.next();
+    EXPECT_TRUE(anyDiff);
+}
+
+TEST(Arrival, GapsAlwaysAdvanceTime)
+{
+    ArrivalProcess p(ArrivalConfig::poisson(100000.0, 3));
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_GE(p.next(), 1u);
+}
+
+TEST(Keydist, ZipfianRankFrequencyShape)
+{
+    const std::uint64_t n = 1024;
+    KeyChooser c(KeyDistConfig::zipfian(n, 0.99, 11));
+    std::vector<std::uint64_t> freq(n, 0);
+    const std::size_t draws = 200000;
+    for (std::size_t i = 0; i < draws; ++i)
+        ++freq[c.nextRank()];
+
+    // freq(r) ~ 1 / r^theta: rank 0 over rank 1 is ~2^0.99 ~ 1.99.
+    double ratio01 = static_cast<double>(freq[0]) /
+                     static_cast<double>(freq[1]);
+    EXPECT_NEAR(ratio01, std::pow(2.0, 0.99), 0.25);
+    // The head dominates: top-10 ranks take over 30% of all draws.
+    std::uint64_t top10 = 0;
+    for (int r = 0; r < 10; ++r)
+        top10 += freq[r];
+    EXPECT_GT(static_cast<double>(top10) / draws, 0.30);
+    // Frequencies fall with rank (coarsely, to dodge noise).
+    EXPECT_GT(freq[0], freq[4]);
+    EXPECT_GT(freq[4], freq[63]);
+    EXPECT_GT(freq[63], freq[1023]);
+}
+
+TEST(Keydist, ScrambleIsAPermutation)
+{
+    // Non-power-of-two domain exercises the cycle-walking path.
+    KeyChooser c(KeyDistConfig::zipfian(1000, 0.99, 1));
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t r = 0; r < 1000; ++r) {
+        std::uint64_t k = c.scramble(r);
+        EXPECT_LT(k, 1000u);
+        seen.insert(k);
+    }
+    EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(Keydist, ScrambleSpreadsTheHotSetAcrossShards)
+{
+    // Rank r lands on shard key%N in the sharded store; the whole
+    // point of scrambling is that ranks 0..7 don't all sit on the
+    // same few shards.
+    KeyChooser c(KeyDistConfig::zipfian(512, 0.99, 1));
+    std::set<std::uint64_t> shards;
+    for (std::uint64_t r = 0; r < 8; ++r)
+        shards.insert(c.scramble(r) % 8);
+    EXPECT_GE(shards.size(), 4u);
+}
+
+TEST(Keydist, UniformCoversTheKeySpace)
+{
+    KeyChooser c(KeyDistConfig::uniform(64, 5));
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 10000; ++i) {
+        std::uint64_t k = c.next();
+        ASSERT_LT(k, 64u);
+        seen.insert(k);
+    }
+    EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(Keydist, IdenticalSeedsBitIdenticalKeys)
+{
+    KeyChooser a(KeyDistConfig::zipfian(4096, 0.99, 77));
+    KeyChooser b(KeyDistConfig::zipfian(4096, 0.99, 77));
+    for (int i = 0; i < 5000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Keydist, ThetaOutsideUnitIntervalPanics)
+{
+    EXPECT_DEATH(
+        { KeyChooser c(KeyDistConfig::zipfian(16, 1.0, 1)); }, "theta");
+}

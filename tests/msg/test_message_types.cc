@@ -27,11 +27,12 @@ TEST(MsgTypeNames, EveryTypeHasAUniqueNonEmptyName)
 
 TEST(MsgTypeNames, CountMatchesLastEnumerator)
 {
-    // HeartbeatAck is deliberately kept last; msgTypeCount derives
+    // CacheInvalidate is deliberately kept last; msgTypeCount derives
     // from it.
-    EXPECT_EQ(static_cast<unsigned>(MsgType::HeartbeatAck),
+    EXPECT_EQ(static_cast<unsigned>(MsgType::CacheInvalidate),
               msgTypeCount - 1);
-    EXPECT_STREQ(msgTypeName(MsgType::HeartbeatAck), "heartbeat_ack");
+    EXPECT_STREQ(msgTypeName(MsgType::CacheInvalidate),
+                 "cache_invalidate");
 }
 
 TEST(MsgTypeNames, ResponseClassificationMatchesNaming)

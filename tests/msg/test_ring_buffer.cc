@@ -160,3 +160,51 @@ TEST(RingDeath, TinyAreaPanics)
     Machine m(MachineConfig::paperPair(MemoryModel::Shared));
     EXPECT_DEATH(MessageRing(m, 1_GiB, 128), "too small");
 }
+
+TEST(RingOccupancy, HooksTrackDepthAndHighWatermark)
+{
+    Machine m(MachineConfig::paperPair(MemoryModel::Shared));
+    MessageRing ring(m, 4_GiB, 1_MiB);
+
+    EXPECT_EQ(ring.size(), 0u);
+    EXPECT_EQ(ring.freeSlots(), ring.capacity());
+    EXPECT_FALSE(ring.full());
+    EXPECT_DOUBLE_EQ(ring.occupancy(), 0.0);
+    EXPECT_EQ(ring.highWatermark(), 0u);
+
+    Message msg;
+    msg.type = MsgType::TaskMigrate;
+    msg.from = 0;
+    msg.to = 1;
+    ASSERT_TRUE(ring.enqueue(0, msg));
+    ASSERT_TRUE(ring.enqueue(0, msg));
+    EXPECT_EQ(ring.size(), 2u);
+    EXPECT_EQ(ring.freeSlots(), ring.capacity() - 2);
+    EXPECT_EQ(ring.highWatermark(), 2u);
+
+    // Draining lowers occupancy but never the high-watermark.
+    ring.dequeue(1);
+    ring.dequeue(1);
+    EXPECT_EQ(ring.size(), 0u);
+    EXPECT_EQ(ring.highWatermark(), 2u);
+    ASSERT_TRUE(ring.enqueue(0, msg));
+    EXPECT_EQ(ring.highWatermark(), 2u);
+}
+
+TEST(RingOccupancy, FullRingReportsFullAndRefuses)
+{
+    Machine m(MachineConfig::paperPair(MemoryModel::Shared));
+    // Smallest legal area: header + a handful of slots.
+    MessageRing ring(m, 4_GiB, 64 + 4 * MessageRing::slotBytes);
+
+    Message msg;
+    msg.type = MsgType::TaskMigrate;
+    msg.from = 0;
+    msg.to = 1;
+    while (!ring.full())
+        ASSERT_TRUE(ring.enqueue(0, msg));
+    EXPECT_EQ(ring.freeSlots(), 0u);
+    EXPECT_DOUBLE_EQ(ring.occupancy(), 1.0);
+    EXPECT_FALSE(ring.enqueue(0, msg));
+    EXPECT_EQ(ring.highWatermark(), ring.capacity());
+}

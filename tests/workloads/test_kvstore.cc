@@ -67,18 +67,18 @@ TEST_F(KvStoreTest, MSetWritesFourSlots)
 TEST_F(KvStoreTest, OpsWorkAfterMigration)
 {
     std::vector<std::uint8_t> payload(256, 0x9d);
-    app_->migrateToOther();
+    app_->migrateToNext();
     store_->exec(KvOp::Set, 7, payload.data());
     store_->exec(KvOp::SAdd, 9, payload.data());
     EXPECT_EQ(store_->getValue(7), payload);
-    app_->migrateToOther();
+    app_->migrateToNext();
     // Data written remotely reads back at the origin.
     EXPECT_EQ(store_->getValue(7), payload);
 }
 
 TEST_F(KvStoreTest, MeasureRoundAdvancesClock)
 {
-    app_->migrateToOther();
+    app_->migrateToNext();
     Rng rng(1);
     Cycles c = store_->measureRound(KvOp::Get, 50, rng);
     EXPECT_GT(c, 0u);
@@ -99,7 +99,7 @@ TEST(KvStoreSocketPath, PopcornForwardsStramashUsesIpi)
         App app(sys, 0);
         KvStore store(app, 64, 256);
         store.populate();
-        app.migrateToOther();
+        app.migrateToNext();
         // Warm the DB pages first so only socket forwarding remains.
         Rng warm(5);
         store.measureRound(KvOp::Get, 64, warm);
@@ -149,7 +149,7 @@ TEST(KvStoreSpeedup, StramashBeatsShmBeatsTcp)
         App app(sys, 0);
         KvStore store(app, 64, 256);
         store.populate();
-        app.migrateToOther();
+        app.migrateToNext();
         Rng rng(7);
         Cycles total = 0;
         for (KvOp op : allKvOps())
