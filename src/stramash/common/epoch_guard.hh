@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Epoch-scoped single-writer assertion for shared simulation state.
+ *
+ * The parallel host executor partitions nodes across lanes and only
+ * lets cross-lane effects flow at epoch barriers. Structures that are
+ * *supposed* to be touched by at most one lane per epoch (a coherence
+ * domain, a snoop filter) embed an EpochAccessGuard: the first access
+ * in an epoch claims the guard for the calling thread, later accesses
+ * from the same thread are free, and an access from a *different*
+ * thread inside the same epoch panics — it means the epoch window was
+ * too wide (a node observed an effect before the barrier that should
+ * have delivered it), i.e. the conservative lookahead bound was
+ * violated.
+ *
+ * The guard is inert (zero branches beyond one relaxed load) when no
+ * parallel session is active, and is fenced — reset to unclaimed — by
+ * the executor at every barrier.
+ */
+
+#ifndef STRAMASH_COMMON_EPOCH_GUARD_HH
+#define STRAMASH_COMMON_EPOCH_GUARD_HH
+
+#include <atomic>
+
+#include "stramash/common/logging.hh"
+
+namespace stramash
+{
+
+class EpochAccessGuard
+{
+  public:
+    /** A stable, unique tag for the calling host thread. */
+    static const void *
+    threadTag()
+    {
+        static thread_local char tag;
+        return &tag;
+    }
+
+    /** Enable / disable checking (executor session begin/end). */
+    void
+    setActive(bool on)
+    {
+        active_.store(on, std::memory_order_relaxed);
+        holder_.store(nullptr, std::memory_order_relaxed);
+    }
+
+    /** Barrier point: forget the epoch's claimant. */
+    void
+    fence()
+    {
+        holder_.store(nullptr, std::memory_order_relaxed);
+    }
+
+    /**
+     * Assert the calling thread may touch the guarded structure in
+     * the current epoch. @p what names the structure in the panic.
+     */
+    void
+    check(const char *what)
+    {
+        if (!active_.load(std::memory_order_relaxed))
+            return;
+        const void *me = threadTag();
+        const void *cur = holder_.load(std::memory_order_acquire);
+        if (cur == me)
+            return;
+        if (cur == nullptr) {
+            const void *expected = nullptr;
+            if (holder_.compare_exchange_strong(
+                    expected, me, std::memory_order_acq_rel))
+                return;
+            cur = expected;
+            if (cur == me)
+                return;
+        }
+        panic("epoch guard: ", what,
+              " touched by two host threads within one epoch "
+              "(lookahead bound violated)");
+    }
+
+  private:
+    std::atomic<bool> active_{false};
+    std::atomic<const void *> holder_{nullptr};
+};
+
+} // namespace stramash
+
+#endif // STRAMASH_COMMON_EPOCH_GUARD_HH

@@ -57,6 +57,7 @@ Histogram::reset()
 Counter &
 StatGroup::counter(const std::string &name)
 {
+    std::lock_guard<std::mutex> g(regMu_);
     return counters_[name];
 }
 
@@ -64,10 +65,12 @@ Histogram &
 StatGroup::histogram(const std::string &name,
                      std::vector<std::uint64_t> edges)
 {
+    std::lock_guard<std::mutex> g(regMu_);
     auto it = histograms_.find(name);
     if (it == histograms_.end()) {
-        it = histograms_.emplace(name, Histogram(std::move(edges)))
-                 .first;
+        // try_emplace builds the Histogram in place: it is neither
+        // copyable nor movable (it owns a spinlock).
+        it = histograms_.try_emplace(name, std::move(edges)).first;
     }
     return it->second;
 }
@@ -75,18 +78,21 @@ StatGroup::histogram(const std::string &name,
 bool
 StatGroup::has(const std::string &name) const
 {
+    std::lock_guard<std::mutex> g(regMu_);
     return counters_.count(name) != 0;
 }
 
 bool
 StatGroup::hasHistogram(const std::string &name) const
 {
+    std::lock_guard<std::mutex> g(regMu_);
     return histograms_.count(name) != 0;
 }
 
 std::uint64_t
 StatGroup::value(const std::string &name) const
 {
+    std::lock_guard<std::mutex> g(regMu_);
     auto it = counters_.find(name);
     return it == counters_.end() ? 0 : it->second.value();
 }
@@ -94,6 +100,7 @@ StatGroup::value(const std::string &name) const
 const Histogram *
 StatGroup::findHistogram(const std::string &name) const
 {
+    std::lock_guard<std::mutex> g(regMu_);
     auto it = histograms_.find(name);
     return it == histograms_.end() ? nullptr : &it->second;
 }

@@ -101,15 +101,6 @@ App::migrateToNext()
 }
 
 void
-App::migrateToOther()
-{
-    panic_if(sys_.nodeCount() != 2,
-             "migrateToOther is a two-node shim; use migrateToNext() "
-             "or migrateTo(peer) on an N-node machine");
-    migrateToNext();
-}
-
-void
 App::retireForAccess(KernelInstance &k)
 {
     // A memory instruction retires alongside its access.

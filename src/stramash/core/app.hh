@@ -50,23 +50,12 @@ class App
     void migrateTo(NodeId peer) { migrate(peer); }
 
     /**
-     * Migrate to the next alive node in cyclic node order — the
-     * topology-aware successor of migrateToOther(). On the paper
-     * pair this is exactly "the other node"; on an N-node machine
-     * the task round-robins across the topology.
+     * Migrate to the next alive node in cyclic node order. On the
+     * paper pair this is exactly "the other node"; on an N-node
+     * machine the task round-robins across the topology.
      * @return the destination node.
      */
     NodeId migrateToNext();
-
-    /**
-     * Migrate to the other node. DEPRECATED two-node shim kept for
-     * one release: panics on machines with more than two nodes —
-     * use migrateToNext() or migrateTo(peer) there. Every in-tree
-     * call site has been converted; new code must not add any.
-     */
-    [[deprecated("two-node shim; use migrateToNext() or "
-                 "migrateTo(peer)")]]
-    void migrateToOther();
 
     // ---- memory access (charged, faulting, real data) ----
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "stramash/sim/parallel_executor.hh"
 #include "stramash/trace/chrome_exporter.hh"
 #include "stramash/trace/json_stats.hh"
 
@@ -142,6 +143,15 @@ System::System(const SystemConfig &cfg) : cfg_(cfg)
 }
 
 System::~System() = default;
+
+HostExecutor &
+System::hostExecutor()
+{
+    if (!executor_)
+        executor_ = std::make_unique<HostExecutor>(
+            *machine_, std::max(1u, cfg_.hostThreads));
+    return *executor_;
+}
 
 KernelInstance &
 System::kernel(NodeId node)

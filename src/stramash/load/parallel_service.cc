@@ -1,0 +1,382 @@
+#include "stramash/load/parallel_service.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "stramash/sim/parallel_executor.hh"
+
+namespace stramash
+{
+
+namespace
+{
+
+/** Latency buckets: powers of two, 1 Kcycle .. 128 Mcycles (same
+ *  shape as the classic front end's histogram). */
+std::vector<std::uint64_t>
+latencyEdges()
+{
+    std::vector<std::uint64_t> e;
+    for (std::uint64_t v = 1024; v <= (1ULL << 27); v <<= 1)
+        e.push_back(v);
+    return e;
+}
+
+/** Owner-side protocol work per served request (the app.compute()
+ *  budget the closed-loop store charges). */
+constexpr std::uint64_t kServeInstructions = 2500;
+
+/** Staged-event kinds on the executor's cross-lane channel. */
+constexpr std::uint32_t kDemand = 0;     // ingress -> shard owner
+constexpr std::uint32_t kCompletion = 1; // owner -> ingress
+
+/** One open-loop arrival bound for a specific ingress node. */
+struct Arrival
+{
+    Cycles t;
+    std::uint64_t key;
+    KvOp op;
+};
+
+class TailDriver final : public EpochDriver
+{
+  public:
+    TailDriver(System &sys, ShardedKvStore &store,
+               const ServiceConfig &cfg,
+               std::vector<std::vector<Arrival>> streams)
+        : sys_(sys), store_(store), cfg_(cfg),
+          streams_(std::move(streams)), nodes_(streams_.size()),
+          latency_(latencyEdges()), queueDepth_({1, 2, 4, 8, 16, 32,
+                                                 64, 128, 256, 512}),
+          batchSize_({1, 2, 4, 8, 16, 32, 64})
+    {
+    }
+
+    bool
+    step(NodeId node, const EpochCtx &ctx) override
+    {
+        PerNode &st = nodes_[node];
+        const std::vector<Arrival> &stream = streams_[node];
+        for (;;) {
+            // Admissions happen in arrival order; batches that start
+            // before the next arrival (or the window edge) run
+            // first, so the admission test sees the queue occupancy
+            // of the arrival instant — exactly like the classic
+            // front end's inject() pump.
+            bool haveArrival = st.cursor < stream.size() &&
+                               stream[st.cursor].t < ctx.windowEnd;
+            Cycles limit = haveArrival ? stream[st.cursor].t
+                                       : ctx.windowEnd;
+            pump(node, limit);
+            if (!haveArrival)
+                break;
+            admit(node, stream[st.cursor]);
+            ++st.cursor;
+        }
+        return st.cursor < stream.size() || !st.queue.empty();
+    }
+
+    void
+    deliver(NodeId node, const StagedEvent &ev) override
+    {
+        if (ev.kind == kDemand)
+            serveDemand(node, ev);
+        else
+            complete(node, ev);
+    }
+
+    Cycles
+    nextEventAt(NodeId node) const override
+    {
+        const PerNode &st = nodes_[node];
+        Cycles next = kNoPendingEvent;
+        if (st.cursor < streams_[node].size())
+            next = streams_[node][st.cursor].t;
+        if (!st.queue.empty())
+            next = std::min(next,
+                            std::max(clock(node),
+                                     st.queue.front().arrival));
+        return next;
+    }
+
+    OpenLoopReport
+    report(Cycles lastArrival) const
+    {
+        OpenLoopReport r;
+        for (const PerNode &st : nodes_) {
+            r.offered += st.offered;
+            r.accepted += st.accepted;
+            r.shed += st.shed;
+            r.served += st.served;
+            r.batches += st.batches;
+            r.lastCompletion =
+                std::max(r.lastCompletion, st.lastCompletion);
+        }
+        r.meanLatency = latency_.mean();
+        r.p50 = latency_.percentile(0.50);
+        r.p99 = latency_.percentile(0.99);
+        r.p999 = latency_.percentile(0.999);
+        r.lastArrival = lastArrival;
+        return r;
+    }
+
+  private:
+    struct Pending
+    {
+        Cycles arrival;
+        KvOp op;
+        std::uint64_t key;
+    };
+
+    struct PerNode
+    {
+        std::size_t cursor = 0;
+        std::deque<Pending> queue;
+        std::uint64_t offered = 0;
+        std::uint64_t accepted = 0;
+        std::uint64_t shed = 0;
+        std::uint64_t served = 0;
+        std::uint64_t batches = 0;
+        Cycles lastCompletion = 0;
+    };
+
+    System &sys_;
+    ShardedKvStore &store_;
+    const ServiceConfig &cfg_;
+    std::vector<std::vector<Arrival>> streams_;
+    std::vector<PerNode> nodes_;
+    /** Shared, spinlocked, all-integer: sample order across lanes
+     *  cannot perturb any derived value. */
+    Histogram latency_;
+    Histogram queueDepth_;
+    Histogram batchSize_;
+
+    bool
+    fused() const
+    {
+        return sys_.config().osDesign == OsDesign::FusedKernel;
+    }
+
+    Cycles
+    clock(NodeId n) const
+    {
+        return sys_.machine().node(n).cycles();
+    }
+
+    void
+    admit(NodeId node, const Arrival &a)
+    {
+        Machine &machine = sys_.machine();
+        PerNode &st = nodes_[node];
+        ++st.offered;
+        machine.stall(node, cfg_.admissionCycles);
+        queueDepth_.sample(st.queue.size());
+        if (st.queue.size() >= cfg_.queueCapacity) {
+            ++st.shed;
+            return;
+        }
+        st.queue.push_back({a.t, a.op, a.key});
+        ++st.accepted;
+    }
+
+    void
+    pump(NodeId node, Cycles limit)
+    {
+        PerNode &st = nodes_[node];
+        while (!st.queue.empty()) {
+            Cycles start =
+                std::max(clock(node), st.queue.front().arrival);
+            if (start >= limit)
+                break;
+            serveBatch(node);
+        }
+    }
+
+    void
+    serveBatch(NodeId node)
+    {
+        Machine &machine = sys_.machine();
+        PerNode &st = nodes_[node];
+        Cycles now = clock(node);
+        Cycles start = std::max(now, st.queue.front().arrival);
+        if (start > now)
+            machine.stall(node, start - now);
+        machine.stall(node, cfg_.batchDispatchCycles);
+
+        std::size_t taken = 0;
+        while (taken < cfg_.batchSize && !st.queue.empty() &&
+               st.queue.front().arrival <= start) {
+            Pending req = st.queue.front();
+            st.queue.pop_front();
+            ++taken;
+            serveOne(node, req);
+        }
+        batchSize_.sample(taken);
+        ++st.batches;
+    }
+
+    void
+    serveOne(NodeId ingress, const Pending &req)
+    {
+        Machine &machine = sys_.machine();
+        NodeId owner = store_.shardOf(req.key);
+        if (owner == ingress) {
+            machine.stall(ingress, KvStore::stackCycles);
+            machine.retire(ingress, kServeInstructions);
+            chargePayload(ingress, req.op == KvOp::Set
+                                       ? AccessType::Store
+                                       : AccessType::Load);
+            Cycles done = clock(ingress);
+            finish(ingress, done, req.arrival);
+            return;
+        }
+
+        // Cross-shard: the ingress runs its half and hands the owner
+        // a demand that travels for the IPI latency. The doorbell IPI
+        // itself lands at the owner when the demand does
+        // (serveDemand): charging it at send time would interleave
+        // with the owner's idle gap-fills in a lane-dependent order.
+        if (fused()) {
+            KernelInstance &ownerK = sys_.kernel(owner);
+            machine.dataAccess(ingress, AccessType::Load,
+                               ownerK.dataAddrFor(0x50cce7), 64);
+            machine.dataAccess(ingress, AccessType::Store,
+                               ownerK.dataAddrFor(0xd00b311), 64);
+            machine.stall(ingress, 2 * KvStore::remoteMmioCycles);
+        } else {
+            // Two-message RPC, modeled: the sender's setup stall and
+            // the wire accounting happen now; the owner pays handler
+            // dispatch when the demand lands (serveDemand), and the
+            // response is accounted there too.
+            machine.stall(ingress,
+                          sys_.config().msgCosts.sendSetupCycles);
+            Message m;
+            m.type = MsgType::AppRequest;
+            m.from = ingress;
+            m.to = owner;
+            sys_.msg().noteModeledSend(m);
+        }
+        LaneContext *lc = tlsLaneContext();
+        panic_if(!lc, "parallel tail service outside an epoch lane");
+        Cycles ready =
+            clock(ingress) + sys_.machine().ipiCycles(owner);
+        lc->events.push_back({ready, ingress, owner, lc->nextSeq++,
+                              kDemand, req.arrival, req.key,
+                              static_cast<std::uint64_t>(req.op)});
+    }
+
+    void
+    serveDemand(NodeId owner, const StagedEvent &ev)
+    {
+        Machine &machine = sys_.machine();
+        Cycles now = clock(owner);
+        if (ev.ready > now)
+            machine.stall(owner, ev.ready - now);
+        if (fused()) {
+            // The demand's doorbell IPI lands now; the owner's lane
+            // owns it, so this delivers (and charges) inline.
+            machine.sendIpi(ev.src, owner);
+            machine.stall(owner, KvStore::stackCycles / 2);
+        } else {
+            machine.stall(owner,
+                          sys_.config().msgCosts.handlerCycles);
+            machine.stall(owner, KvStore::stackCycles);
+        }
+        machine.retire(owner, kServeInstructions);
+        auto op = static_cast<KvOp>(ev.c);
+        chargePayload(owner, op == KvOp::Set ? AccessType::Store
+                                             : AccessType::Load);
+        if (!fused()) {
+            machine.stall(owner,
+                          sys_.config().msgCosts.sendSetupCycles);
+            Message m;
+            m.type = MsgType::AppResponse;
+            m.from = owner;
+            m.to = ev.src;
+            sys_.msg().noteModeledSend(m);
+        }
+        LaneContext *lc = tlsLaneContext();
+        panic_if(!lc, "parallel tail service outside an epoch lane");
+        Cycles ready =
+            clock(owner) + sys_.machine().ipiCycles(ev.src);
+        lc->events.push_back({ready, owner, ev.src, lc->nextSeq++,
+                              kCompletion, ev.a, ev.b, ev.c});
+    }
+
+    void
+    complete(NodeId ingress, const StagedEvent &ev)
+    {
+        finish(ingress, ev.ready, ev.a);
+    }
+
+    void
+    finish(NodeId node, Cycles done, Cycles arrival)
+    {
+        PerNode &st = nodes_[node];
+        panic_if(done < arrival,
+                 "request completed before it arrived");
+        latency_.sample(done - arrival);
+        ++st.served;
+        st.lastCompletion = std::max(st.lastCompletion, done);
+    }
+
+    void
+    chargePayload(NodeId node, AccessType type)
+    {
+        Machine &machine = sys_.machine();
+        std::size_t bytes = store_.payloadBytes();
+        for (std::size_t off = 0; off < bytes; off += cacheLineSize) {
+            machine.dataAccess(
+                node, type,
+                sys_.kernel(node).dataAddrFor(
+                    0x10ad0000ULL + node * 0x10000ULL + off),
+                cacheLineSize);
+        }
+    }
+};
+
+} // namespace
+
+ParallelKvService::ParallelKvService(System &sys,
+                                     ShardedKvStore &store,
+                                     ServiceConfig cfg)
+    : sys_(sys), store_(store), cfg_(cfg)
+{
+    panic_if(cfg_.batchSize == 0,
+             "parallel service: batchSize must be >= 1");
+    panic_if(cfg_.queueCapacity == 0,
+             "parallel service: queueCapacity must be >= 1");
+    panic_if(cfg_.hotKeyCache,
+             "parallel service: the hot-key cache is not modeled; "
+             "use the classic KvFrontEnd for cache experiments");
+}
+
+OpenLoopReport
+ParallelKvService::run(const OpenLoopConfig &lcfg, HostExecutor &exec)
+{
+    panic_if(lcfg.requests == 0, "open-loop run with no requests");
+
+    // Draw the identical seeded streams OpenLoopEngine would, in the
+    // identical order, then split per ingress node.
+    ArrivalProcess arrivals(lcfg.arrival);
+    KeyChooser keys(lcfg.keys);
+    Rng mix(lcfg.seed, 0x0919);
+
+    std::size_t n = sys_.nodeCount();
+    std::vector<std::vector<Arrival>> streams(n);
+    Cycles t = 0;
+    for (std::size_t i = 0; i < lcfg.requests; ++i) {
+        t += arrivals.next();
+        std::uint64_t key = keys.next();
+        KvOp op = mix.uniform() < lcfg.setFraction ? KvOp::Set
+                                                   : KvOp::Get;
+        auto ingress = static_cast<NodeId>(mix.below64(n));
+        streams[ingress].push_back({t, key, op});
+    }
+
+    TailDriver driver(sys_, store_, cfg_, std::move(streams));
+    exec.run(driver);
+    return driver.report(t);
+}
+
+} // namespace stramash

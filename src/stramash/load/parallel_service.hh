@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The shard-parallel open-loop service loop: the tail-latency
+ * experiment restated as an epoch-driven event model so it can run
+ * on the parallel host executor (sim/parallel_executor.hh).
+ *
+ * The classic KvFrontEnd couples every node's clock on every
+ * cross-shard request (the ingress reads the owner's clock and walks
+ * it forward before serving), which makes its timeline inherently
+ * sequential — parallelising it bit-identically would need a
+ * max-plus closure per request. ParallelKvService instead treats a
+ * cross-shard request the way the hardware does: the ingress runs
+ * its half, hands the owner a *demand* that travels for the IPI
+ * latency, the owner serves it against its own clock and hands back
+ * a *completion* that travels the same way; the request's latency is
+ * the completion's arrival minus the open-loop arrival stamp. Both
+ * legs ride the executor's conservative epoch staging, so the whole
+ * timeline — every clock, counter, histogram bucket and shed
+ * decision — is bit-identical for any host thread count, including
+ * one.
+ *
+ * The OS-design asymmetry is preserved: the fused design forwards a
+ * demand with two coherent doorbell accesses plus one IPI and the
+ * owner runs half a stack pass, while the multiple-kernel design
+ * pays a two-message RPC (accounted through the message layer's
+ * modeled-send path) and a full stack pass at the owner. Batching,
+ * admission control and shedding match the classic front end's
+ * knobs (ServiceConfig); the hot-key cache is not modeled here.
+ */
+
+#ifndef STRAMASH_LOAD_PARALLEL_SERVICE_HH
+#define STRAMASH_LOAD_PARALLEL_SERVICE_HH
+
+#include "stramash/load/engine.hh"
+
+namespace stramash
+{
+
+class HostExecutor;
+
+class ParallelKvService
+{
+  public:
+    ParallelKvService(System &sys, ShardedKvStore &store,
+                      ServiceConfig cfg = {});
+
+    /**
+     * Offer @p lcfg.requests open-loop arrivals (the identical
+     * seeded streams OpenLoopEngine would draw), serve them to
+     * completion on @p exec's host lanes, and report. One service
+     * instance is single-use like a fresh KvFrontEnd: build a new
+     * System + store + service per measured run.
+     */
+    OpenLoopReport run(const OpenLoopConfig &lcfg, HostExecutor &exec);
+
+    const ServiceConfig &config() const { return cfg_; }
+
+  private:
+    System &sys_;
+    ShardedKvStore &store_;
+    ServiceConfig cfg_;
+};
+
+} // namespace stramash
+
+#endif // STRAMASH_LOAD_PARALLEL_SERVICE_HH

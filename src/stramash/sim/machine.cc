@@ -90,6 +90,9 @@ Machine::Machine(const MachineConfig &cfg)
         domain_->addNode(nc.id, geom, prof);
         nodes_.push_back(std::make_unique<Node>(nc));
     }
+    byId_.assign(nodes_.size(), nullptr);
+    for (auto &n : nodes_)
+        byId_[n->id()] = n.get();
     ipisReceived_.assign(nodes_.size(), 0);
     if (tracer_.enabled())
         domain_->setTracer(&tracer_);
@@ -102,21 +105,15 @@ Machine::Machine(const MachineConfig &cfg)
 Node &
 Machine::node(NodeId id)
 {
-    for (auto &n : nodes_) {
-        if (n->id() == id)
-            return *n;
-    }
-    panic("unknown node ", id);
+    panic_if(id >= byId_.size(), "unknown node ", id);
+    return *byId_[id];
 }
 
 const Node &
 Machine::node(NodeId id) const
 {
-    for (const auto &n : nodes_) {
-        if (n->id() == id)
-            return *n;
-    }
-    panic("unknown node ", id);
+    panic_if(id >= byId_.size(), "unknown node ", id);
+    return *byId_[id];
 }
 
 Node &
@@ -143,6 +140,20 @@ Machine::nodeByIsa(IsaType isa)
 Cycles
 Machine::dataAccess(NodeId nid, AccessType type, Addr pa, unsigned size)
 {
+    if (LaneContext *lc = tlsLaneContext(); lc && !lc->owns(nid)) {
+        // A lane touched a node it does not own. Functional mode
+        // charges a flat per-access latency, which is additive and
+        // can be staged; a cache-model access would mutate foreign
+        // hierarchy state mid-epoch, which the epoch guards exist to
+        // forbid — partition the workload so each node's accesses run
+        // on its owner lane.
+        panic_if(cfg_.cachePluginEnabled,
+                 "parallel session: cache-mode access to foreign node ",
+                 nid, " from lane ", lc->lane);
+        Cycles lat = node(nid).profile().l1;
+        lc->stageCharge(StagedCharge::Kind::Stall, nid, nid, lat);
+        return lat;
+    }
     if (accessTrace_)
         accessTrace_(nid, type, pa, size);
     Node &n = node(nid);
@@ -166,6 +177,15 @@ Machine::streamAccess(NodeId nid, AccessType type, Addr pa,
     if (mlp == 0)
         mlp = cfg_.streamMlp;
     panic_if(mlp == 0, "streamAccess needs mlp >= 1");
+    if (LaneContext *lc = tlsLaneContext(); lc && !lc->owns(nid)) {
+        panic_if(cfg_.cachePluginEnabled,
+                 "parallel session: cache-mode stream access to "
+                 "foreign node ",
+                 nid, " from lane ", lc->lane);
+        Cycles lat = node(nid).profile().l1;
+        lc->stageCharge(StagedCharge::Kind::Stall, nid, nid, lat);
+        return lat;
+    }
     if (accessTrace_)
         accessTrace_(nid, type, pa, size);
     Node &n = node(nid);
@@ -194,6 +214,10 @@ Machine::streamAccess(NodeId nid, AccessType type, Addr pa,
 void
 Machine::retire(NodeId nid, ICount n)
 {
+    if (LaneContext *lc = tlsLaneContext(); lc && !lc->owns(nid)) {
+        lc->stageCharge(StagedCharge::Kind::Retire, nid, nid, n);
+        return;
+    }
     if (retireTrace_)
         retireTrace_(nid, n);
     node(nid).retire(n);
@@ -203,6 +227,10 @@ Machine::retire(NodeId nid, ICount n)
 void
 Machine::stall(NodeId nid, Cycles c)
 {
+    if (LaneContext *lc = tlsLaneContext(); lc && !lc->owns(nid)) {
+        lc->stageCharge(StagedCharge::Kind::Stall, nid, nid, c);
+        return;
+    }
     node(nid).stall(c);
     maybeFireCrash(nid);
 }
@@ -217,11 +245,26 @@ Machine::ipiCycles(NodeId nid) const
 Cycles
 Machine::sendIpi(NodeId from, NodeId to)
 {
-    // A dead node neither raises nor takes interrupts.
+    // A dead node neither raises nor takes interrupts. deadNodes_
+    // only changes at epoch barriers during parallel sessions, so
+    // this read is stable within an epoch.
     if (anyNodeDead() && (!nodeAlive(from) || !nodeAlive(to)))
         return 0;
+    if (LaneContext *lc = tlsLaneContext(); lc && !lc->owns(to)) {
+        // Drop faults were rejected at session start (the per-site
+        // rng draw order would depend on host scheduling), so the
+        // staged delivery is unconditional.
+        lc->stageCharge(StagedCharge::Kind::Ipi, to, from, 0);
+        return ipiCycles(to);
+    }
     if (injector_ && injector_->shouldDropIpi(from, to))
         return 0;
+    return deliverIpi(from, to);
+}
+
+Cycles
+Machine::deliverIpi(NodeId from, NodeId to)
+{
     Node &dst = node(to);
     Cycles lat = ipiCycles(to);
     // The receiver pays the delivery latency; the span covers it.
@@ -291,6 +334,86 @@ Machine::maxRuntime() const
     for (const auto &n : nodes_)
         best = std::max(best, n->cycles());
     return best;
+}
+
+void
+Machine::beginParallelSession(unsigned threads)
+{
+    panic_if(parallelActive_, "nested parallel sessions");
+    panic_if(nodes_.size() > 64,
+             "parallel sessions support at most 64 nodes");
+    if (threads > 1) {
+        // Reject anything whose per-access side effects depend on
+        // the global interleaving of accesses rather than per-node
+        // program order: replay hooks see a global stream, event
+        // tracing timestamps against a global observer, and every
+        // non-crash fault site draws from its rng in arrival order.
+        panic_if(accessTrace_ || retireTrace_,
+                 "parallel session: trace hooks capture a global "
+                 "access order and cannot run multi-threaded");
+        panic_if(tracer_.enabled(),
+                 "parallel session: event tracing is single-thread "
+                 "only (set hostThreads = 1)");
+        panic_if(injector_ && injector_->plan().any(),
+                 "parallel session: transient fault sites draw rng "
+                 "in global arrival order; only scheduled crash "
+                 "plans are supported multi-threaded");
+    }
+    parallelActive_ = true;
+    domain_->setParallelGuard(true);
+}
+
+void
+Machine::endParallelSession()
+{
+    panic_if(!parallelActive_, "endParallelSession: no session");
+    domain_->setParallelGuard(false);
+    parallelActive_ = false;
+}
+
+Cycles
+Machine::minCrossNodeLookahead() const
+{
+    Cycles w = ~Cycles(0);
+    for (const auto &n : nodes_)
+        w = std::min(w, ipiCycles(n->id()));
+    return std::max<Cycles>(w, 1);
+}
+
+void
+Machine::pollCrashSites()
+{
+    if (!injector_ || !injector_->crashArmed())
+        return;
+    for (NodeId nid = 0; nid < byId_.size(); ++nid)
+        fireCrashIfDue(nid);
+}
+
+void
+Machine::fenceParallelGuards()
+{
+    domain_->fenceParallelEpoch();
+}
+
+void
+Machine::applyStagedCharge(const StagedCharge &c)
+{
+    switch (c.kind) {
+      case StagedCharge::Kind::Stall:
+        node(c.dst).stall(c.amount);
+        return;
+      case StagedCharge::Kind::Retire:
+        node(c.dst).retire(c.amount);
+        return;
+      case StagedCharge::Kind::Ipi:
+        // Liveness was checked at send time; a node crashed at an
+        // intervening barrier swallows the charge like any retire on
+        // a frozen clock, but skips the delivery counters too.
+        if (nodeAlive(c.dst))
+            deliverIpi(c.from, c.dst);
+        return;
+    }
+    panic("unknown staged charge kind");
 }
 
 void

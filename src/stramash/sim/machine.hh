@@ -17,6 +17,7 @@
 #include "stramash/mem/guest_memory.hh"
 #include "stramash/mem/phys_map.hh"
 #include "stramash/sim/node.hh"
+#include "stramash/sim/parallel_epoch.hh"
 #include "stramash/trace/trace.hh"
 
 namespace stramash
@@ -210,6 +211,42 @@ class Machine
         retireTrace_ = nullptr;
     }
 
+    // ---- parallel host sessions (sim/parallel_executor) ----
+
+    /**
+     * Enter a parallel host session: crash polling moves to the
+     * epoch barriers (pollCrashSites), the coherence/snoop epoch
+     * guards arm, and every charge aimed at a node the calling
+     * lane does not own is staged in its LaneContext instead of
+     * applied. Multi-lane sessions reject configurations whose
+     * per-access side effects are order-dependent (trace hooks,
+     * event tracing, non-crash fault sites).
+     */
+    void beginParallelSession(unsigned threads);
+    void endParallelSession();
+    bool parallelSessionActive() const { return parallelActive_; }
+
+    /**
+     * The conservative lookahead: the smallest latency any cross-node
+     * effect is charged before a peer can observe it. Cross-ISA IPI
+     * delivery (2 us, Table 2) is the cheapest interaction the
+     * machine models — coherence probes and messages charge at least
+     * as much — so the epoch window is bounded by the minimum
+     * ipiCycles over all nodes.
+     */
+    Cycles minCrossNodeLookahead() const;
+
+    /** Epoch-aligned crash polling: fire any due scheduled crash, in
+     *  ascending node order (serial barrier context only). */
+    void pollCrashSites();
+
+    /** Fence the coherence/snoop epoch guards at a barrier. */
+    void fenceParallelGuards();
+
+    /** Apply a charge staged by a foreign lane (owner lane context:
+     *  the caller must own c.dst). */
+    void applyStagedCharge(const StagedCharge &c);
+
   private:
     /**
      * Poll the scheduled crash site after a clock advance on @p nid.
@@ -219,24 +256,34 @@ class Machine
     void
     maybeFireCrash(NodeId nid)
     {
-        if (injector_ && injector_->crashArmed())
+        // Parallel sessions poll at epoch barriers instead: killNode
+        // mutates machine-wide state no lane may touch mid-epoch.
+        if (injector_ && injector_->crashArmed() && !parallelActive_)
             fireCrashIfDue(nid);
     }
 
     void fireCrashIfDue(NodeId nid);
+
+    /** Receiver-side IPI delivery (charge + counters + trace). */
+    Cycles deliverIpi(NodeId from, NodeId to);
 
     MachineConfig cfg_;
     GuestMemory mem_;
     PhysMap map_;
     std::unique_ptr<CoherenceDomain> domain_;
     std::vector<std::unique_ptr<Node>> nodes_;
+    /** Dense NodeId -> Node index (ids are validated dense). */
+    std::vector<Node *> byId_;
     std::vector<std::uint64_t> ipisReceived_;
     Tracer tracer_;
     std::unique_ptr<FaultInjector> injector_;
     AccessTraceFn accessTrace_;
     RetireTraceFn retireTrace_;
-    /** Count of crashed nodes; non-zero activates liveness checks. */
+    /** Count of crashed nodes; non-zero activates liveness checks.
+     *  Only mutated at epoch barriers during parallel sessions. */
     unsigned deadNodes_ = 0;
+    /** True between beginParallelSession / endParallelSession. */
+    bool parallelActive_ = false;
 };
 
 } // namespace stramash

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Shared vocabulary of the parallel host executor: the per-lane
+ * staging context a host thread carries while it simulates its subset
+ * of nodes, and the POD records that cross lane boundaries at epoch
+ * barriers.
+ *
+ * The parallel loop is conservative PDES in the CMB tradition: each
+ * epoch every lane free-runs its nodes up to a horizon bounded by the
+ * minimum cross-node interaction latency (the lookahead), staging any
+ * effect aimed at a node it does not own; a barrier then exchanges
+ * the staged records. Determinism does not hinge on *when* a staged
+ * charge is applied — every charge the machine accepts in functional
+ * mode is an additive update to a per-node sum (cycles, icount,
+ * counters, histogram bucket counts), so the final statistics are
+ * invariant under any application order that preserves per-owner
+ * program order. The executor still applies inbound records in a
+ * fixed (source lane ascending, FIFO within lane) order, and timed
+ * events in (ready, src, seq) order, so even intermediate states are
+ * schedule-independent.
+ */
+
+#ifndef STRAMASH_SIM_PARALLEL_EPOCH_HH
+#define STRAMASH_SIM_PARALLEL_EPOCH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "stramash/common/logging.hh"
+#include "stramash/common/types.hh"
+
+namespace stramash
+{
+
+/** "No locally known future event" sentinel for timed drivers. */
+constexpr Cycles kNoPendingEvent = ~Cycles(0);
+
+/**
+ * An additive cross-node effect staged until the next barrier:
+ * explicit stall cycles, retired instructions, or a cross-ISA IPI
+ * delivery (the receiver-side charge plus its counters).
+ */
+struct StagedCharge
+{
+    enum class Kind : std::uint8_t { Stall, Retire, Ipi };
+
+    Kind kind;
+    NodeId dst;
+    /** IPI source node (stats attribution); unused otherwise. */
+    NodeId from;
+    /** Cycles (Stall), instructions (Retire); unused for Ipi. */
+    std::uint64_t amount;
+};
+
+/**
+ * A timed cross-node event for epoch drivers (e.g. a cross-shard
+ * demand in the parallel kv service). The executor holds it back
+ * until the epoch whose window covers `ready`, then delivers events
+ * in (ready, src, seq) order — a total order independent of host
+ * thread scheduling.
+ */
+struct StagedEvent
+{
+    Cycles ready;
+    NodeId src;
+    NodeId dst;
+    /** Per-source FIFO sequence, assigned by the staging lane. */
+    std::uint64_t seq;
+    /** Driver-defined discriminator and payload. */
+    std::uint32_t kind;
+    std::uint64_t a;
+    std::uint64_t b;
+    std::uint64_t c;
+};
+
+/**
+ * What a host lane carries while simulating its nodes. Installed in
+ * thread-local storage for the duration of an epoch's parallel phase;
+ * Machine and the message layer consult it to decide "mine, apply
+ * directly" vs "foreign, stage until the barrier".
+ */
+struct LaneContext
+{
+    unsigned lane = 0;
+    /** Bit per owned NodeId (machines are capped at 64 nodes when a
+     *  parallel session is active). */
+    std::uint64_t ownedMask = 0;
+    /** Outbox: charges aimed at foreign nodes, FIFO. */
+    std::vector<StagedCharge> charges;
+    /** Outbox: timed events aimed at foreign nodes, FIFO. */
+    std::vector<StagedEvent> events;
+    /** seq generator for events staged by this lane. */
+    std::uint64_t nextSeq = 0;
+
+    bool
+    owns(NodeId id) const
+    {
+        return (ownedMask >> id) & 1;
+    }
+
+    void
+    stageCharge(StagedCharge::Kind kind, NodeId dst, NodeId from,
+                std::uint64_t amount)
+    {
+        charges.push_back({kind, dst, from, amount});
+    }
+};
+
+/**
+ * The calling thread's lane context; null outside a parallel phase.
+ * Inline so every layer (sim, msg) sees the same thread-local slot.
+ */
+inline LaneContext *&
+tlsLaneContext()
+{
+    static thread_local LaneContext *ctx = nullptr;
+    return ctx;
+}
+
+/** RAII installer for the epoch parallel phase. */
+class LaneScope
+{
+  public:
+    explicit LaneScope(LaneContext &ctx)
+    {
+        panic_if(tlsLaneContext(), "nested lane scopes");
+        tlsLaneContext() = &ctx;
+    }
+
+    ~LaneScope() { tlsLaneContext() = nullptr; }
+
+    LaneScope(const LaneScope &) = delete;
+    LaneScope &operator=(const LaneScope &) = delete;
+};
+
+} // namespace stramash
+
+#endif // STRAMASH_SIM_PARALLEL_EPOCH_HH

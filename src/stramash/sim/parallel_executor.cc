@@ -1,0 +1,261 @@
+#include "stramash/sim/parallel_executor.hh"
+
+#include <algorithm>
+
+namespace stramash
+{
+
+HostExecutor::HostExecutor(Machine &machine, unsigned threads)
+    : machine_(machine),
+      threads_(std::clamp<unsigned>(
+          threads, 1, static_cast<unsigned>(machine.nodeCount()))),
+      barrier_(threads_)
+{
+    panic_if(machine.nodeCount() > 64,
+             "parallel host sessions support at most 64 nodes");
+    lanes_.resize(threads_);
+    for (unsigned l = 0; l < threads_; ++l)
+        lanes_[l].ctx.lane = l;
+    for (NodeId n = 0; n < machine.nodeCount(); ++n) {
+        Lane &lane = lanes_[laneOf(n)];
+        lane.nodes.push_back(n);
+        lane.ctx.ownedMask |= std::uint64_t{1} << n;
+    }
+    workers_.reserve(threads_ - 1);
+    for (unsigned l = 1; l < threads_; ++l)
+        workers_.emplace_back([this, l] { workerMain(l); });
+}
+
+HostExecutor::~HostExecutor()
+{
+    {
+        std::lock_guard<std::mutex> g(poolMu_);
+        shutdown_ = true;
+    }
+    poolCv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+HostExecutor::runParallelJob(const std::function<void(unsigned)> &body)
+{
+    if (threads_ == 1) {
+        body(0);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> g(poolMu_);
+        job_ = body;
+        jobDone_ = 0;
+        ++jobGen_;
+    }
+    poolCv_.notify_all();
+    body(0);
+    std::unique_lock<std::mutex> lk(poolMu_);
+    doneCv_.wait(lk, [this] { return jobDone_ == threads_ - 1; });
+    job_ = nullptr;
+}
+
+void
+HostExecutor::workerMain(unsigned lane)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        std::function<void(unsigned)> body;
+        {
+            std::unique_lock<std::mutex> lk(poolMu_);
+            poolCv_.wait(lk,
+                         [&] { return shutdown_ || jobGen_ != seen; });
+            if (shutdown_)
+                return;
+            seen = jobGen_;
+            body = job_;
+        }
+        body(lane);
+        {
+            std::lock_guard<std::mutex> g(poolMu_);
+            ++jobDone_;
+        }
+        doneCv_.notify_one();
+    }
+}
+
+void
+HostExecutor::run(EpochDriver &driver)
+{
+    machine_.beginParallelSession(threads_);
+    lookahead_ = machine_.minCrossNodeLookahead();
+    epoch_ = 0;
+    epochsRun_ = 0;
+    stop_ = false;
+    for (Lane &l : lanes_) {
+        l.ctx.charges.clear();
+        l.ctx.events.clear();
+        l.ctx.nextSeq = 0;
+        l.inCharges.clear();
+        l.held.clear();
+        l.due.clear();
+        l.pending = false;
+    }
+    // First window: cover the earliest activity the driver knows of.
+    Cycles minNext = kNoPendingEvent;
+    for (NodeId n = 0; n < machine_.nodeCount(); ++n)
+        minNext = std::min(minNext, driver.nextEventAt(n));
+    windowEnd_ =
+        (minNext == kNoPendingEvent ? Cycles(0) : minNext) + lookahead_;
+
+    runParallelJob([this, &driver](unsigned lane) {
+        for (;;) {
+            driverEpochBody(driver, lane);
+            barrier_.wait();
+            // Redistribution runs on every lane: each pulls its own
+            // inbound records from all outboxes. The serial barrier
+            // work that remains is O(nodes + lanes), so the epoch's
+            // critical path stays parallel even when most requests
+            // stage cross-lane charges.
+            pullInbound(lane);
+            barrier_.wait();
+            if (lane == 0)
+                stop_ = driverBarrier(driver);
+            barrier_.wait();
+            if (stop_)
+                return;
+        }
+    });
+    machine_.endParallelSession();
+}
+
+void
+HostExecutor::pullInbound(unsigned lane)
+{
+    Lane &me = lanes_[lane];
+    // Source lanes ascending, FIFO within each: the application
+    // order the sequential reference produces. Outboxes are
+    // read-only here (every lane scans all of them); owners clear
+    // them at the top of the next epoch body.
+    for (unsigned src = 0; src < threads_; ++src) {
+        for (const StagedCharge &c : lanes_[src].ctx.charges)
+            if (laneOf(c.dst) == lane)
+                me.inCharges.push_back(c);
+        for (const StagedEvent &ev : lanes_[src].ctx.events)
+            if (laneOf(ev.dst) == lane)
+                me.held.push_back(ev);
+    }
+}
+
+void
+HostExecutor::driverEpochBody(EpochDriver &driver, unsigned lane)
+{
+    Lane &l = lanes_[lane];
+    // Everyone has consumed last epoch's outbox (pullInbound); make
+    // room before deliver/step stage fresh records.
+    l.ctx.charges.clear();
+    l.ctx.events.clear();
+    LaneScope scope(l.ctx);
+
+    // Inbound charges were queued in (src lane asc, FIFO) order.
+    for (const StagedCharge &c : l.inCharges)
+        machine_.applyStagedCharge(c);
+    l.inCharges.clear();
+
+    // Events whose ready time the window now covers become due.
+    l.due.clear();
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < l.held.size(); ++i) {
+        if (l.held[i].ready < windowEnd_)
+            l.due.push_back(l.held[i]);
+        else
+            l.held[keep++] = l.held[i];
+    }
+    l.held.resize(keep);
+    std::sort(l.due.begin(), l.due.end(),
+              [](const StagedEvent &a, const StagedEvent &b) {
+                  if (a.ready != b.ready)
+                      return a.ready < b.ready;
+                  if (a.src != b.src)
+                      return a.src < b.src;
+                  return a.seq < b.seq;
+              });
+    for (const StagedEvent &ev : l.due)
+        driver.deliver(ev.dst, ev);
+
+    EpochCtx ctx{epoch_, windowEnd_, lane};
+    l.pending = false;
+    for (NodeId n : l.nodes)
+        l.pending = driver.step(n, ctx) || l.pending;
+}
+
+bool
+HostExecutor::driverBarrier(EpochDriver &driver)
+{
+    machine_.pollCrashSites();
+    driver.atBarrier(epoch_);
+    machine_.fenceParallelGuards();
+    ++epochsRun_;
+
+    bool anyWork = false;
+    Cycles minNext = kNoPendingEvent;
+    for (const Lane &l : lanes_) {
+        anyWork = anyWork || l.pending || !l.inCharges.empty();
+        for (const StagedEvent &ev : l.held) {
+            anyWork = true;
+            minNext = std::min(minNext, ev.ready);
+        }
+    }
+    for (NodeId n = 0; n < machine_.nodeCount(); ++n)
+        minNext = std::min(minNext, driver.nextEventAt(n));
+    if (!anyWork && minNext == kNoPendingEvent)
+        return true;
+
+    // CMB-style adaptive horizon: jump over globally idle stretches,
+    // then extend by the conservative lookahead. Any send that will
+    // happen inside the next window executes at >= minNext, so its
+    // effect lands at >= minNext + W = the new horizon — never late.
+    windowEnd_ = (minNext == kNoPendingEvent
+                      ? windowEnd_
+                      : std::max(windowEnd_, minNext)) +
+                 lookahead_;
+    ++epoch_;
+    return false;
+}
+
+void
+HostExecutor::runChain(const std::vector<std::function<void()>> &items)
+{
+    machine_.beginParallelSession(threads_);
+    lookahead_ = machine_.minCrossNodeLookahead();
+    epochsRun_ = 0;
+    std::uint64_t all =
+        machine_.nodeCount() >= 64
+            ? ~std::uint64_t{0}
+            : (std::uint64_t{1} << machine_.nodeCount()) - 1;
+
+    runParallelJob([this, &items, all](unsigned lane) {
+        for (std::size_t i = 0; i < items.size(); ++i) {
+            if (i % threads_ == lane) {
+                // The item owns every node: nothing stages, but the
+                // machine is handed across host threads item by item,
+                // with the epoch guards checking exclusivity.
+                LaneContext &ctx = lanes_[lane].ctx;
+                std::uint64_t saved = ctx.ownedMask;
+                ctx.ownedMask = all;
+                {
+                    LaneScope scope(ctx);
+                    items[i]();
+                }
+                ctx.ownedMask = saved;
+            }
+            barrier_.wait();
+            if (lane == 0) {
+                machine_.pollCrashSites();
+                machine_.fenceParallelGuards();
+                ++epochsRun_;
+            }
+            barrier_.wait();
+        }
+    });
+    machine_.endParallelSession();
+}
+
+} // namespace stramash

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * HostExecutor: the epoch-based conservative parallel host loop.
+ *
+ * Nodes are partitioned across host lanes (lane = node % threads);
+ * each epoch runs three phases:
+ *
+ *   parallel  — every lane first applies the records staged for its
+ *               nodes at the previous barrier (charges in source-lane
+ *               ascending FIFO order, timed events in (ready, src,
+ *               seq) order up to the window horizon), then steps each
+ *               owned node's driver below the horizon;
+ *   exchange  — every lane pulls its own inbound records from all
+ *               lanes' outboxes (read-only scan, source ascending),
+ *               keeping redistribution off the serial critical path;
+ *   barrier   — lane 0 polls crash sites (epoch-aligned fault
+ *               delivery), fences the coherence/snoop epoch guards,
+ *               gives the driver its serial hook, and advances the
+ *               window. O(nodes + lanes), not O(staged records).
+ *
+ * The window advances by the machine's minimum cross-node interaction
+ * latency (the conservative lookahead W): any effect produced at time
+ * t becomes visible no earlier than t + W, so delivering it at the
+ * next barrier can never be late. When every node is idle until some
+ * future time, the window jumps there first (CMB-style adaptive
+ * horizon) — sends that follow still land at >= horizon + W because
+ * nothing can execute before the jump target.
+ *
+ * hostThreads = 1 runs the identical epoch algorithm inline on the
+ * calling thread (one lane owning every node), which is what makes
+ * thread-count sweeps bit-identical by construction.
+ */
+
+#ifndef STRAMASH_SIM_PARALLEL_EXECUTOR_HH
+#define STRAMASH_SIM_PARALLEL_EXECUTOR_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "stramash/sim/machine.hh"
+#include "stramash/sim/parallel_epoch.hh"
+
+namespace stramash
+{
+
+/** Per-epoch view handed to EpochDriver::step. */
+struct EpochCtx
+{
+    std::uint64_t epoch;
+    /** Exclusive horizon: timed drivers must not execute work at or
+     *  beyond it. Untimed (block-structured) drivers may ignore it. */
+    Cycles windowEnd;
+    unsigned lane;
+};
+
+/**
+ * A workload adapter the executor drives one node at a time. All
+ * hooks except atBarrier() run with the calling lane's LaneContext
+ * installed, so machine/messaging calls stage automatically.
+ */
+class EpochDriver
+{
+  public:
+    virtual ~EpochDriver() = default;
+
+    /**
+     * Advance @p node's workload within the epoch (timed drivers:
+     * strictly below ctx.windowEnd). @return true when the node still
+     * has local work left after this epoch.
+     */
+    virtual bool step(NodeId node, const EpochCtx &ctx) = 0;
+
+    /** A staged event addressed to @p node is due this epoch. */
+    virtual void
+    deliver(NodeId node, const StagedEvent &ev)
+    {
+        (void)node;
+        (void)ev;
+        panic("EpochDriver::deliver: driver staged events but does "
+              "not accept them");
+    }
+
+    /** Earliest locally known future work on @p node (arrival, queued
+     *  batch, ...); kNoPendingEvent when none. Serial context. */
+    virtual Cycles
+    nextEventAt(NodeId node) const
+    {
+        (void)node;
+        return kNoPendingEvent;
+    }
+
+    /** Serial hook at every barrier (single thread, fully synced). */
+    virtual void atBarrier(std::uint64_t epoch) { (void)epoch; }
+};
+
+/**
+ * Centralized counter barrier with a phase word. Lanes spin (with
+ * periodic yields) rather than sleep: epochs are microseconds long
+ * and the pool is sized to the machine, so parking would dominate.
+ * When the host is oversubscribed (more parties than hardware
+ * threads) spinning only steals cycles from the lane everyone is
+ * waiting on, so the barrier yields immediately instead.
+ */
+class SpinBarrier
+{
+  public:
+    explicit SpinBarrier(unsigned parties)
+        : parties_(parties),
+          spinLimit_(parties <= std::thread::hardware_concurrency()
+                         ? 4096
+                         : 1)
+    {
+    }
+
+    void
+    wait()
+    {
+        unsigned phase = phase_.load(std::memory_order_relaxed);
+        if (count_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            parties_) {
+            count_.store(0, std::memory_order_relaxed);
+            phase_.fetch_add(1, std::memory_order_release);
+        } else {
+            unsigned spins = 0;
+            while (phase_.load(std::memory_order_acquire) == phase) {
+                if (++spins >= spinLimit_) {
+                    std::this_thread::yield();
+                    spins = 0;
+                }
+            }
+        }
+    }
+
+  private:
+    const unsigned parties_;
+    const unsigned spinLimit_;
+    std::atomic<unsigned> count_{0};
+    std::atomic<unsigned> phase_{0};
+};
+
+class HostExecutor
+{
+  public:
+    /**
+     * @param threads host lanes; clamped to [1, nodeCount]. The pool
+     *        spawns threads-1 workers that park between sessions.
+     */
+    HostExecutor(Machine &machine, unsigned threads);
+    ~HostExecutor();
+
+    HostExecutor(const HostExecutor &) = delete;
+    HostExecutor &operator=(const HostExecutor &) = delete;
+
+    unsigned threads() const { return threads_; }
+    Machine &machine() { return machine_; }
+
+    /** Lane that owns @p node (node % threads). */
+    unsigned laneOf(NodeId node) const { return node % threads_; }
+
+    /**
+     * Run @p driver to quiescence: epochs continue until a barrier
+     * finds every node idle with no staged records in flight.
+     */
+    void run(EpochDriver &driver);
+
+    /**
+     * Serial chain: item i runs alone in epoch i, on lane i %
+     * threads, owning *every* node — the cross-thread machine-handoff
+     * pattern (NPB-style phase chains). Guards are fenced between
+     * items exactly as between driver epochs.
+     */
+    void runChain(const std::vector<std::function<void()>> &items);
+
+    /** Epochs completed by the last run()/runChain(). */
+    std::uint64_t epochsRun() const { return epochsRun_; }
+
+    /** Conservative lookahead W used by the last run(). */
+    Cycles lookahead() const { return lookahead_; }
+
+  private:
+    struct Lane
+    {
+        LaneContext ctx;
+        /** Owned node ids, ascending. */
+        std::vector<NodeId> nodes;
+        /** Inbound charges, already in (src lane asc, FIFO) order. */
+        std::vector<StagedCharge> inCharges;
+        /** Held events addressed to this lane, not yet due. */
+        std::vector<StagedEvent> held;
+        /** Due this epoch, sorted (ready, src, seq). */
+        std::vector<StagedEvent> due;
+        /** Any owned node reported work left this epoch. */
+        bool pending = false;
+    };
+
+    /** Dispatch body(lane) on every lane and wait for all. */
+    void runParallelJob(const std::function<void(unsigned)> &body);
+    void workerMain(unsigned lane);
+
+    void driverEpochBody(EpochDriver &driver, unsigned lane);
+    /** Pull records destined for @p lane's nodes from every lane's
+     *  outbox (src ascending, FIFO) — runs on all lanes in parallel
+     *  between the epoch body and the serial barrier. */
+    void pullInbound(unsigned lane);
+    /** Lane-0 serial barrier work; O(nodes + lanes). @return stop. */
+    bool driverBarrier(EpochDriver &driver);
+
+    Machine &machine_;
+    unsigned threads_;
+    std::vector<Lane> lanes_;
+    SpinBarrier barrier_;
+
+    // ---- session state (valid inside run()) ----
+    EpochDriver *driver_ = nullptr;
+    std::uint64_t epoch_ = 0;
+    Cycles windowEnd_ = 0;
+    Cycles lookahead_ = 0;
+    bool stop_ = false;
+    std::uint64_t epochsRun_ = 0;
+
+    // ---- worker pool (threads_ - 1 parked workers) ----
+    std::vector<std::thread> workers_;
+    std::mutex poolMu_;
+    std::condition_variable poolCv_;
+    std::condition_variable doneCv_;
+    std::function<void(unsigned)> job_;
+    std::uint64_t jobGen_ = 0;
+    unsigned jobDone_ = 0;
+    bool shutdown_ = false;
+};
+
+} // namespace stramash
+
+#endif // STRAMASH_SIM_PARALLEL_EXECUTOR_HH

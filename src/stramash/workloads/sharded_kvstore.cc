@@ -1,5 +1,9 @@
 #include "stramash/workloads/sharded_kvstore.hh"
 
+#include <algorithm>
+
+#include "stramash/sim/parallel_executor.hh"
+
 namespace stramash
 {
 
@@ -38,6 +42,7 @@ ShardedKvStore::ShardedKvStore(System &sys, ShardedKvConfig cfg)
     }
     expected_.assign(servers_.size(),
                      std::vector<std::uint64_t>(cfg_.keysPerShard, 0));
+    counters_.assign(servers_.size(), OwnerCounters{});
 }
 
 Addr
@@ -72,9 +77,13 @@ ShardedKvStore::ingressPath(NodeId ingress, NodeId owner)
         machine.stall(ingress, KvStore::stackCycles);
         return;
     }
-    ++crossShard_;
+    ++counters_[owner].crossShard;
     if (sys_.config().osDesign == OsDesign::MultipleKernel) {
-        // Shared-nothing forwarding: two messages per request.
+        // Shared-nothing forwarding: two messages per request. The
+        // channel scope is a no-op in sequential runs; in a parallel
+        // batch it serialises the ingress<->owner ring pair so the
+        // request/response exchange stays FIFO per channel.
+        ChannelScope channel(sys_.msg(), ingress, owner);
         Message req;
         req.type = MsgType::AppRequest;
         req.from = ingress;
@@ -99,6 +108,13 @@ ShardedKvStore::ingressPath(NodeId ingress, NodeId owner)
 void
 ShardedKvStore::exec(KvOp op, std::uint64_t key, NodeId ingress)
 {
+    execTagged(op, key, ingress, requestsServed());
+}
+
+void
+ShardedKvStore::execTagged(KvOp op, std::uint64_t key, NodeId ingress,
+                           std::uint64_t salt)
+{
     NodeId owner = shardOf(key);
     ingressPath(ingress, owner);
 
@@ -108,18 +124,22 @@ ShardedKvStore::exec(KvOp op, std::uint64_t key, NodeId ingress)
     App &app = *servers_[owner];
     app.compute(2500);
     Addr slot = slotAddr(owner, key);
+    // Scratch payload buffer, reused across requests: a per-request
+    // vector would put one malloc/free on every op of every host
+    // lane of a parallel batch.
+    thread_local std::vector<std::uint8_t> payload;
+    payload.resize(cfg_.payloadBytes);
     switch (op) {
       case KvOp::Get: {
-        std::vector<std::uint8_t> out(cfg_.payloadBytes);
-        app.readBuf(slot + 8, out.data(), cfg_.payloadBytes);
+        app.readBuf(slot + 8, payload.data(), cfg_.payloadBytes);
         break;
       }
       case KvOp::Set: {
-        std::uint64_t tag = key ^ (requests_ << 16) ^ 0xdb;
-        std::vector<std::uint8_t> v(cfg_.payloadBytes,
-                                    static_cast<std::uint8_t>(key));
+        std::uint64_t tag = key ^ (salt << 16) ^ 0xdb;
+        std::fill(payload.begin(), payload.end(),
+                  static_cast<std::uint8_t>(key));
         app.write<std::uint64_t>(slot, tag);
-        app.writeBuf(slot + 8, v.data(), cfg_.payloadBytes);
+        app.writeBuf(slot + 8, payload.data(), cfg_.payloadBytes);
         expected_[owner][(key / servers_.size()) % cfg_.keysPerShard] =
             tag;
         break;
@@ -128,7 +148,7 @@ ShardedKvStore::exec(KvOp op, std::uint64_t key, NodeId ingress)
         panic("sharded kv: only Get/Set are part of the scaling "
               "experiment");
     }
-    ++requests_;
+    ++counters_[owner].requests;
 }
 
 Cycles
@@ -142,6 +162,77 @@ ShardedKvStore::run(std::uint64_t totalRequests)
         KvOp op = (r & 1) ? KvOp::Set : KvOp::Get;
         exec(op, key, static_cast<NodeId>(r % n));
     }
+    return sys_.machine().maxRuntime() - before;
+}
+
+namespace
+{
+
+/** One owner's slice of a parallel batch: the global stream indices
+ *  (ascending, so same-slot Sets keep their sequential last-writer)
+ *  plus the keys drawn for them. */
+struct OwnerQueue
+{
+    std::vector<std::uint64_t> r;
+    std::vector<std::uint64_t> key;
+};
+
+/** Serves blocks of each owner's queue per epoch. Every request runs
+ *  entirely on the owner's lane; charges the request makes against
+ *  other nodes (ingress stack work, fused doorbells, IPIs) are staged
+ *  by the Machine's lane hooks and applied at the next barrier. */
+class ShardedKvDriver final : public EpochDriver
+{
+  public:
+    ShardedKvDriver(ShardedKvStore &store, std::size_t nodes,
+                    std::vector<OwnerQueue> queues)
+        : store_(store), next_(nodes, 0), queues_(std::move(queues))
+    {
+    }
+
+    bool
+    step(NodeId node, const EpochCtx &) override
+    {
+        // Large enough to amortise the barrier, small enough that
+        // lanes owning several shards interleave them fairly.
+        static constexpr std::size_t kBlock = 1024;
+        const OwnerQueue &q = queues_[node];
+        std::size_t &i = next_[node];
+        std::size_t end = std::min(q.r.size(), i + kBlock);
+        std::size_t n = next_.size();
+        for (; i < end; ++i) {
+            KvOp op = (q.r[i] & 1) ? KvOp::Set : KvOp::Get;
+            store_.execTagged(op, q.key[i],
+                              static_cast<NodeId>(q.r[i] % n), q.r[i]);
+        }
+        return i < q.r.size();
+    }
+
+  private:
+    ShardedKvStore &store_;
+    std::vector<std::size_t> next_;
+    std::vector<OwnerQueue> queues_;
+};
+
+} // namespace
+
+Cycles
+ShardedKvStore::runParallel(std::uint64_t totalRequests,
+                            HostExecutor &exec)
+{
+    Cycles before = sys_.machine().maxRuntime();
+    std::size_t n = servers_.size();
+    // Draw the whole request stream up front, consuming the rng in
+    // exactly the order run() would, then partition by shard owner.
+    std::vector<OwnerQueue> queues(n);
+    for (std::uint64_t r = 0; r < totalRequests; ++r) {
+        std::uint64_t key = rng_.below64(n * cfg_.keysPerShard);
+        OwnerQueue &q = queues[shardOf(key)];
+        q.r.push_back(r);
+        q.key.push_back(key);
+    }
+    ShardedKvDriver driver(*this, n, std::move(queues));
+    exec.run(driver);
     return sys_.machine().maxRuntime() - before;
 }
 

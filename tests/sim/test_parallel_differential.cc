@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Differential determinism suite for the parallel host executor: the
+ * parallel paths must be *bit-identical* to the sequential reference
+ * — every per-node clock, instruction count, IPI count, message
+ * counter, slot tag and the full stats JSON — for every topology
+ * size, OS design and host-thread count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "stramash/load/parallel_service.hh"
+#include "stramash/sim/parallel_executor.hh"
+#include "stramash/trace/json_stats.hh"
+#include "stramash/workloads/npb.hh"
+#include "stramash/workloads/sharded_kvstore.hh"
+
+using namespace stramash;
+
+namespace
+{
+
+std::string
+statsString(System &sys)
+{
+    JsonStatsExporter ex;
+    sys.forEachStatGroup([&](const StatGroup &g) { ex.add(g); });
+    std::ostringstream os;
+    ex.write(os);
+    return os.str();
+}
+
+std::unique_ptr<System>
+makeKvSystem(OsDesign design, std::size_t nodes, unsigned threads)
+{
+    SystemConfig cfg;
+    cfg.osDesign = design;
+    cfg.transport = Transport::SharedMemory;
+    cfg.cachePluginEnabled = false;
+    cfg.topology =
+        TopologySpec::alternating(nodes, MemoryModel::Shared);
+    cfg.hostThreads = threads;
+    return std::make_unique<System>(cfg);
+}
+
+/** Everything a kv batch can possibly perturb. */
+struct KvFingerprint
+{
+    bool verified = false;
+    Cycles spent = 0;
+    std::uint64_t requests = 0;
+    std::uint64_t crossShard = 0;
+    std::uint64_t msgs = 0;
+    std::uint64_t bytes = 0;
+    std::vector<std::uint64_t> perNode;
+    std::string statsJson;
+
+    bool
+    operator==(const KvFingerprint &o) const
+    {
+        return verified == o.verified && spent == o.spent &&
+               requests == o.requests && crossShard == o.crossShard &&
+               msgs == o.msgs && bytes == o.bytes &&
+               perNode == o.perNode && statsJson == o.statsJson;
+    }
+};
+
+KvFingerprint
+kvFingerprint(OsDesign design, std::size_t nodes,
+              std::uint64_t requests, unsigned threads)
+{
+    auto sys = makeKvSystem(design, nodes, threads);
+    ShardedKvStore store(*sys);
+    store.populate();
+    KvFingerprint fp;
+    fp.spent = threads == 0
+                   ? store.run(requests)
+                   : store.runParallel(requests, sys->hostExecutor());
+    fp.verified = store.verify();
+    fp.requests = store.requestsServed();
+    fp.crossShard = store.crossShardRequests();
+    fp.msgs = sys->msg().messagesSent();
+    fp.bytes = sys->msg().bytesSent();
+    Machine &m = sys->machine();
+    for (NodeId n = 0; n < m.nodeCount(); ++n) {
+        fp.perNode.push_back(m.node(n).cycles());
+        fp.perNode.push_back(m.node(n).icount());
+        fp.perNode.push_back(m.node(n).memCycles());
+        fp.perNode.push_back(m.ipisReceived(n));
+    }
+    fp.statsJson = statsString(*sys);
+    return fp;
+}
+
+} // namespace
+
+/**
+ * The core determinism claim: sequential run() (threads == 0 below)
+ * and runParallel() at 1, 2 and 4 host threads all produce the same
+ * bits, across topology sizes and both OS designs.
+ */
+class KvParallelDifferential
+    : public testing::TestWithParam<std::tuple<OsDesign, std::size_t>>
+{
+};
+
+TEST_P(KvParallelDifferential, BitIdenticalAcrossThreadCounts)
+{
+    auto [design, nodes] = GetParam();
+    const std::uint64_t kRequests = 1200;
+    KvFingerprint ref = kvFingerprint(design, nodes, kRequests, 0);
+    ASSERT_TRUE(ref.verified);
+    ASSERT_EQ(ref.requests, kRequests);
+    for (unsigned threads : {1u, 2u, 4u}) {
+        KvFingerprint par =
+            kvFingerprint(design, nodes, kRequests, threads);
+        EXPECT_TRUE(par == ref)
+            << "threads=" << threads << " nodes=" << nodes
+            << " diverged from the sequential reference";
+        // Pinpoint what diverged when the blanket check fails.
+        EXPECT_EQ(par.spent, ref.spent) << "threads=" << threads;
+        EXPECT_EQ(par.perNode, ref.perNode) << "threads=" << threads;
+        EXPECT_EQ(par.msgs, ref.msgs) << "threads=" << threads;
+        EXPECT_EQ(par.crossShard, ref.crossShard)
+            << "threads=" << threads;
+        EXPECT_EQ(par.statsJson, ref.statsJson)
+            << "threads=" << threads;
+        EXPECT_TRUE(par.verified) << "threads=" << threads;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, KvParallelDifferential,
+    testing::Combine(testing::Values(OsDesign::FusedKernel,
+                                     OsDesign::MultipleKernel),
+                     testing::Values(std::size_t(2), std::size_t(4),
+                                     std::size_t(8))),
+    [](const auto &info) {
+        return std::string(std::get<0>(info.param) ==
+                                   OsDesign::FusedKernel
+                               ? "fused"
+                               : "popcorn") +
+               std::to_string(std::get<1>(info.param)) + "n";
+    });
+
+/**
+ * The NPB figure-9 slice run through HostExecutor::runChain must
+ * match inline execution exactly: the chain only moves work across
+ * host threads, never across simulated time.
+ */
+TEST(NpbParallelDifferential, ChainMatchesInlineExecution)
+{
+    NpbConfig ncfg;
+    ncfg.iterations = 2;
+    ncfg.problemBytes = 256 * 1024;
+    ncfg.migrate = true;
+    ncfg.seed = 7;
+
+    auto runAll = [&](unsigned threads) {
+        SystemConfig cfg;
+        cfg.osDesign = OsDesign::FusedKernel;
+        cfg.transport = Transport::SharedMemory;
+        cfg.hostThreads = threads;
+        System sys(cfg);
+        std::vector<NpbResult> results;
+        if (threads == 0) {
+            for (const auto &name : npbKernelNames()) {
+                App app(sys, 0);
+                results.push_back(
+                    makeNpbKernel(name)->run(app, ncfg));
+            }
+        } else {
+            std::vector<std::function<void()>> items;
+            results.resize(npbKernelNames().size());
+            for (std::size_t i = 0; i < npbKernelNames().size(); ++i)
+                items.push_back([&, i] {
+                    App app(sys, 0);
+                    results[i] = makeNpbKernel(npbKernelNames()[i])
+                                     ->run(app, ncfg);
+                });
+            sys.hostExecutor().runChain(items);
+        }
+        std::vector<std::uint64_t> fp;
+        for (const auto &r : results) {
+            fp.push_back(r.verified ? 1 : 0);
+            fp.push_back(r.checksum);
+        }
+        Machine &m = sys.machine();
+        for (NodeId n = 0; n < m.nodeCount(); ++n) {
+            fp.push_back(m.node(n).cycles());
+            fp.push_back(m.node(n).icount());
+            fp.push_back(m.ipisReceived(n));
+        }
+        return fp;
+    };
+
+    auto inline_ = runAll(0);
+    auto chain1 = runAll(1);
+    auto chain2 = runAll(2);
+    EXPECT_EQ(inline_, chain1);
+    EXPECT_EQ(inline_, chain2);
+    // All four kernels verified.
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(inline_[2 * i], 1u) << npbKernelNames()[i];
+}
+
+/**
+ * The parallel open-loop tail service is a *new* deterministic
+ * algorithm (the classic KvFrontEnd couples clocks per request and
+ * stays sequential-only), so its contract is thread-count invariance:
+ * identical OpenLoopReport, per-node clocks, message counters and
+ * stats JSON at hostThreads = 1, 2 and 4.
+ */
+class TailParallelDifferential : public testing::TestWithParam<OsDesign>
+{
+};
+
+TEST_P(TailParallelDifferential, ReportInvariantAcrossThreadCounts)
+{
+    OsDesign design = GetParam();
+
+    struct TailFingerprint
+    {
+        OpenLoopReport rep;
+        std::vector<std::uint64_t> perNode;
+        std::uint64_t msgs = 0;
+        std::uint64_t bytes = 0;
+        std::string statsJson;
+    };
+
+    auto tailFingerprint = [&](unsigned threads) {
+        auto sys = makeKvSystem(design, 8, threads);
+        ShardedKvStore store(*sys);
+        store.populate();
+        ParallelKvService service(*sys, store);
+        OpenLoopConfig lcfg;
+        lcfg.requests = 1500;
+        lcfg.arrival.ratePerMcycle = 15.0;
+        lcfg.keys.numKeys = store.keysPerShard() * 8;
+        TailFingerprint fp;
+        fp.rep = service.run(lcfg, sys->hostExecutor());
+        Machine &m = sys->machine();
+        for (NodeId n = 0; n < m.nodeCount(); ++n) {
+            fp.perNode.push_back(m.node(n).cycles());
+            fp.perNode.push_back(m.node(n).icount());
+            fp.perNode.push_back(m.node(n).memCycles());
+            fp.perNode.push_back(m.ipisReceived(n));
+        }
+        fp.msgs = sys->msg().messagesSent();
+        fp.bytes = sys->msg().bytesSent();
+        fp.statsJson = statsString(*sys);
+        return fp;
+    };
+
+    TailFingerprint ref = tailFingerprint(1);
+    EXPECT_EQ(ref.rep.offered, 1500u);
+    EXPECT_EQ(ref.rep.served, ref.rep.accepted);
+    EXPECT_GT(ref.rep.served, 0u);
+    EXPECT_GT(ref.rep.p99, 0.0);
+    if (design == OsDesign::FusedKernel) {
+        EXPECT_EQ(ref.msgs, 0u);
+    } else {
+        // Two modeled messages per cross-shard request.
+        EXPECT_GT(ref.msgs, 0u);
+        EXPECT_EQ(ref.msgs % 2, 0u);
+    }
+
+    for (unsigned threads : {2u, 4u}) {
+        TailFingerprint par = tailFingerprint(threads);
+        EXPECT_EQ(par.rep.offered, ref.rep.offered) << threads;
+        EXPECT_EQ(par.rep.accepted, ref.rep.accepted) << threads;
+        EXPECT_EQ(par.rep.shed, ref.rep.shed) << threads;
+        EXPECT_EQ(par.rep.served, ref.rep.served) << threads;
+        EXPECT_EQ(par.rep.batches, ref.rep.batches) << threads;
+        EXPECT_EQ(par.rep.meanLatency, ref.rep.meanLatency) << threads;
+        EXPECT_EQ(par.rep.p50, ref.rep.p50) << threads;
+        EXPECT_EQ(par.rep.p99, ref.rep.p99) << threads;
+        EXPECT_EQ(par.rep.p999, ref.rep.p999) << threads;
+        EXPECT_EQ(par.rep.lastCompletion, ref.rep.lastCompletion)
+            << threads;
+        EXPECT_EQ(par.rep.lastArrival, ref.rep.lastArrival) << threads;
+        EXPECT_EQ(par.perNode, ref.perNode) << threads;
+        EXPECT_EQ(par.msgs, ref.msgs) << threads;
+        EXPECT_EQ(par.bytes, ref.bytes) << threads;
+        EXPECT_EQ(par.statsJson, ref.statsJson) << threads;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Designs, TailParallelDifferential,
+                         testing::Values(OsDesign::FusedKernel,
+                                         OsDesign::MultipleKernel),
+                         [](const auto &info) {
+                             return info.param == OsDesign::FusedKernel
+                                        ? std::string("fused")
+                                        : std::string("popcorn");
+                         });
+
+TEST(HostExecutorConfig, SystemBuildsExecutorSizedToConfig)
+{
+    SystemConfig cfg;
+    cfg.osDesign = OsDesign::FusedKernel;
+    cfg.cachePluginEnabled = false;
+    cfg.topology = TopologySpec::alternating(4, MemoryModel::Shared);
+    cfg.hostThreads = 2;
+    System sys(cfg);
+    EXPECT_EQ(sys.hostExecutor().threads(), 2u);
+    EXPECT_EQ(&sys.hostExecutor(), &sys.hostExecutor());
+}
