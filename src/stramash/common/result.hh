@@ -36,6 +36,10 @@ enum class Errc : std::uint8_t {
     Unreachable,
     /** Out of a genuinely exhausted resource (not transient). */
     NoMemory,
+    /** The serving node is fenced/degraded and sheds new work;
+     *  existing state is preserved and the request may be retried
+     *  after the partition heals. */
+    Degraded,
 };
 
 inline const char *
@@ -49,6 +53,7 @@ errcName(Errc e)
       case Errc::Denied: return "denied";
       case Errc::Unreachable: return "unreachable";
       case Errc::NoMemory: return "no_memory";
+      case Errc::Degraded: return "degraded";
     }
     panic("unknown Errc");
 }

@@ -129,6 +129,11 @@ System::System(const SystemConfig &cfg) : cfg_(cfg)
         }
     }
 
+    // Link-only plans deliberately do NOT imply a CrashManager: a
+    // partition without a detector is a pure transport drill (and the
+    // parallel thread-sweep harness relies on exactly that — the
+    // heartbeat detector is sequential machinery). Fencing under
+    // partitions needs crash.enabled like any other detection.
     bool crashPlanned = cfg.faultPlan && cfg.faultPlan->crashPlanned();
     if (crashPlanned || cfg.crash.enabled) {
         crash_ = std::make_unique<CrashManager>(
@@ -139,6 +144,13 @@ System::System(const SystemConfig &cfg) : cfg_(cfg)
         crash_->setStramashShared(stramashShared_.get());
         for (auto &k : kernels_)
             crash_->installHandlers(*k);
+        // Heal/reconcile rides every link transition: un-fence a
+        // self-fenced endpoint, hot-plug a partition-fenced one, and
+        // clear the partition's leftover suspicion.
+        machine_->setLinkEventHook(
+            [this](NodeId f, NodeId t, LinkState s) {
+                crash_->onLinkChange(f, t, s);
+            });
     }
 }
 
@@ -278,6 +290,20 @@ System::rejoinNode(NodeId node)
     crash_->rejoin(node);
 }
 
+void
+System::severLink(NodeId a, NodeId b)
+{
+    machine_->setLinkState(a, b, LinkState::Severed);
+    machine_->setLinkState(b, a, LinkState::Severed);
+}
+
+void
+System::healLink(NodeId a, NodeId b)
+{
+    machine_->setLinkState(a, b, LinkState::Up);
+    machine_->setLinkState(b, a, LinkState::Up);
+}
+
 NodeId
 System::whereIs(Pid pid) const
 {
@@ -331,6 +357,7 @@ System::forEachStatGroup(
     if (FaultInjector *fi = machine_->faultInjector()) {
         fn(fi->faults());
         fn(fi->retries());
+        fn(fi->partition());
     }
     for (const StatGroup *g : externalStats_)
         fn(*g);

@@ -150,6 +150,19 @@ class System
     /** Bring a declared-dead node back through the hot-plug flow. */
     void rejoinNode(NodeId node);
 
+    /**
+     * Cut both directions of the a<->b message link (chaos/test API,
+     * mirroring killNode): messages and IPIs vanish, both nodes stay
+     * alive, and the crash manager's partition arbitration decides
+     * who may fence whom. Requires an attached fault plan (an empty
+     * one is enough).
+     */
+    void severLink(NodeId a, NodeId b);
+
+    /** Restore both directions of a<->b; a fully healed pair runs
+     *  the reconcile flow (un-fence / hot-plug rejoin). */
+    void healLink(NodeId a, NodeId b);
+
     bool isNodeAlive(NodeId node) const
     {
         return machine_->nodeAlive(node);

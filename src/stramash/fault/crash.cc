@@ -22,6 +22,10 @@ constexpr Cycles robustSweepCycles = 4'000;
 /** Cost of re-pointing a reaped/re-homed task's origin record. */
 constexpr Cycles rehomeBookkeepingCycles = 2'000;
 
+/** Key of the shared fence word in kernel 0's data region. The CPU
+ *  that owns the region may die or fence; the cacheline does not. */
+constexpr std::uint64_t fenceWordKey = 0xfe2ce0'00000000ULL;
+
 } // namespace
 
 CrashManager::CrashManager(Machine &machine, MessageLayer &msg,
@@ -37,7 +41,10 @@ CrashManager::CrashManager(Machine &machine, MessageLayer &msg,
       cfg_(cfg),
       recovery_("recovery"),
       det_(nodeCount, std::vector<PeerState>(nodeCount)),
-      dead_(nodeCount, false)
+      dead_(nodeCount, false),
+      selfFenced_(nodeCount, false),
+      fencedByPartition_(nodeCount, false),
+      selfFenceEpoch_(nodeCount, 0)
 {
     panic_if(nodeCount_ < 2, "crash recovery needs a survivor");
 }
@@ -89,10 +96,21 @@ CrashManager::killNow(NodeId node)
 NodeId
 CrashManager::anyLiveNode() const
 {
+    // Prefer an unfenced survivor: a self-fenced node's detector
+    // stands down, so forced convergence would spin on it. It is
+    // still the fallback of last resort — declaring an actually-dead
+    // peer is allowed even from inside the fence.
+    NodeId fenced = invalidNode;
     for (NodeId n = 0; n < nodeCount_; ++n) {
-        if (machine_.nodeAlive(n))
+        if (!machine_.nodeAlive(n))
+            continue;
+        if (!selfFenced_[n])
             return n;
+        if (fenced == invalidNode)
+            fenced = n;
     }
+    if (fenced != invalidNode)
+        return fenced;
     panic("crash recovery: every node is dead");
 }
 
@@ -103,7 +121,10 @@ CrashManager::guardTask(Pid pid)
         return;
     NodeId cur = migration_.currentNode(pid);
     if (machine_.nodeAlive(cur)) {
-        pollFrom(cur);
+        // A self-fenced kernel's detector stands down: it has no
+        // standing to suspect anyone until its links heal.
+        if (!selfFenced_[cur])
+            pollFrom(cur);
         return;
     }
     // The kernel hosting this task crashed out from under it. Force
@@ -171,11 +192,131 @@ CrashManager::pingRound(NodeId observer, NodeId peer, bool forced)
     return false;
 }
 
+bool
+CrashManager::fusedArbitrate(NodeId peer, NodeId suspector)
+{
+    // One coherent load + store by the suspector — the CAS. The word
+    // lives in kernel 0's data region, but ownership is irrelevant:
+    // the fabric keeps the line coherent whoever's CPU is fenced.
+    Addr w = kernels_(0).dataAddrFor(fenceWordKey);
+    kernels_(suspector).remoteAccess(0, AccessType::Load, w, 8);
+    recovery_.counter("fused_arbitrations") += 1;
+    if (fenceWord_.victim == suspector) {
+        // The other side of the split won the word first; our own
+        // declaration is void and we are the one being fenced.
+        machine_.tracer().instant(TraceCategory::Chaos,
+                                  "crash.arbitration_lost", suspector,
+                                  0, peer, fenceWord_.epoch);
+        return false;
+    }
+    kernels_(suspector).remoteAccess(0, AccessType::Store, w, 8);
+    return true;
+}
+
+void
+CrashManager::selfFence(NodeId node, NodeId peer)
+{
+    if (selfFenced_[node] || dead_[node])
+        return;
+    selfFenced_[node] = true;
+    selfFenceEpoch_[node] = fenceWord_.epoch;
+    det_[node][peer].suspicion = 0;
+    recovery_.counter("self_fences") += 1;
+    machine_.tracer().instant(TraceCategory::Chaos, "crash.self_fence",
+                              node, 0, peer, fenceWord_.epoch);
+}
+
 void
 CrashManager::tryDeclareDead(NodeId peer, NodeId suspector)
 {
     if (dead_[peer])
         return;
+    if (partitionMode()) {
+        if (!machine_.nodeAlive(peer)) {
+            // The peer is machine-dead (scheduled crash, chaos kill):
+            // declaring it is convergence of fact, not split-brain,
+            // so no arbitration — and even a self-fenced observer may
+            // do it.
+            declareDead(peer, suspector);
+            return;
+        }
+        if (selfFenced_[suspector])
+            return;
+        if (design_ == OsDesign::FusedKernel) {
+            // Arbitrate through coherent memory: zero messages.
+            if (fusedArbitrate(peer, suspector))
+                declareDead(peer, suspector);
+            else
+                selfFence(suspector, peer);
+            return;
+        }
+        // Popcorn reachable-majority lease. `live` is every node not
+        // yet declared dead — including the suspected peer, whose
+        // silence is exactly what is in dispute. `reachable` is the
+        // suspector's side of the split: itself plus every other live
+        // node whose links are not severed (the peer counts too — a
+        // suspector that can still reach its peer is not partitioned
+        // from it, so the suspicion must stand or fall on the quorum,
+        // not on side arithmetic).
+        unsigned live = 0;
+        NodeId lowestLive = invalidNode;
+        for (NodeId n = 0; n < nodeCount_; ++n) {
+            if (dead_[n] || !machine_.nodeAlive(n))
+                continue;
+            ++live;
+            if (lowestLive == invalidNode)
+                lowestLive = n;
+        }
+        unsigned reachable = 1;
+        bool lowestOnOurSide = suspector == lowestLive;
+        std::vector<NodeId> reachableObs;
+        for (NodeId obs = 0; obs < nodeCount_; ++obs) {
+            if (obs == suspector || dead_[obs] ||
+                !machine_.nodeAlive(obs)) {
+                continue;
+            }
+            if (machine_.linkState(suspector, obs) !=
+                    LinkState::Severed &&
+                machine_.linkState(obs, suspector) !=
+                    LinkState::Severed) {
+                ++reachable;
+                if (obs != peer)
+                    reachableObs.push_back(obs);
+                if (obs == lowestLive)
+                    lowestOnOurSide = true;
+            }
+        }
+        if (reachable * 2 < live ||
+            (reachable * 2 == live && !lowestOnOurSide)) {
+            // Minority side (ties go to the side holding the lowest
+            // live id — the N=2 lease authority): no standing to
+            // declare anyone. Freeze instead of split-brain.
+            selfFence(suspector, peer);
+            return;
+        }
+        // Majority (or tied authority) side: run the quorum poll, but
+        // only over observers this side can actually reach — votes
+        // cannot cross the partition. On N=2 there are no voters and
+        // the authority's word stands (the lease has expired).
+        unsigned voters = 1;
+        unsigned deadVotes = 1;
+        for (NodeId obs : reachableObs) {
+            ++voters;
+            recovery_.counter("quorum_probes") += 1;
+            if (!heartbeatExchange(obs, peer))
+                ++deadVotes;
+        }
+        if (deadVotes * 2 > voters) {
+            declareDead(peer, suspector);
+            return;
+        }
+        det_[suspector][peer].suspicion = 0;
+        recovery_.counter("suspicions_outvoted") += 1;
+        machine_.tracer().instant(TraceCategory::Chaos,
+                                  "crash.outvoted", suspector, 0, peer,
+                                  deadVotes);
+        return;
+    }
     // Quorum poll over the other surviving observers. The suspector
     // already voted dead; each other survivor probes the suspect once
     // on its own channel. On the two-node machine the loop finds no
@@ -229,6 +370,23 @@ CrashManager::declareDead(NodeId peer, NodeId observer)
     dead_[peer] = true;
     for (NodeId obs = 0; obs < nodeCount_; ++obs)
         det_[obs][peer].suspicion = 0;
+    if (partitionMode()) {
+        // Every partition-armed declaration advances the fence epoch
+        // — the generation number heal-time reconciliation compares
+        // against a fenced node's snapshot. A peer fenced *because of
+        // the partition* (its link was down, or it had already frozen
+        // itself) auto-rejoins when the pair heals; a genuinely
+        // crashed peer does not.
+        ++fenceWord_.epoch;
+        fenceWord_.victim = peer;
+        fenceWord_.fencedBy = observer;
+        bool linkDown =
+            machine_.linkState(observer, peer) != LinkState::Up ||
+            machine_.linkState(peer, observer) != LinkState::Up;
+        if (linkDown || selfFenced_[peer])
+            fencedByPartition_[peer] = true;
+        selfFenced_[peer] = false;
+    }
     recovery_.counter("nodes_declared_dead") += 1;
     machine_.tracer().instant(TraceCategory::Chaos,
                               "crash.declare_dead", observer, 0, peer,
@@ -619,12 +777,71 @@ CrashManager::rejoin(NodeId node)
     machine_.reviveNode(node, clock);
     kernels_(node).resetForRejoin();
     dead_[node] = false;
-    // Every observer's view of the rebooted node starts over; the
-    // node's own rows survive (its detector counters are monotonic
-    // and a stale nextPingAt is already in the past).
-    for (NodeId obs = 0; obs < nodeCount_; ++obs)
+    fencedByPartition_[node] = false;
+    selfFenced_[node] = false;
+    // Every observer's view of the rebooted node starts over, and so
+    // does the rebooted node's view of every peer: a kernel that
+    // boots fresh has no memory of pre-crash suspicions, and leaving
+    // its old rows in place let a node slandered just before its
+    // death resume one miss short of re-declaring a healthy peer.
+    for (NodeId obs = 0; obs < nodeCount_; ++obs) {
         det_[obs][node] = PeerState{};
+        det_[node][obs] = PeerState{};
+    }
     recovery_.counter("rejoins") += 1;
+}
+
+void
+CrashManager::onLinkChange(NodeId from, NodeId to, LinkState s)
+{
+    if (s != LinkState::Up)
+        return;
+    // setLinkState updated the matrix before calling us, so `from ->
+    // to` is already Up; reconcile only once both directions are.
+    if (machine_.linkState(to, from) == LinkState::Up)
+        healPair(from, to);
+}
+
+void
+CrashManager::healPair(NodeId a, NodeId b)
+{
+    // Suspicion accumulated across the dead link is stale by
+    // construction — the pair can talk again. Full reset: ping
+    // sequence and last-ack counters restart together.
+    det_[a][b] = PeerState{};
+    det_[b][a] = PeerState{};
+    for (NodeId n : {a, b}) {
+        NodeId other = n == a ? b : a;
+        if (selfFenced_[n]) {
+            // Epoch comparison decides whose declarations stand: if
+            // the cluster declared deaths while this node sat fenced,
+            // the survivors' view wins and the fenced node adopts it
+            // (it never declared anything itself, so adoption is
+            // free).
+            if (fenceWord_.epoch > selfFenceEpoch_[n])
+                recovery_.counter("epoch_yields") += 1;
+            selfFenced_[n] = false;
+            for (NodeId obs = 0; obs < nodeCount_; ++obs) {
+                det_[obs][n].suspicion = 0;
+                det_[n][obs].suspicion = 0;
+            }
+            recovery_.counter("self_fence_rejoins") += 1;
+            machine_.tracer().instant(TraceCategory::Chaos,
+                                      "crash.unfence", n, 0, other,
+                                      fenceWord_.epoch);
+        } else if (dead_[n] && fencedByPartition_[n]) {
+            // Fenced by the partition, not by a real crash: the heal
+            // is the reboot signal. Hot-plug rejoin with a fresh
+            // kernel — unacknowledged work from before the fence is
+            // gone, which is exactly the no-acknowledged-loss
+            // contract.
+            recovery_.counter("heal_rejoins") += 1;
+            machine_.tracer().instant(TraceCategory::Chaos,
+                                      "crash.heal_rejoin", n, 0, other,
+                                      fenceWord_.epoch);
+            rejoin(n);
+        }
+    }
 }
 
 } // namespace stramash

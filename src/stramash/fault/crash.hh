@@ -42,9 +42,28 @@
  *    reboots with its firmware-map memory, a fresh kernel state, and
  *    a clock ahead of every survivor's.
  *
+ *  - partition arbitration (armed only when the fault plan schedules
+ *    link events — see Machine::partitionArmed): a severed link makes
+ *    both sides suspect each other, and naive STONITH would let both
+ *    declare and "kill" a healthy peer. The fused design arbitrates
+ *    through the one thing a partition cannot cut — coherent memory:
+ *    a charged CAS on a shared *fence word* decides, with zero
+ *    messages, which side's declaration stands; the loser self-fences
+ *    into a frozen degraded mode (sheds new work, preserves state).
+ *    The shared-nothing Popcorn design cannot do that, so it falls
+ *    back to a reachable-majority lease: a suspector that can reach
+ *    at most half of the live nodes self-fences instead of declaring
+ *    (ties go to the side holding the lowest live node id — the N=2
+ *    lease authority). Healing a link runs reconciliation: fence
+ *    epochs decide whose declarations stand, self-fenced nodes
+ *    resume in place, and partition-fenced dead nodes auto-rejoin
+ *    through the hot-plug flow.
+ *
  * When no crash is planned and the detector is disabled the System
  * never constructs a CrashManager, so the hot paths are untouched —
- * zero overhead, bit-identical behaviour.
+ * zero overhead, bit-identical behaviour. Likewise, with no link
+ * schedule the arbitration layer never runs and the historical
+ * quorum/STONITH paths are bit-identical.
  */
 
 #ifndef STRAMASH_FAULT_CRASH_HH
@@ -160,6 +179,43 @@ class CrashManager
      */
     void rejoin(NodeId node);
 
+    /**
+     * True while @p node sits in the partition-fenced degraded mode:
+     * alive, state intact, answering heartbeats, but shedding new
+     * work (Errc::Degraded) until its links heal.
+     */
+    bool
+    isSelfFenced(NodeId node) const
+    {
+        return selfFenced_[node];
+    }
+
+    /** Current fence-word epoch (generation of declarations). */
+    std::uint64_t fenceEpoch() const { return fenceWord_.epoch; }
+
+    /** Detector introspection (test API). */
+    unsigned
+    suspicionOf(NodeId observer, NodeId peer) const
+    {
+        return det_[observer][peer].suspicion;
+    }
+
+    /** Detector override (chaos/test API): plant raw suspicion
+     *  without running the declaration path. */
+    void
+    setSuspicion(NodeId observer, NodeId peer, unsigned n)
+    {
+        det_[observer][peer].suspicion = n;
+    }
+
+    /**
+     * Link-state change notification, wired by the System to
+     * Machine::setLinkEventHook. A pair whose both directions come
+     * back Up runs the heal-time reconcile flow (un-fence /
+     * auto-rejoin / stale-suspicion clearing).
+     */
+    void onLinkChange(NodeId from, NodeId to, LinkState s);
+
     StatGroup &recovery() { return recovery_; }
     const CrashConfig &config() const { return cfg_; }
 
@@ -192,6 +248,34 @@ class CrashManager
     /** pid -> exit status for tasks reaped by recovery. */
     std::map<Pid, int> exitStatus_;
 
+    /**
+     * Host mirror of the fence word. In the fused design this models
+     * one cacheline of coherent memory (kernel 0's data region) that
+     * every declaration CASes — the partition-proof arbiter. In the
+     * Popcorn design there is no such memory, so the same record
+     * stands in for the lease generation number survivors would
+     * carry in their rejoin handshakes. Either way `epoch` counts
+     * declarations made while partition-armed, and heal-time
+     * reconciliation compares it against a fenced node's snapshot to
+     * decide whose view of the cluster stands.
+     */
+    struct FenceWord
+    {
+        std::uint64_t epoch = 0;
+        NodeId victim = invalidNode;
+        NodeId fencedBy = invalidNode;
+    };
+    FenceWord fenceWord_;
+    /** Nodes frozen in the self-fenced degraded mode. */
+    std::vector<bool> selfFenced_;
+    /** Dead nodes fenced *by the partition* (link down or already
+     *  self-fenced at declaration): healing their links auto-rejoins
+     *  them, unlike genuinely crashed nodes which need an explicit
+     *  rejoin. */
+    std::vector<bool> fencedByPartition_;
+    /** fenceWord_.epoch at the instant each node self-fenced. */
+    std::vector<std::uint64_t> selfFenceEpoch_;
+
     NodeId anyLiveNode() const;
 
     /** Run every due ping from @p observer. */
@@ -220,8 +304,33 @@ class CrashManager
      * strict majority of dead votes (@p suspector included). On the
      * two-node machine there are no other voters and the suspector's
      * word stands — the historical STONITH path, bit-identical.
+     * Partition-armed machines route through the arbitration layer
+     * first (fused CAS / Popcorn reachable-majority lease).
      */
     void tryDeclareDead(NodeId peer, NodeId suspector);
+
+    /** True when the fault plan schedules link events (or a chaos
+     *  severLink ran): the split-brain arbitration layer is live. */
+    bool partitionMode() const { return machine_.partitionArmed(); }
+
+    /**
+     * Fused split-brain arbitration: a charged CAS (coherent load +
+     * store by @p suspector) on the shared fence word. Zero messages
+     * — the partition cannot cut coherent memory. @return true if
+     * @p suspector won and may declare @p peer dead; false if the
+     * word already names @p suspector as the victim.
+     */
+    bool fusedArbitrate(NodeId peer, NodeId suspector);
+
+    /**
+     * Freeze @p node in the degraded mode: detector stands down, new
+     * work is shed, state is preserved. Heartbeats are still
+     * answered, so a reconnected majority sees it alive.
+     */
+    void selfFence(NodeId node, NodeId peer);
+
+    /** Heal-time reconciliation for a fully-healed a<->b pair. */
+    void healPair(NodeId a, NodeId b);
 
     /** Full recovery, run once per death from declareDead(). */
     void recover(NodeId dead, NodeId survivor);

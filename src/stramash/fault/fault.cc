@@ -23,7 +23,10 @@ FaultPlan::transientChaos(std::uint64_t seed, double rate,
 }
 
 FaultInjector::FaultInjector(const FaultPlan &plan)
-    : plan_(plan), faults_("faults"), retries_("retries")
+    : plan_(plan),
+      faults_("faults"),
+      retries_("retries"),
+      partition_("partition")
 {
     panic_if(plan_.msgDropRate < 0 || plan_.msgDropRate > 1 ||
                  plan_.msgDupRate < 0 || plan_.msgDupRate > 1 ||
@@ -32,8 +35,16 @@ FaultInjector::FaultInjector(const FaultPlan &plan)
                  plan_.ipiDropRate < 0 || plan_.ipiDropRate > 1 ||
                  plan_.memBlockDenyRate < 0 ||
                  plan_.memBlockDenyRate > 1 ||
-                 plan_.pageCorruptRate < 0 || plan_.pageCorruptRate > 1,
+                 plan_.pageCorruptRate < 0 ||
+                 plan_.pageCorruptRate > 1 || plan_.linkLossRate < 0 ||
+                 plan_.linkLossRate > 1,
              "fault rates must be probabilities in [0, 1]");
+    for (const LinkEvent &ev : plan_.linkSchedule) {
+        panic_if(ev.from == ev.to || ev.from == invalidNode ||
+                     ev.to == invalidNode,
+                 "link schedule: a link joins two distinct nodes");
+    }
+    linkFired_.assign(plan_.linkSchedule.size(), false);
     rngs_.reserve(siteCount);
     for (unsigned s = 0; s < siteCount; ++s)
         rngs_.emplace_back(plan_.seed, s);
@@ -107,6 +118,41 @@ FaultInjector::shouldDenyMemBlock(NodeId donor)
 {
     return fire(SiteMemBlock, plan_.memBlockDenyRate, "mem_block_deny",
                 donor, donor, 0);
+}
+
+bool
+FaultInjector::shouldDropOnLossyLink(NodeId from, NodeId to)
+{
+    // Not budget-exempt: a lossy link is a transient-style site, so a
+    // bounded plan still converges once the budget is spent.
+    return fire(SiteLinkLoss, plan_.linkLossRate, "link_loss", from,
+                from, to);
+}
+
+const LinkEvent *
+FaultInjector::pollLinkEvent(
+    const std::function<Cycles(NodeId)> &endpointClock)
+{
+    if (!linkEventsArmed())
+        return nullptr;
+    for (std::size_t i = 0; i < plan_.linkSchedule.size(); ++i) {
+        if (linkFired_[i])
+            continue;
+        const LinkEvent &ev = plan_.linkSchedule[i];
+        Cycles now = std::max(endpointClock(ev.from),
+                              endpointClock(ev.to));
+        if (now < ev.atCycle)
+            continue;
+        // Scheduled, permanent-until-healed: bypasses maxFaults like
+        // the crash site (but still counts toward injected()).
+        linkFired_[i] = true;
+        ++linkEventsFired_;
+        ++injected_;
+        faults_.counter("injected") += 1;
+        faults_.counter("link_event") += 1;
+        return &ev;
+    }
+    return nullptr;
 }
 
 bool

@@ -32,6 +32,7 @@
 #define STRAMASH_FAULT_FAULT_HH
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "stramash/common/rng.hh"
@@ -40,6 +41,50 @@
 
 namespace stramash
 {
+
+/**
+ * Health of one *directed* message link. A network partition is just
+ * a set of Severed links; the coherent memory fabric of the fused
+ * design is deliberately NOT subject to link state — that asymmetry
+ * (messages cut, cache coherence intact) is the paper's arbitration
+ * story.
+ */
+enum class LinkState : std::uint8_t {
+    Up = 0,
+    /** Messages and IPIs vanish silently; the sender cannot tell. */
+    Severed,
+    /** Each message survives a per-link Bernoulli draw
+     *  (FaultPlan::linkLossRate, its own PCG32 stream). */
+    Lossy,
+    /** Messages park in flight and deliver only once the receiver's
+     *  clock has advanced FaultPlan::linkDelayCycles past the send —
+     *  a *sustained* delay, unlike the budget-bounded SiteMsgDelay. */
+    Delayed,
+};
+
+inline const char *
+linkStateName(LinkState s)
+{
+    switch (s) {
+      case LinkState::Up: return "up";
+      case LinkState::Severed: return "severed";
+      case LinkState::Lossy: return "lossy";
+      case LinkState::Delayed: return "delayed";
+    }
+    panic("unknown LinkState");
+}
+
+/** One scheduled link transition, fired like crashAtCycle. */
+struct LinkEvent
+{
+    NodeId from = invalidNode;
+    NodeId to = invalidNode;
+    LinkState state = LinkState::Up;
+    /** Fires when max(clock(from), clock(to)) reaches this — the max
+     *  so a heal scheduled against a fenced (frozen-clock) endpoint
+     *  still fires off the survivor's clock. */
+    Cycles atCycle = 0;
+};
 
 /** What to break, how often, and for how long. */
 struct FaultPlan
@@ -80,6 +125,61 @@ struct FaultPlan
     NodeId crashNode = invalidNode;
     /** Node clock reading at (or after) which the crash fires. */
     Cycles crashAtCycle = 0;
+
+    // ---- link-fault sites ----
+    /** Scheduled link transitions, fired in order like crashAtCycle.
+     *  Like the crash site these are *scheduled* faults: exempt from
+     *  maxFaults and excluded from any(). */
+    std::vector<LinkEvent> linkSchedule;
+    /** Per-message drop probability while a link is Lossy (its own
+     *  PCG32 stream, SiteLinkLoss). */
+    double linkLossRate = 0.25;
+    /** Park time for messages crossing a Delayed link; chosen above
+     *  RpcPolicy::responseTimeoutCycles so a sustained delay looks
+     *  exactly like death to the retry machinery. */
+    Cycles linkDelayCycles = 300000;
+
+    /** Schedule one directed link transition. */
+    FaultPlan &
+    linkEventAt(NodeId from, NodeId to, LinkState s, Cycles at)
+    {
+        linkSchedule.push_back(LinkEvent{from, to, s, at});
+        return *this;
+    }
+
+    /** Sever both directions of a<->b at @p at (a partition edge). */
+    FaultPlan &
+    severLinkAt(NodeId a, NodeId b, Cycles at)
+    {
+        linkEventAt(a, b, LinkState::Severed, at);
+        return linkEventAt(b, a, LinkState::Severed, at);
+    }
+
+    /** Restore both directions of a<->b at @p at. */
+    FaultPlan &
+    healLinkAt(NodeId a, NodeId b, Cycles at)
+    {
+        linkEventAt(a, b, LinkState::Up, at);
+        return linkEventAt(b, a, LinkState::Up, at);
+    }
+
+    /** True when the plan schedules any link transition. */
+    bool linkFaultsPlanned() const { return !linkSchedule.empty(); }
+
+    /** True when every scheduled transition is Severed/Up. Lossy and
+     *  Delayed draw rng / park messages in arrival order, so only
+     *  pure sever/heal schedules are legal multi-threaded. */
+    bool
+    linkScheduleParallelSafe() const
+    {
+        for (const LinkEvent &ev : linkSchedule) {
+            if (ev.state == LinkState::Lossy ||
+                ev.state == LinkState::Delayed) {
+                return false;
+            }
+        }
+        return true;
+    }
 
     /** True when the plan schedules a crash-stop failure. */
     bool crashPlanned() const { return crashNode != invalidNode; }
@@ -133,6 +233,8 @@ class FaultInjector
     Cycles messageDelayCycles(NodeId from, NodeId to);
     bool shouldDropIpi(NodeId from, NodeId to);
     bool shouldDenyMemBlock(NodeId donor);
+    /** Lossy-link site: drop this message crossing a Lossy link? */
+    bool shouldDropOnLossyLink(NodeId from, NodeId to);
 
     /**
      * Crash-stop site. The machine polls this after every clock
@@ -150,6 +252,25 @@ class FaultInjector
         return plan_.crashPlanned() && !crashFired_;
     }
 
+    /** True while scheduled link transitions remain unfired. */
+    bool
+    linkEventsArmed() const
+    {
+        return linkEventsFired_ < plan_.linkSchedule.size();
+    }
+
+    /**
+     * Scheduled link site. @return the next unfired schedule entry
+     * whose deadline has passed per @p endpointClock (called with the
+     * event's from and to; the event fires off the *max* of the two,
+     * so a heal scheduled against a frozen-clock endpoint still
+     * fires), or nullptr when none is due. Marks the entry fired and
+     * counts it; the caller (Machine) applies the state change.
+     * Bypasses maxFaults exactly like the crash site.
+     */
+    const LinkEvent *
+    pollLinkEvent(const std::function<Cycles(NodeId)> &endpointClock);
+
     /**
      * Deterministically damage a message: flip one payload byte, or
      * one bit of @p arg0 when the payload is empty.
@@ -164,6 +285,9 @@ class FaultInjector
 
     StatGroup &faults() { return faults_; }
     StatGroup &retries() { return retries_; }
+    /** Link/partition machinery counters (severs, heals, swallowed
+     *  IPIs, arbitration outcomes, self-fences). */
+    StatGroup &partition() { return partition_; }
 
   private:
     /** Site index doubles as the per-site Rng stream selector. */
@@ -176,6 +300,9 @@ class FaultInjector
         SiteMemBlock,
         SitePageCorrupt,
         SiteCorruptBytes,
+        /** Appended (not inserted) so the historical sites keep their
+         *  stream selectors and seeded replays stay bit-identical. */
+        SiteLinkLoss,
         siteCount,
     };
 
@@ -187,8 +314,12 @@ class FaultInjector
     std::vector<Rng> rngs_;
     std::uint64_t injected_ = 0;
     bool crashFired_ = false;
+    /** Per-entry fired flags for the link schedule. */
+    std::vector<bool> linkFired_;
+    std::size_t linkEventsFired_ = 0;
     StatGroup faults_;
     StatGroup retries_;
+    StatGroup partition_;
     Tracer *tracer_ = nullptr;
 };
 

@@ -30,6 +30,7 @@ KvFrontEnd::KvFrontEnd(System &sys, ShardedKvStore &store,
       caches_(sys.nodeCount()),
       accepted_(stats_.counter("accepted")),
       shed_(stats_.counter("ring_full")),
+      degradedShed_(stats_.counter("degraded_shed")),
       served_(stats_.counter("served")),
       batches_(stats_.counter("batches")),
       cacheHits_(stats_.counter("cache_hits")),
@@ -82,11 +83,30 @@ KvFrontEnd::nodeClock(NodeId n) const
     return sys_.machine().node(n).cycles();
 }
 
+bool
+KvFrontEnd::degradedNode(NodeId node) const
+{
+    if (!sys_.machine().nodeAlive(node))
+        return true;
+    CrashManager *cm = sys_.crashManager();
+    return cm && cm->isSelfFenced(node);
+}
+
 Errc
 KvFrontEnd::inject(Cycles arrival, KvOp op, std::uint64_t key,
                    NodeId ingress)
 {
     panic_if(ingress >= queues_.size(), "inject at unknown node");
+    if (degradedNode(ingress)) {
+        // The node's socket is fenced (or the node is gone): refuse
+        // at the door, before any queueing or clock charge. Nothing
+        // is acknowledged, so nothing can be lost.
+        ++degradedShed_;
+        sys_.machine().tracer().instant(TraceCategory::App,
+                                        "load.degraded_shed", ingress,
+                                        0, key, 0);
+        return Errc::Degraded;
+    }
     // Let the service loop catch up to this arrival instant first,
     // so the occupancy the admission test sees is the occupancy at
     // time `arrival`, not at the end of the previous drain.
@@ -128,6 +148,14 @@ KvFrontEnd::serveBatch(NodeId node)
     panic_if(q.empty(), "serveBatch on empty queue");
     Machine &machine = sys_.machine();
 
+    // A dead node's clock is frozen; requests stranded in its queue
+    // are shed wholesale, with no dispatch charge to account them to.
+    if (!machine.nodeAlive(node)) {
+        degradedShed_ += static_cast<std::int64_t>(q.size());
+        q.clear();
+        return;
+    }
+
     // The dispatch wakes when the head request is available: either
     // now (work was queued) or at its arrival (the loop was idle).
     Cycles clock = nodeClock(node);
@@ -156,6 +184,18 @@ KvFrontEnd::serveOne(NodeId ingress, const PendingRequest &req)
     Machine &machine = sys_.machine();
     NodeId owner = store_.shardOf(req.key);
 
+    // A request can get trapped in the queue by a partition that
+    // lands after admission: shed it here (no latency sample, no
+    // served count) — the store would refuse it anyway, and a dead
+    // owner's clock cannot be charged.
+    if (degradedNode(ingress) || degradedNode(owner)) {
+        ++degradedShed_;
+        machine.tracer().instant(TraceCategory::App,
+                                 "load.degraded_shed", ingress, 0,
+                                 req.key, owner);
+        return;
+    }
+
     // A forwarded request cannot start on the owner before it was
     // sent: pull an idle owner's clock up to the ingress clock.
     if (owner != ingress) {
@@ -170,7 +210,17 @@ KvFrontEnd::serveOne(NodeId ingress, const PendingRequest &req)
         cached = tryCachedGet(ingress, req.key);
 
     if (!cached) {
-        store_.exec(req.op, req.key, ingress);
+        if (store_.exec(req.op, req.key, ingress) != Errc::Ok) {
+            // Shed mid-flight (fencing raced us, or the forward link
+            // is down and the breaker tripped): not served, and no
+            // latency sample — tail percentiles measure service, not
+            // refusals.
+            ++degradedShed_;
+            machine.tracer().instant(TraceCategory::App,
+                                     "load.degraded_shed", ingress, 0,
+                                     req.key, owner);
+            return;
+        }
         if (cfg_.hotKeyCache) {
             if (req.op == KvOp::Get && owner != ingress)
                 refill(ingress, req.key);

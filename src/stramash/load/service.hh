@@ -152,6 +152,7 @@ class KvFrontEnd
 
     Counter &accepted_;
     Counter &shed_;
+    Counter &degradedShed_;
     Counter &served_;
     Counter &batches_;
     Counter &cacheHits_;
@@ -167,6 +168,11 @@ class KvFrontEnd
     {
         return sys_.config().osDesign == OsDesign::FusedKernel;
     }
+
+    /** True when @p node is dead or partition-fenced: its ingress
+     *  socket refuses work (degraded_shed) instead of queueing
+     *  requests it could lose. */
+    bool degradedNode(NodeId node) const;
 
     Cycles nodeClock(NodeId n) const;
 

@@ -143,6 +143,39 @@ MessageLayer::send(const Message &msg)
                         m.wireSize());
 
     if (fi) {
+        if (machine_.anyLinkImpaired()) {
+            switch (machine_.linkState(m.from, m.to)) {
+              case LinkState::Up:
+                break;
+              case LinkState::Severed:
+                // Dead wire: the NIC did its work (the message counts
+                // as sent) but nothing arrives, and the sender cannot
+                // tell — its retry/timeout machinery is what notices.
+                fi->partition().counter("msgs_dropped_severed") += 1;
+                machine_.tracer().instant(
+                    TraceCategory::Chaos, "link.msg_drop", m.from, 0,
+                    static_cast<std::uint64_t>(m.type), m.to);
+                return Errc::Ok;
+              case LinkState::Lossy:
+                if (fi->shouldDropOnLossyLink(m.from, m.to))
+                    return Errc::Ok;
+                break;
+              case LinkState::Delayed:
+                // Park in flight: the copy re-enters the transport
+                // only once the receiver's clock has advanced past
+                // the link delay (releaseDueParked), so a sustained
+                // delay starves timeouts instead of stalling anyone.
+                fi->partition().counter("msgs_parked") += 1;
+                machine_.tracer().instant(
+                    TraceCategory::Chaos, "link.msg_park", m.from, 0,
+                    m.seq, m.to);
+                parked_[m.to].push_back(
+                    {machine_.node(m.to).cycles() +
+                         fi->plan().linkDelayCycles,
+                     m});
+                return Errc::Ok;
+            }
+        }
         if (fi->shouldDropMessage(m.from, m.to)) {
             // Lost on the wire: the sender cannot tell.
             return Errc::Ok;
@@ -190,6 +223,8 @@ MessageLayer::receive(NodeId node)
 {
     Tracer &tracer = machine_.tracer();
     FaultInjector *fi = machine_.faultInjector();
+    if (fi && !parked_.empty())
+        releaseDueParked(node);
     for (;;) {
         Cycles start =
             tracer.enabledFor(TraceCategory::Msg) ? tracer.now(node)
@@ -234,6 +269,30 @@ std::optional<Message>
 MessageLayer::tryReceive(NodeId node)
 {
     return receive(node);
+}
+
+void
+MessageLayer::releaseDueParked(NodeId node)
+{
+    auto it = parked_.find(node);
+    if (it == parked_.end())
+        return;
+    Cycles now = machine_.node(node).cycles();
+    std::deque<ParkedMsg> &q = it->second;
+    // releaseAt is monotone per destination (constant link delay,
+    // monotone receiver clock at park time), so the due messages are
+    // exactly the front of the FIFO.
+    while (!q.empty() && q.front().releaseAt <= now) {
+        Message m = q.front().msg;
+        q.pop_front();
+        machine_.tracer().instant(TraceCategory::Chaos,
+                                  "link.msg_release", node, 0, m.seq,
+                                  m.from);
+        if (transportSend(m) != Errc::Ok)
+            stats_.counter("ring_full") += 1;
+    }
+    if (q.empty())
+        parked_.erase(it);
 }
 
 void
@@ -300,6 +359,11 @@ MessageLayer::purgeQueues(NodeId node)
     std::size_t purged = 0;
     while (auto m = transportReceive(node))
         ++purged;
+    // Messages still parked on a delayed link die with the node too.
+    if (auto it = parked_.find(node); it != parked_.end()) {
+        purged += it->second.size();
+        parked_.erase(it);
+    }
     if (purged) {
         stats_.counter("purged_dead") +=
             static_cast<std::int64_t>(purged);

@@ -267,6 +267,22 @@ class MessageLayer
     };
     std::vector<ServeCtx> serveStack_;
 
+    /** A message in flight on a Delayed link: it re-enters the
+     *  transport only once the receiver's clock reaches releaseAt —
+     *  so a receiver that never advances never hears it, which is
+     *  what lets a *sustained* delay exhaust a retry budget. */
+    struct ParkedMsg
+    {
+        Cycles releaseAt;
+        Message msg;
+    };
+    /** Parked messages keyed by destination, FIFO per destination. */
+    std::map<NodeId, std::deque<ParkedMsg>> parked_;
+
+    /** Re-inject every parked message for @p node whose release time
+     *  the node's clock has reached. */
+    void releaseDueParked(NodeId node);
+
     /** True when the resilient machinery is active. */
     bool resilient() const;
 

@@ -94,11 +94,18 @@ Machine::Machine(const MachineConfig &cfg)
     for (auto &n : nodes_)
         byId_[n->id()] = n.get();
     ipisReceived_.assign(nodes_.size(), 0);
+    links_.assign(nodes_.size() * nodes_.size(),
+                  static_cast<std::uint8_t>(LinkState::Up));
     if (tracer_.enabled())
         domain_->setTracer(&tracer_);
     if (cfg_.faultPlan) {
         injector_ = std::make_unique<FaultInjector>(*cfg_.faultPlan);
         injector_->setTracer(&tracer_);
+        for (const LinkEvent &ev : cfg_.faultPlan->linkSchedule) {
+            panic_if(ev.from >= nodes_.size() || ev.to >= nodes_.size(),
+                     "link schedule names unknown node");
+        }
+        partitionArmed_ = cfg_.faultPlan->linkFaultsPlanned();
     }
 }
 
@@ -250,6 +257,17 @@ Machine::sendIpi(NodeId from, NodeId to)
     // this read is stable within an epoch.
     if (anyNodeDead() && (!nodeAlive(from) || !nodeAlive(to)))
         return 0;
+    if (anyLinkImpaired() &&
+        rawLinkState(from, to) == LinkState::Severed) {
+        // The interrupt fabric rides the message links: on a severed
+        // link the IPI is swallowed. Coherent *memory* stays up —
+        // fused-design data written across a partition lands, only
+        // the doorbell is lost. Counted so the asymmetry is visible.
+        injector_->partition().counter("ipis_swallowed") += 1;
+        tracer_.instant(TraceCategory::Chaos, "link.ipi_swallowed",
+                        from, 0, from, to);
+        return 0;
+    }
     if (LaneContext *lc = tlsLaneContext(); lc && !lc->owns(to)) {
         // Drop faults were rejected at session start (the per-site
         // rng draw order would depend on host scheduling), so the
@@ -278,10 +296,73 @@ Machine::deliverIpi(NodeId from, NodeId to)
 }
 
 void
+Machine::fireScheduledIfDue(NodeId nid)
+{
+    if (injector_->crashArmed())
+        fireCrashIfDue(nid);
+    if (injector_->linkEventsArmed())
+        fireLinkEventsIfDue();
+}
+
+void
 Machine::fireCrashIfDue(NodeId nid)
 {
     if (injector_->shouldCrashNode(nid, node(nid).cycles()))
         killNode(nid);
+}
+
+void
+Machine::fireLinkEventsIfDue()
+{
+    // One event per poll iteration: the hook a transition invokes
+    // (heal/reconcile, rejoin) advances clocks itself, which can make
+    // further schedule entries due — the injector's fired flags make
+    // the re-entrant polls idempotent.
+    while (const LinkEvent *ev = injector_->pollLinkEvent(
+               [this](NodeId n) { return node(n).cycles(); })) {
+        setLinkState(ev->from, ev->to, ev->state);
+    }
+}
+
+void
+Machine::setLinkState(NodeId from, NodeId to, LinkState s)
+{
+    panic_if(!injector_,
+             "setLinkState without fault machinery: attach a "
+             "FaultPlan (an empty one is enough)");
+    panic_if(from >= byId_.size() || to >= byId_.size() || from == to,
+             "setLinkState(", from, ", ", to, "): bad link");
+    LinkState old = rawLinkState(from, to);
+    partitionArmed_ = true;
+    if (old == s)
+        return;
+    links_[from * byId_.size() + to] = static_cast<std::uint8_t>(s);
+    if (old == LinkState::Up)
+        ++impairedLinks_;
+    else if (s == LinkState::Up)
+        --impairedLinks_;
+    StatGroup &part = injector_->partition();
+    const char *name = "link.up";
+    switch (s) {
+      case LinkState::Up:
+        part.counter("links_healed") += 1;
+        break;
+      case LinkState::Severed:
+        part.counter("links_severed") += 1;
+        name = "link.severed";
+        break;
+      case LinkState::Lossy:
+        part.counter("links_lossy") += 1;
+        name = "link.lossy";
+        break;
+      case LinkState::Delayed:
+        part.counter("links_delayed") += 1;
+        name = "link.delayed";
+        break;
+    }
+    tracer_.instant(TraceCategory::Chaos, name, from, 0, from, to);
+    if (linkHook_)
+        linkHook_(from, to, s);
 }
 
 void
@@ -358,6 +439,18 @@ Machine::beginParallelSession(unsigned threads)
                  "parallel session: transient fault sites draw rng "
                  "in global arrival order; only scheduled crash "
                  "plans are supported multi-threaded");
+        panic_if(injector_ &&
+                     !injector_->plan().linkScheduleParallelSafe(),
+                 "parallel session: lossy/delayed links draw rng or "
+                 "park messages in arrival order; only sever/heal "
+                 "link schedules are supported multi-threaded");
+        for (std::uint8_t l : links_) {
+            LinkState s = static_cast<LinkState>(l);
+            panic_if(s == LinkState::Lossy || s == LinkState::Delayed,
+                     "parallel session: a link is currently "
+                     "lossy/delayed; heal it (or sever it) before "
+                     "running multi-threaded");
+        }
     }
     parallelActive_ = true;
     domain_->setParallelGuard(true);
@@ -383,10 +476,14 @@ Machine::minCrossNodeLookahead() const
 void
 Machine::pollCrashSites()
 {
-    if (!injector_ || !injector_->crashArmed())
+    if (!injector_)
         return;
-    for (NodeId nid = 0; nid < byId_.size(); ++nid)
-        fireCrashIfDue(nid);
+    if (injector_->crashArmed()) {
+        for (NodeId nid = 0; nid < byId_.size(); ++nid)
+            fireCrashIfDue(nid);
+    }
+    if (injector_->linkEventsArmed())
+        fireLinkEventsIfDue();
 }
 
 void
@@ -406,10 +503,12 @@ Machine::applyStagedCharge(const StagedCharge &c)
         node(c.dst).retire(c.amount);
         return;
       case StagedCharge::Kind::Ipi:
-        // Liveness was checked at send time; a node crashed at an
-        // intervening barrier swallows the charge like any retire on
-        // a frozen clock, but skips the delivery counters too.
-        if (nodeAlive(c.dst))
+        // Liveness and link state were checked at send time; a node
+        // crashed — or a link severed — at an intervening barrier
+        // swallows the charge like any retire on a frozen clock, but
+        // skips the delivery counters too.
+        if (nodeAlive(c.dst) &&
+            linkState(c.from, c.dst) != LinkState::Severed)
             deliverIpi(c.from, c.dst);
         return;
     }

@@ -138,6 +138,48 @@ class Machine
      */
     Node &nodeByIsa(IsaType isa);
 
+    // ---- link faults (network partitions) ----
+
+    /**
+     * Health of the directed message link @p from -> @p to. Costs one
+     * integer compare while every link is up (the common case), so
+     * the transport can gate on it without measurable overhead. Only
+     * the *message* fabric is subject to link state; coherent memory
+     * stays connected — that asymmetry is the fused design's
+     * arbitration channel.
+     */
+    LinkState
+    linkState(NodeId from, NodeId to) const
+    {
+        return impairedLinks_ == 0 ? LinkState::Up
+                                   : rawLinkState(from, to);
+    }
+
+    /** True while at least one directed link is not Up. */
+    bool anyLinkImpaired() const { return impairedLinks_ != 0; }
+
+    /**
+     * True once any link fault has been configured (a scheduled plan
+     * or a chaos-API call) — the crash manager switches from the
+     * quorum-only protocol to partition-safe arbitration only then,
+     * so runs without link faults stay bit-identical to history.
+     */
+    bool partitionArmed() const { return partitionArmed_; }
+
+    /**
+     * Set the directed link @p from -> @p to. Requires an attached
+     * fault injector (link faults are chaos machinery; the partition
+     * counters live there). Counts, traces, then invokes the link
+     * event hook. Idempotent per state.
+     */
+    void setLinkState(NodeId from, NodeId to, LinkState s);
+
+    /** Observer for link transitions (System wires the crash
+     *  manager's heal/reconcile path here). Fires after the state is
+     *  applied. */
+    using LinkEventFn = std::function<void(NodeId, NodeId, LinkState)>;
+    void setLinkEventHook(LinkEventFn fn) { linkHook_ = std::move(fn); }
+
     /**
      * Charge a data access by @p node at physical address @p pa
      * through the cache/coherence model and advance the node's clock.
@@ -236,8 +278,9 @@ class Machine
      */
     Cycles minCrossNodeLookahead() const;
 
-    /** Epoch-aligned crash polling: fire any due scheduled crash, in
-     *  ascending node order (serial barrier context only). */
+    /** Epoch-aligned scheduled-fault polling: fire any due scheduled
+     *  crash (ascending node order) and any due link transition, in
+     *  schedule order (serial barrier context only). */
     void pollCrashSites();
 
     /** Fence the coherence/snoop epoch guards at a barrier. */
@@ -249,20 +292,35 @@ class Machine
 
   private:
     /**
-     * Poll the scheduled crash site after a clock advance on @p nid.
-     * Two predictable branches when no crash is armed (the injector
-     * pointer, then crashArmed()); the slow path lives in the .cc.
+     * Poll the scheduled crash + link sites after a clock advance on
+     * @p nid. Two predictable branches when nothing is armed (the
+     * injector pointer, then the armed flags); the slow paths live in
+     * the .cc.
      */
     void
     maybeFireCrash(NodeId nid)
     {
         // Parallel sessions poll at epoch barriers instead: killNode
-        // mutates machine-wide state no lane may touch mid-epoch.
-        if (injector_ && injector_->crashArmed() && !parallelActive_)
-            fireCrashIfDue(nid);
+        // and setLinkState mutate machine-wide state no lane may
+        // touch mid-epoch.
+        if (injector_ && !parallelActive_ &&
+            (injector_->crashArmed() || injector_->linkEventsArmed()))
+            fireScheduledIfDue(nid);
     }
 
+    /** Fire any due scheduled crash on @p nid and any due scheduled
+     *  link transition (link deadlines read both endpoint clocks, so
+     *  they are polled regardless of @p nid). */
+    void fireScheduledIfDue(NodeId nid);
     void fireCrashIfDue(NodeId nid);
+    void fireLinkEventsIfDue();
+
+    LinkState
+    rawLinkState(NodeId from, NodeId to) const
+    {
+        return static_cast<LinkState>(
+            links_[from * byId_.size() + to]);
+    }
 
     /** Receiver-side IPI delivery (charge + counters + trace). */
     Cycles deliverIpi(NodeId from, NodeId to);
@@ -282,6 +340,14 @@ class Machine
     /** Count of crashed nodes; non-zero activates liveness checks.
      *  Only mutated at epoch barriers during parallel sessions. */
     unsigned deadNodes_ = 0;
+    /** n*n directed LinkState matrix (row = from). */
+    std::vector<std::uint8_t> links_;
+    /** Count of links not Up; non-zero activates link checks.
+     *  Only mutated at epoch barriers during parallel sessions. */
+    unsigned impairedLinks_ = 0;
+    /** Latches true on the first configured link fault. */
+    bool partitionArmed_ = false;
+    LinkEventFn linkHook_;
     /** True between beginParallelSession / endParallelSession. */
     bool parallelActive_ = false;
 };

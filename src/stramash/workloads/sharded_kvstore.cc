@@ -43,6 +43,16 @@ ShardedKvStore::ShardedKvStore(System &sys, ShardedKvConfig cfg)
     expected_.assign(servers_.size(),
                      std::vector<std::uint64_t>(cfg_.keysPerShard, 0));
     counters_.assign(servers_.size(), OwnerCounters{});
+    breakerOpen_.assign(servers_.size(), 0);
+}
+
+bool
+ShardedKvStore::degradedNode(NodeId node) const
+{
+    if (!sys_.machine().nodeAlive(node))
+        return true;
+    CrashManager *cm = sys_.crashManager();
+    return cm && cm->isSelfFenced(node);
 }
 
 Addr
@@ -68,33 +78,56 @@ ShardedKvStore::populate()
     }
 }
 
-void
+Errc
 ShardedKvStore::ingressPath(NodeId ingress, NodeId owner)
 {
     Machine &machine = sys_.machine();
     if (ingress == owner) {
         // Local service: just the ingress-side stack work.
         machine.stall(ingress, KvStore::stackCycles);
-        return;
+        return Errc::Ok;
     }
     ++counters_[owner].crossShard;
     if (sys_.config().osDesign == OsDesign::MultipleKernel) {
+        if (breakerOpen_[owner]) {
+            if (machine.linkState(ingress, owner) != LinkState::Up ||
+                machine.linkState(owner, ingress) != LinkState::Up) {
+                // Breaker open and the link still impaired: fast-fail
+                // without re-paying the full timeout/backoff budget.
+                ++counters_[owner].unreachable;
+                return Errc::Unreachable;
+            }
+            breakerOpen_[owner] = 0;
+        }
         // Shared-nothing forwarding: two messages per request. The
         // channel scope is a no-op in sequential runs; in a parallel
         // batch it serialises the ingress<->owner ring pair so the
-        // request/response exchange stays FIFO per channel.
+        // request/response exchange stays FIFO per channel. The
+        // resilient tryRpc is the historical rpc() bit-for-bit when
+        // no fault injector is attached.
         ChannelScope channel(sys_.msg(), ingress, owner);
         Message req;
         req.type = MsgType::AppRequest;
         req.from = ingress;
         req.to = owner;
         req.arg0 = servers_[owner]->pid();
-        sys_.msg().rpc(req, MsgType::AppResponse);
-        return;
+        if (!sys_.msg().tryRpc(req, MsgType::AppResponse)) {
+            // Every retry timed out: open the breaker so the next
+            // requests to this owner shed cheaply until the link
+            // heals.
+            breakerOpen_[owner] = 1;
+            ++counters_[owner].unreachable;
+            return Errc::Unreachable;
+        }
+        return Errc::Ok;
     }
     // Fused forwarding: the ingress kernel drives the owner's socket
     // state directly — descriptor read, doorbell write (fused MMIO,
-    // §7.4) — then one IPI; the owner runs half a stack pass.
+    // §7.4) — then one IPI; the owner runs half a stack pass. A
+    // severed *message* link does not impair this path: the doorbell
+    // rides coherent memory, and the swallowed IPI only costs the
+    // owner its wakeup (it polls the descriptor anyway) — the fused
+    // design serves straight through a network partition.
     KernelInstance &ownerK = sys_.kernel(owner);
     machine.dataAccess(ingress, AccessType::Load,
                        ownerK.dataAddrFor(0x50cce7), 64);
@@ -103,20 +136,33 @@ ShardedKvStore::ingressPath(NodeId ingress, NodeId owner)
     machine.stall(ingress, 2 * KvStore::remoteMmioCycles);
     machine.sendIpi(ingress, owner);
     machine.stall(owner, KvStore::stackCycles / 2);
+    return Errc::Ok;
 }
 
-void
+Errc
 ShardedKvStore::exec(KvOp op, std::uint64_t key, NodeId ingress)
 {
-    execTagged(op, key, ingress, requestsServed());
+    return execTagged(op, key, ingress, requestsServed());
 }
 
-void
+Errc
 ShardedKvStore::execTagged(KvOp op, std::uint64_t key, NodeId ingress,
                            std::uint64_t salt)
 {
     NodeId owner = shardOf(key);
-    ingressPath(ingress, owner);
+    // Shed before any charge or mirror update: a dead or fenced node
+    // must not acknowledge work it could lose. The caller sees
+    // Errc::Degraded; the host-side mirror never learns of the
+    // request, which is what makes "zero acknowledged-write loss"
+    // checkable by verify().
+    if (degradedNode(ingress) || degradedNode(owner)) {
+        ++counters_[owner].shed;
+        return Errc::Degraded;
+    }
+    if (Errc e = ingressPath(ingress, owner); e != Errc::Ok) {
+        ++counters_[owner].shed;
+        return e;
+    }
 
     // The shard owner executes the operation against its own slab;
     // protocol parse/dispatch/reply is charged there like the
@@ -149,6 +195,7 @@ ShardedKvStore::execTagged(KvOp op, std::uint64_t key, NodeId ingress,
               "experiment");
     }
     ++counters_[owner].requests;
+    return Errc::Ok;
 }
 
 Cycles

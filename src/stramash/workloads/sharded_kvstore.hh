@@ -61,9 +61,20 @@ class ShardedKvStore
         return static_cast<NodeId>(key % servers_.size());
     }
 
-    /** Serve one request arriving at @p ingress. Only Get and Set
-     *  are part of the scaling experiment. */
-    void exec(KvOp op, std::uint64_t key, NodeId ingress);
+    /**
+     * Serve one request arriving at @p ingress. Only Get and Set are
+     * part of the scaling experiment.
+     *
+     * @return Ok when served. Degraded when the ingress or the shard
+     *         owner is dead or partition-fenced — the request is shed
+     *         *before* any work or mirror update, so a fenced shard
+     *         never acknowledges a write it could lose. Unreachable /
+     *         Timeout when a Popcorn cross-shard forward exhausted
+     *         its retries (the write never reached the owner and the
+     *         mirror is untouched: nothing acknowledged, nothing
+     *         lost).
+     */
+    Errc exec(KvOp op, std::uint64_t key, NodeId ingress);
 
     /**
      * Serve one request with an explicit tag salt. exec() uses the
@@ -72,7 +83,7 @@ class ShardedKvStore
      * the sequential loop would have seen — so the tags written (and
      * verified) are bit-identical regardless of execution order.
      */
-    void execTagged(KvOp op, std::uint64_t key, NodeId ingress,
+    Errc execTagged(KvOp op, std::uint64_t key, NodeId ingress,
                     std::uint64_t salt);
 
     // ---- hooks for the open-loop front end (stramash/load) ----
@@ -142,6 +153,23 @@ class ShardedKvStore
             total += c.crossShard;
         return total;
     }
+    /** Requests shed because a node was dead or partition-fenced. */
+    std::uint64_t requestsShed() const
+    {
+        std::uint64_t total = 0;
+        for (const OwnerCounters &c : counters_)
+            total += c.shed;
+        return total;
+    }
+    /** Popcorn forwards refused by the ingress circuit breaker or
+     *  given up after exhausting the RPC retry budget. */
+    std::uint64_t unreachableForwards() const
+    {
+        std::uint64_t total = 0;
+        for (const OwnerCounters &c : counters_)
+            total += c.unreachable;
+        return total;
+    }
 
   private:
     /**
@@ -155,6 +183,8 @@ class ShardedKvStore
     {
         std::uint64_t requests = 0;
         std::uint64_t crossShard = 0;
+        std::uint64_t shed = 0;
+        std::uint64_t unreachable = 0;
     };
 
     System &sys_;
@@ -167,10 +197,21 @@ class ShardedKvStore
     /** Host-side mirror of every slot's tag word, for verify(). */
     std::vector<std::vector<std::uint64_t>> expected_;
     std::vector<OwnerCounters> counters_;
+    /** Per-owner circuit breaker for Popcorn forwards: opened by a
+     *  failed tryRpc, re-closed when the chaos layer reports the
+     *  ingress<->owner links Up again (standing in for a background
+     *  probe). While open, forwards fast-fail instead of burning the
+     *  full retry/backoff budget per request. One writer per owner
+     *  lane in parallel batches. */
+    std::vector<std::uint8_t> breakerOpen_;
+
+    /** True when @p node cannot take new work: machine-dead or
+     *  frozen in the self-fenced degraded mode. */
+    bool degradedNode(NodeId node) const;
 
     /** Ingress-side socket work, plus forwarding when the shard
      *  owner is another node. */
-    void ingressPath(NodeId ingress, NodeId owner);
+    Errc ingressPath(NodeId ingress, NodeId owner);
 };
 
 } // namespace stramash

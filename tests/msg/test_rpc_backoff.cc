@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <vector>
 
 #include "stramash/msg/transport.hh"
 
@@ -186,4 +187,71 @@ TEST(RpcBackoff, ReplayedReplyCompletesOnlyItsOwnRpc)
     ASSERT_TRUE(second.has_value());
     EXPECT_EQ(second->arg0, 9u);
     EXPECT_EQ(rig.requestsServed, 2u);
+}
+
+TEST(RpcBackoff, SustainedLinkDelayExhaustsTheBudgetAtExactCharge)
+{
+    // A Delayed link parks every request past the response timeout
+    // (linkDelayCycles > responseTimeoutCycles by construction), so
+    // tryRpc walks the full retry ladder exactly as if the wire were
+    // dead — the same deterministic charge as the all-dropped case —
+    // while the transport holds the messages instead of losing them.
+    FaultPlan plan;
+    Rig rig(plan);
+    const RpcPolicy &pol = rig.layer->rpcPolicy();
+    ASSERT_GT(plan.linkDelayCycles, pol.responseTimeoutCycles);
+
+    rig.machine->setLinkState(0, 1, LinkState::Delayed);
+
+    Cycles before = rig.machine->node(0).cycles();
+    auto resp = rig.layer->tryRpc(rig.request(7), MsgType::PageResponse);
+    Cycles spent = rig.machine->node(0).cycles() - before;
+
+    EXPECT_FALSE(resp.has_value());
+    Cycles expect = pol.maxAttempts * pol.responseTimeoutCycles;
+    for (unsigned a = 1; a < pol.maxAttempts; ++a)
+        expect += pol.backoffForAttempt(a);
+    EXPECT_EQ(spent, expect);
+    EXPECT_EQ(rig.injector().retries().value("timeouts"),
+              pol.maxAttempts);
+    EXPECT_EQ(rig.injector().retries().value("attempts"),
+              pol.maxAttempts - 1u);
+    EXPECT_EQ(rig.injector().retries().value("gave_up"), 1u);
+    EXPECT_EQ(rig.injector().partition().value("msgs_parked"),
+              pol.maxAttempts);
+    EXPECT_EQ(rig.requestsServed, 0u);
+
+    // Once the receiver's clock crosses the release point, the parked
+    // retries arrive in order: the first is served, the rest hit the
+    // reply cache — the RPC already gave up, so the stale answers go
+    // nowhere.
+    rig.machine->stall(1,
+                       plan.linkDelayCycles + pol.responseTimeoutCycles);
+    rig.layer->dispatchPending(1);
+    EXPECT_EQ(rig.requestsServed, 1u);
+    EXPECT_EQ(rig.injector().retries().value("replayed_responses"),
+              pol.maxAttempts - 1u);
+}
+
+TEST(RpcBackoff, SustainedDelayChargeIsIdenticalAcrossRuns)
+{
+    // The delay path must replay bit-identically: two fresh rigs walk
+    // the same ladder to the same clocks and counters.
+    auto once = []() {
+        FaultPlan plan;
+        Rig rig(plan);
+        rig.machine->setLinkState(0, 1, LinkState::Delayed);
+        Cycles before = rig.machine->node(0).cycles();
+        auto resp =
+            rig.layer->tryRpc(rig.request(7), MsgType::PageResponse);
+        EXPECT_FALSE(resp.has_value());
+        return std::vector<std::uint64_t>{
+            rig.machine->node(0).cycles() - before,
+            rig.injector().retries().value("timeouts"),
+            rig.injector().retries().value("attempts"),
+            rig.injector().retries().value("gave_up"),
+            rig.injector().partition().value("msgs_parked"),
+        };
+    };
+    EXPECT_EQ(once(), once());
 }
