@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "stramash/sched/scheduler.hh"
 #include "stramash/workloads/kvstore.hh"
 
 using namespace stramash;
@@ -25,7 +26,15 @@ main()
     cfg.cachePluginEnabled = false; // functional run, as in §9.2.8
     System sys(cfg);
 
-    App server(sys, 0);
+    // Scheduler-driven spawn: the server asks for the x86 kernel;
+    // the explicit migrateToNext() calls below stay, because the
+    // mid-service migration is the point of the demo.
+    SchedConfig sc;
+    sc.policy = PlacementPolicy::IsaAffinity;
+    Scheduler sched(sys, sc);
+    PlacementHints hints;
+    hints.preferIsa = IsaType::X86_64;
+    App server(sys, hints);
     KvStore store(server, 256, 1024);
 
     std::printf("kv-store server: booting on %s...\n",

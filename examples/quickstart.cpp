@@ -10,7 +10,7 @@
 
 #include <cstdio>
 
-#include "stramash/core/app.hh"
+#include "stramash/sched/scheduler.hh"
 
 using namespace stramash;
 
@@ -26,8 +26,16 @@ runOnce(OsDesign design)
     cfg.transport = Transport::SharedMemory;
     System sys(cfg);
 
+    // The scheduler owns placement: new tasks ask for an ISA instead
+    // of hard-coding a node id.
+    SchedConfig sc;
+    sc.policy = PlacementPolicy::IsaAffinity;
+    Scheduler sched(sys, sc);
+
     // A process is born on the x86 kernel...
-    App app(sys, 0);
+    PlacementHints hints;
+    hints.preferIsa = IsaType::X86_64;
+    App app(sys, hints);
     Addr buf = app.mmap(1 << 20);
 
     // ...fills a buffer there...

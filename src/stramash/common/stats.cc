@@ -54,6 +54,23 @@ Histogram::reset()
     max_ = 0;
 }
 
+void
+Histogram::merge(const Histogram &other)
+{
+    panic_if(edges_ != other.edges_,
+             "Histogram::merge with mismatched bucket edges");
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0 || other.min_ < min_)
+        min_ = other.min_;
+    if (other.max_ > max_)
+        max_ = other.max_;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        buckets_[i] += other.buckets_[i];
+}
+
 Counter &
 StatGroup::counter(const std::string &name)
 {

@@ -126,6 +126,16 @@ class Histogram
     /** Forget every sample (keeps the bucket edges). */
     void reset();
 
+    /**
+     * Fold @p other's samples into this histogram. Both must share
+     * the same bucket edges. The result is exactly what sampling the
+     * union multiset would have produced, so per-epoch scratch
+     * histograms (e.g. run-queue depth sampled every scheduler
+     * epoch) can be merged into a long-lived one instead of
+     * re-registering it. Serial points only.
+     */
+    void merge(const Histogram &other);
+
     const std::vector<std::uint64_t> &edges() const { return edges_; }
     const std::vector<std::uint64_t> &buckets() const { return buckets_; }
 

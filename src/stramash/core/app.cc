@@ -3,6 +3,11 @@
 namespace stramash
 {
 
+App::App(System &sys, const PlacementHints &hints)
+    : App(sys, sys.placeNode(hints))
+{
+}
+
 App::App(System &sys, NodeId origin) : sys_(sys), origin_(origin)
 {
     pid_ = sys_.spawn(origin);

@@ -28,6 +28,12 @@ class App
     static constexpr Addr stackBytes = 8 * 1024 * 1024;
 
     App(System &sys, NodeId origin);
+
+    /** Spawn at a policy-chosen origin (System::placeNode). With no
+     *  Placer attached this honours the pin hint / defaults to node
+     *  0, so scheduler-less code keeps its hand-placed behaviour. */
+    App(System &sys, const PlacementHints &hints);
+
     ~App();
 
     App(const App &) = delete;

@@ -195,6 +195,37 @@ System::kernelByIsa(IsaType isa)
     return *match;
 }
 
+NodeId
+System::firstAliveFrom(NodeId from) const
+{
+    std::size_t n = kernels_.size();
+    for (std::size_t step = 0; step < n; ++step) {
+        NodeId cand = static_cast<NodeId>((from + step) % n);
+        if (machine_->nodeAlive(cand))
+            return cand;
+    }
+    panic("firstAliveFrom: every node is dead");
+}
+
+NodeId
+System::placeNode(const PlacementHints &hints)
+{
+    if (placer_)
+        return placer_->place(hints);
+    // No policy attached: honour the pin (sliding off a dead node
+    // the same way migrateToNext does), default to node 0.
+    return firstAliveFrom(hints.pin.value_or(0));
+}
+
+Pid
+System::spawnPlaced(const PlacementHints &hints, NodeId *chosen)
+{
+    NodeId origin = placeNode(hints);
+    if (chosen)
+        *chosen = origin;
+    return spawn(origin);
+}
+
 Pid
 System::spawn(NodeId origin)
 {

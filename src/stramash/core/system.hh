@@ -17,6 +17,7 @@
 #include <optional>
 #include <string>
 
+#include "stramash/core/placement.hh"
 #include "stramash/dsm/popcorn.hh"
 #include "stramash/fault/crash.hh"
 #include "stramash/fused/global_alloc.hh"
@@ -109,6 +110,32 @@ class System
 
     /** Create a process at @p origin. VMAs are added via App. */
     Pid spawn(NodeId origin);
+
+    // ---- scheduler-driven placement ----
+
+    /**
+     * Attach (or detach, with nullptr) the placement policy. The
+     * scheduler implements Placer; while attached, placeNode() and
+     * spawnPlaced() route through it. Without one they fall back to
+     * the hint pin (or node 0), preserving hand-placed behaviour.
+     */
+    void setPlacer(Placer *placer) { placer_ = placer; }
+    Placer *placer() { return placer_; }
+
+    /**
+     * Choose a node for a new task. With a Placer attached this is
+     * policy-driven; without one the pin hint wins (first alive node
+     * from it in cyclic order if it is dead), defaulting to node 0.
+     */
+    NodeId placeNode(const PlacementHints &hints);
+
+    /** spawn() at a policy-chosen origin. @p chosen (optional)
+     *  receives the node the placement decided on. */
+    Pid spawnPlaced(const PlacementHints &hints,
+                    NodeId *chosen = nullptr);
+
+    /** First alive node at or cyclically after @p from. */
+    NodeId firstAliveFrom(NodeId from) const;
 
     /** Terminate the process on every kernel hosting it. */
     void exit(Pid pid);
@@ -254,6 +281,7 @@ class System
 
     FutexPolicy *futexPolicy_ = nullptr;
     MigrationPolicy *migrationPolicy_ = nullptr;
+    Placer *placer_ = nullptr;
 
     Pid nextPid_ = 100;
 

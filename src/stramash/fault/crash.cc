@@ -431,7 +431,36 @@ CrashManager::recover(NodeId dead, NodeId survivor)
         recovery_.counter("mailboxes_rehomed") += 1;
     }
 
+    // 6. Higher-layer state homed on the dead node (the scheduler's
+    // run queue) drains through the same recovery pass, charged to
+    // the survivor like everything above.
+    for (auto &hook : recoveryHooks_) {
+        if (hook.second)
+            hook.second(dead, survivor);
+    }
+
     recovery_.counter("recoveries") += 1;
+}
+
+std::uint64_t
+CrashManager::addRecoveryHook(RecoveryHook fn)
+{
+    panic_if(!fn, "addRecoveryHook(nullptr)");
+    std::uint64_t token = nextHookToken_++;
+    recoveryHooks_.emplace_back(token, std::move(fn));
+    return token;
+}
+
+void
+CrashManager::removeRecoveryHook(std::uint64_t token)
+{
+    for (auto it = recoveryHooks_.begin(); it != recoveryHooks_.end();
+         ++it) {
+        if (it->first == token) {
+            recoveryHooks_.erase(it);
+            return;
+        }
+    }
 }
 
 void

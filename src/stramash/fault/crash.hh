@@ -69,7 +69,9 @@
 #ifndef STRAMASH_FAULT_CRASH_HH
 #define STRAMASH_FAULT_CRASH_HH
 
+#include <functional>
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "stramash/dsm/dsm_engine.hh"
@@ -219,6 +221,20 @@ class CrashManager
     StatGroup &recovery() { return recovery_; }
     const CrashConfig &config() const { return cfg_; }
 
+    /**
+     * Subscribe to the end of recover(): after tasks, futexes, DSM
+     * pages and allocator blocks are settled, each hook runs with
+     * (dead, survivor) so layers above the System — the scheduler's
+     * per-node run queues — can drain state homed on the dead node
+     * through the same recovery path. Returns a token for
+     * removeRecoveryHook(); the subscriber must remove itself before
+     * it is destroyed.
+     */
+    using RecoveryHook = std::function<void(NodeId dead,
+                                            NodeId survivor)>;
+    std::uint64_t addRecoveryHook(RecoveryHook fn);
+    void removeRecoveryHook(std::uint64_t token);
+
   private:
     /** Detector state one observer keeps about one pinged peer. */
     struct PeerState
@@ -247,6 +263,9 @@ class CrashManager
     std::vector<bool> dead_;
     /** pid -> exit status for tasks reaped by recovery. */
     std::map<Pid, int> exitStatus_;
+    /** (token, fn) recovery subscribers, in registration order. */
+    std::vector<std::pair<std::uint64_t, RecoveryHook>> recoveryHooks_;
+    std::uint64_t nextHookToken_ = 1;
 
     /**
      * Host mirror of the fence word. In the fused design this models

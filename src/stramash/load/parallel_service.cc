@@ -219,7 +219,7 @@ class TailDriver final : public EpochDriver
     serveOne(NodeId ingress, const Pending &req)
     {
         Machine &machine = sys_.machine();
-        NodeId owner = store_.shardOf(req.key);
+        NodeId owner = store_.ownerNodeOf(req.key);
         if (owner == ingress) {
             machine.stall(ingress, KvStore::stackCycles);
             machine.retire(ingress, kServeInstructions);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "stramash/sched/scheduler.hh"
+
 namespace stramash
 {
 
@@ -182,7 +184,7 @@ void
 KvFrontEnd::serveOne(NodeId ingress, const PendingRequest &req)
 {
     Machine &machine = sys_.machine();
-    NodeId owner = store_.shardOf(req.key);
+    NodeId owner = store_.ownerNodeOf(req.key);
 
     // A request can get trapped in the queue by a partition that
     // lands after admission: shed it here (no latency sample, no
@@ -258,7 +260,7 @@ KvFrontEnd::tryCachedGet(NodeId ingress, std::uint64_t key)
         // already invalidated our copy of that line, so the tag
         // compare sees the new value. This load *is* the entire
         // invalidation protocol.
-        NodeId owner = store_.shardOf(key);
+        NodeId owner = store_.ownerNodeOf(key);
         machine.dataAccess(
             ingress, AccessType::Load,
             sys_.kernel(owner).dataAddrFor(0x5ca1ab1e00000000ULL +
@@ -376,12 +378,58 @@ KvFrontEnd::chargeLocalPayload(NodeId node, AccessType type)
     }
 }
 
+bool
+KvFrontEnd::stealPending()
+{
+    Scheduler *sched = cfg_.sched;
+    unsigned batch = sched->config().stealBatch;
+    bool moved = false;
+    for (NodeId thief = 0; thief < queues_.size(); ++thief) {
+        if (!queues_[thief].empty() || degradedNode(thief))
+            continue;
+        // Deepest ingress queue worth robbing (>= 2 so the victim's
+        // loop keeps its head request).
+        NodeId victim = invalidNode;
+        std::size_t bestDepth = 1;
+        for (NodeId n = 0; n < queues_.size(); ++n) {
+            if (n == thief || degradedNode(n))
+                continue;
+            if (queues_[n].size() > bestDepth) {
+                victim = n;
+                bestDepth = queues_[n].size();
+            }
+        }
+        if (victim == invalidNode)
+            continue;
+        unsigned want = static_cast<unsigned>(std::min<std::size_t>(
+            batch, queues_[victim].size() - 1));
+        unsigned got = sched->chargeStealPath(thief, victim, want);
+        if (got == 0)
+            continue;
+        // Move the tail of the victim's queue, preserving order; the
+        // stolen requests complete on the thief's clock from here.
+        std::deque<PendingRequest> &vq = queues_[victim];
+        std::deque<PendingRequest> &tq = queues_[thief];
+        tq.insert(tq.end(), vq.end() - got, vq.end());
+        vq.erase(vq.end() - got, vq.end());
+        stats_.counter("queue_steals") += 1;
+        stats_.counter("queue_steal_items") += got;
+        sys_.machine().tracer().instant(TraceCategory::Sched,
+                                        "load.queue_steal", thief, 0,
+                                        victim, got);
+        moved = true;
+    }
+    return moved;
+}
+
 Cycles
 KvFrontEnd::drain()
 {
     bool any = true;
     while (any) {
         any = false;
+        if (cfg_.sched && cfg_.sched->config().stealing)
+            any |= stealPending();
         for (NodeId n = 0; n < queues_.size(); ++n) {
             if (!queues_[n].empty()) {
                 serveBatch(n);

@@ -45,6 +45,8 @@
 namespace stramash
 {
 
+class Scheduler;
+
 struct ServiceConfig
 {
     /** Max requests drained per dispatch. */
@@ -61,6 +63,12 @@ struct ServiceConfig
     bool hotKeyCache = false;
     /** Cached entries per node (LRU beyond that). */
     std::size_t cacheEntriesPerNode = 32;
+    /** When set, drain() rebalances skewed ingress queues by work
+     *  stealing: an idle node pulls pending requests from the
+     *  deepest queue, paying the scheduler's design-specific steal
+     *  path (coherent pops when fused, a StealRequest RPC on
+     *  Popcorn). */
+    Scheduler *sched = nullptr;
 };
 
 /** One queued request. */
@@ -181,6 +189,10 @@ class KvFrontEnd
 
     /** Serve one batch from @p node's queue (must be non-empty). */
     void serveBatch(NodeId node);
+
+    /** One steal round over the ingress queues (drain() only; needs
+     *  cfg_.sched). @return true when any requests moved. */
+    bool stealPending();
 
     /** Serve one request at @p ingress; records latency. */
     void serveOne(NodeId ingress, const PendingRequest &req);

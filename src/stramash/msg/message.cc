@@ -35,6 +35,8 @@ msgTypeName(MsgType t)
       case MsgType::Heartbeat: return "heartbeat";
       case MsgType::HeartbeatAck: return "heartbeat_ack";
       case MsgType::CacheInvalidate: return "cache_invalidate";
+      case MsgType::StealRequest: return "steal_request";
+      case MsgType::StealResponse: return "steal_response";
     }
     panic("unknown MsgType");
 }
@@ -50,6 +52,7 @@ msgTypeIsResponse(MsgType t)
       case MsgType::MemBlockResponse:
       case MsgType::RemoteFaultResponse:
       case MsgType::AppResponse:
+      case MsgType::StealResponse:
       case MsgType::Ack:
         return true;
       case MsgType::TaskMigrate:
@@ -65,6 +68,8 @@ msgTypeIsResponse(MsgType t)
       case MsgType::ProcessVma:
       case MsgType::ProcessPage:
       case MsgType::AppRequest:
+      case MsgType::CacheInvalidate:
+      case MsgType::StealRequest:
       // See message.hh: heartbeat acks must not be captured as an
       // unrelated RPC's response by the serve-stack machinery.
       case MsgType::Heartbeat:

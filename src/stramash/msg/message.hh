@@ -67,11 +67,19 @@ enum class MsgType : std::uint8_t {
      *  the fused design invalidates through coherent memory and never
      *  sends one). arg0 = key. */
     CacheInvalidate,
+    /** Scheduler work-steal request (multiple-kernel design only:
+     *  the fused design pops the victim's coherent run queue
+     *  directly and never sends one). arg0 = items granted to the
+     *  thief (the caller computes the grant from queue depths). */
+    StealRequest,
+    /** Steal reply. arg0 echoes the grant; the payload carries the
+     *  granted items' descriptors (grant x 64 bytes). */
+    StealResponse,
 };
 
 /** Number of MsgType enumerators (keep in sync with the enum). */
 inline constexpr unsigned msgTypeCount =
-    static_cast<unsigned>(MsgType::CacheInvalidate) + 1;
+    static_cast<unsigned>(MsgType::StealResponse) + 1;
 
 const char *msgTypeName(MsgType t);
 

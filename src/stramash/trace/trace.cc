@@ -18,6 +18,7 @@ traceCategoryName(TraceCategory c)
       case TraceCategory::Coherence: return "coherence";
       case TraceCategory::App: return "app";
       case TraceCategory::Chaos: return "chaos";
+      case TraceCategory::Sched: return "sched";
     }
     panic("unknown TraceCategory");
 }

@@ -47,9 +47,10 @@ enum class TraceCategory : std::uint8_t {
     Coherence = 6, ///< writebacks and cross-node snoops
     App = 7,       ///< workload-defined phases
     Chaos = 8,     ///< injected faults, retries, timeouts, give-ups
+    Sched = 9,     ///< run-queue ops, placement decisions, steals
 };
 
-inline constexpr unsigned traceCategoryCount = 9;
+inline constexpr unsigned traceCategoryCount = 10;
 
 /** Human-readable category name ("fault", "msg", ...). */
 const char *traceCategoryName(TraceCategory c);

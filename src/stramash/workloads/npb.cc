@@ -21,6 +21,25 @@ mixChecksum(std::uint64_t acc, std::uint64_t v)
     return acc + v;
 }
 
+/** One offload hop before a processing procedure: the placer decides
+ *  the target (footprint = the principal working set), the historical
+ *  cyclic next-alive hop when no placer is attached. */
+void
+npbOffload(App &app, const NpbConfig &cfg)
+{
+    if (!cfg.migrate)
+        return;
+    if (cfg.placer) {
+        PlacementHints hints;
+        hints.footprintBytes = cfg.problemBytes;
+        NodeId dest = cfg.placer->offloadTarget(app.where(), hints);
+        if (dest != app.where())
+            app.migrate(dest);
+        return;
+    }
+    app.migrateToNext();
+}
+
 // ===================== IS: integer sort ==============================
 //
 // Bucket sort of 32-bit keys. Write-intensive: the histogram pass
@@ -103,8 +122,7 @@ class IsKernel final : public NpbKernel
                 }
             }
 
-            if (cfg.migrate)
-                app.migrateToNext();
+            npbOffload(app, cfg);
 
             // --- ranking procedure (runs on the remote side) ---
             std::vector<std::uint32_t> counts(numBuckets, 0);
@@ -261,8 +279,7 @@ class CgKernel final : public NpbKernel
         std::vector<double> shadowY(rowsAligned, 0.0);
 
         for (unsigned iter = 0; iter < cfg.iterations; ++iter) {
-            if (cfg.migrate)
-                app.migrateToNext();
+            npbOffload(app, cfg);
 
             // Two mat-vec passes per procedure.
             for (int pass = 0; pass < 2; ++pass) {
@@ -390,8 +407,7 @@ class MgKernel final : public NpbKernel
         };
 
         for (unsigned iter = 0; iter < cfg.iterations; ++iter) {
-            if (cfg.migrate)
-                app.migrateToNext();
+            npbOffload(app, cfg);
 
             // Smooth: read a sliding window of tiles, write the
             // result grid. Boundary elements use themselves as the
@@ -512,8 +528,7 @@ class FtKernel final : public NpbKernel
         }
 
         for (unsigned iter = 0; iter < cfg.iterations; ++iter) {
-            if (cfg.migrate)
-                app.migrateToNext();
+            npbOffload(app, cfg);
 
             // Fresh scratch every procedure — first touched on the
             // remote side.

@@ -20,6 +20,7 @@
 #include <string>
 
 #include "stramash/core/app.hh"
+#include "stramash/core/placement.hh"
 
 namespace stramash
 {
@@ -33,6 +34,9 @@ struct NpbConfig
     Addr problemBytes = 2 * 1024 * 1024;
     /** When false, the whole run stays at the origin ("Vanilla"). */
     bool migrate = true;
+    /** Decides each offload hop's target (footprint = problemBytes).
+     *  Null keeps the historical cyclic next-alive hop. */
+    Placer *placer = nullptr;
     std::uint64_t seed = 42;
 };
 

@@ -34,8 +34,18 @@ ShardedKvStore::ShardedKvStore(System &sys, ShardedKvConfig cfg)
             });
     }
 
-    for (NodeId n = 0; n < sys_.nodeCount(); ++n) {
-        servers_.push_back(std::make_unique<App>(sys_, n));
+    // One server task per shard (shards = nodes). The placer decides
+    // where each lives; without one, shard s stays on node s like the
+    // historical hard-coded layout.
+    for (NodeId s = 0; s < sys_.nodeCount(); ++s) {
+        NodeId node = s;
+        if (cfg_.placer) {
+            PlacementHints hints;
+            hints.footprintBytes = cfg_.keysPerShard * slotBytes_;
+            node = cfg_.placer->place(hints);
+        }
+        serverNode_.push_back(node);
+        servers_.push_back(std::make_unique<App>(sys_, node));
         slabs_.push_back(servers_.back()->mmap(
             cfg_.keysPerShard * slotBytes_, true, VmaKind::Anon,
             "kv_shard"));
@@ -79,25 +89,26 @@ ShardedKvStore::populate()
 }
 
 Errc
-ShardedKvStore::ingressPath(NodeId ingress, NodeId owner)
+ShardedKvStore::ingressPath(NodeId ingress, NodeId shard)
 {
     Machine &machine = sys_.machine();
+    NodeId owner = serverNode_[shard];
     if (ingress == owner) {
         // Local service: just the ingress-side stack work.
         machine.stall(ingress, KvStore::stackCycles);
         return Errc::Ok;
     }
-    ++counters_[owner].crossShard;
+    ++counters_[shard].crossShard;
     if (sys_.config().osDesign == OsDesign::MultipleKernel) {
-        if (breakerOpen_[owner]) {
+        if (breakerOpen_[shard]) {
             if (machine.linkState(ingress, owner) != LinkState::Up ||
                 machine.linkState(owner, ingress) != LinkState::Up) {
                 // Breaker open and the link still impaired: fast-fail
                 // without re-paying the full timeout/backoff budget.
-                ++counters_[owner].unreachable;
+                ++counters_[shard].unreachable;
                 return Errc::Unreachable;
             }
-            breakerOpen_[owner] = 0;
+            breakerOpen_[shard] = 0;
         }
         // Shared-nothing forwarding: two messages per request. The
         // channel scope is a no-op in sequential runs; in a parallel
@@ -110,13 +121,13 @@ ShardedKvStore::ingressPath(NodeId ingress, NodeId owner)
         req.type = MsgType::AppRequest;
         req.from = ingress;
         req.to = owner;
-        req.arg0 = servers_[owner]->pid();
+        req.arg0 = servers_[shard]->pid();
         if (!sys_.msg().tryRpc(req, MsgType::AppResponse)) {
             // Every retry timed out: open the breaker so the next
             // requests to this owner shed cheaply until the link
             // heals.
-            breakerOpen_[owner] = 1;
-            ++counters_[owner].unreachable;
+            breakerOpen_[shard] = 1;
+            ++counters_[shard].unreachable;
             return Errc::Unreachable;
         }
         return Errc::Ok;
@@ -149,27 +160,27 @@ Errc
 ShardedKvStore::execTagged(KvOp op, std::uint64_t key, NodeId ingress,
                            std::uint64_t salt)
 {
-    NodeId owner = shardOf(key);
+    NodeId shard = shardOf(key);
     // Shed before any charge or mirror update: a dead or fenced node
     // must not acknowledge work it could lose. The caller sees
     // Errc::Degraded; the host-side mirror never learns of the
     // request, which is what makes "zero acknowledged-write loss"
     // checkable by verify().
-    if (degradedNode(ingress) || degradedNode(owner)) {
-        ++counters_[owner].shed;
+    if (degradedNode(ingress) || degradedNode(serverNode_[shard])) {
+        ++counters_[shard].shed;
         return Errc::Degraded;
     }
-    if (Errc e = ingressPath(ingress, owner); e != Errc::Ok) {
-        ++counters_[owner].shed;
+    if (Errc e = ingressPath(ingress, shard); e != Errc::Ok) {
+        ++counters_[shard].shed;
         return e;
     }
 
     // The shard owner executes the operation against its own slab;
     // protocol parse/dispatch/reply is charged there like the
     // single-server experiment does.
-    App &app = *servers_[owner];
+    App &app = *servers_[shard];
     app.compute(2500);
-    Addr slot = slotAddr(owner, key);
+    Addr slot = slotAddr(shard, key);
     // Scratch payload buffer, reused across requests: a per-request
     // vector would put one malloc/free on every op of every host
     // lane of a parallel batch.
@@ -186,7 +197,7 @@ ShardedKvStore::execTagged(KvOp op, std::uint64_t key, NodeId ingress,
                   static_cast<std::uint8_t>(key));
         app.write<std::uint64_t>(slot, tag);
         app.writeBuf(slot + 8, payload.data(), cfg_.payloadBytes);
-        expected_[owner][(key / servers_.size()) % cfg_.keysPerShard] =
+        expected_[shard][(key / servers_.size()) % cfg_.keysPerShard] =
             tag;
         break;
       }
@@ -194,7 +205,7 @@ ShardedKvStore::execTagged(KvOp op, std::uint64_t key, NodeId ingress,
         panic("sharded kv: only Get/Set are part of the scaling "
               "experiment");
     }
-    ++counters_[owner].requests;
+    ++counters_[shard].requests;
     return Errc::Ok;
 }
 
@@ -224,16 +235,21 @@ struct OwnerQueue
     std::vector<std::uint64_t> key;
 };
 
-/** Serves blocks of each owner's queue per epoch. Every request runs
- *  entirely on the owner's lane; charges the request makes against
- *  other nodes (ingress stack work, fused doorbells, IPIs) are staged
- *  by the Machine's lane hooks and applied at the next barrier. */
+/** Serves blocks of each shard's queue per epoch, on the lane of the
+ *  node the shard's server was placed on. Every request runs entirely
+ *  on that lane; charges the request makes against other nodes
+ *  (ingress stack work, fused doorbells, IPIs) are staged by the
+ *  Machine's lane hooks and applied at the next barrier. */
 class ShardedKvDriver final : public EpochDriver
 {
   public:
-    ShardedKvDriver(ShardedKvStore &store, std::size_t nodes,
+    ShardedKvDriver(ShardedKvStore &store,
+                    std::vector<std::vector<NodeId>> shardsOn,
                     std::vector<OwnerQueue> queues)
-        : store_(store), next_(nodes, 0), queues_(std::move(queues))
+        : store_(store),
+          shardsOn_(std::move(shardsOn)),
+          next_(queues.size(), 0),
+          queues_(std::move(queues))
     {
     }
 
@@ -243,20 +259,27 @@ class ShardedKvDriver final : public EpochDriver
         // Large enough to amortise the barrier, small enough that
         // lanes owning several shards interleave them fairly.
         static constexpr std::size_t kBlock = 1024;
-        const OwnerQueue &q = queues_[node];
-        std::size_t &i = next_[node];
-        std::size_t end = std::min(q.r.size(), i + kBlock);
-        std::size_t n = next_.size();
-        for (; i < end; ++i) {
-            KvOp op = (q.r[i] & 1) ? KvOp::Set : KvOp::Get;
-            store_.execTagged(op, q.key[i],
-                              static_cast<NodeId>(q.r[i] % n), q.r[i]);
+        std::size_t n = shardsOn_.size();
+        bool more = false;
+        for (NodeId shard : shardsOn_[node]) {
+            const OwnerQueue &q = queues_[shard];
+            std::size_t &i = next_[shard];
+            std::size_t end = std::min(q.r.size(), i + kBlock);
+            for (; i < end; ++i) {
+                KvOp op = (q.r[i] & 1) ? KvOp::Set : KvOp::Get;
+                store_.execTagged(op, q.key[i],
+                                  static_cast<NodeId>(q.r[i] % n),
+                                  q.r[i]);
+            }
+            more |= i < q.r.size();
         }
-        return i < q.r.size();
+        return more;
     }
 
   private:
     ShardedKvStore &store_;
+    /** Node -> shards whose server lives there. */
+    std::vector<std::vector<NodeId>> shardsOn_;
     std::vector<std::size_t> next_;
     std::vector<OwnerQueue> queues_;
 };
@@ -278,7 +301,11 @@ ShardedKvStore::runParallel(std::uint64_t totalRequests,
         q.r.push_back(r);
         q.key.push_back(key);
     }
-    ShardedKvDriver driver(*this, n, std::move(queues));
+    std::vector<std::vector<NodeId>> shardsOn(sys_.nodeCount());
+    for (NodeId s = 0; s < serverNode_.size(); ++s)
+        shardsOn[serverNode_[s]].push_back(s);
+    ShardedKvDriver driver(*this, std::move(shardsOn),
+                           std::move(queues));
     exec.run(driver);
     return sys_.machine().maxRuntime() - before;
 }

@@ -28,6 +28,7 @@
 
 #include "stramash/common/rng.hh"
 #include "stramash/core/app.hh"
+#include "stramash/core/placement.hh"
 #include "stramash/workloads/kvstore.hh"
 
 namespace stramash
@@ -39,6 +40,10 @@ struct ShardedKvConfig
     std::size_t keysPerShard = 64;
     /** Value size in bytes. */
     std::size_t payloadBytes = 256;
+    /** Places each shard's server task (footprint = the shard slab).
+     *  Null keeps the historical identity mapping: shard s on node
+     *  s. */
+    Placer *placer = nullptr;
     /** Request-stream seed (key choice and get/set mix). */
     std::uint64_t seed = 7;
 };
@@ -59,6 +64,17 @@ class ShardedKvStore
     shardOf(std::uint64_t key) const
     {
         return static_cast<NodeId>(key % servers_.size());
+    }
+
+    /** The node @p shard's server task was placed on (identity when
+     *  no Placer was configured). */
+    NodeId serverNode(NodeId shard) const { return serverNode_[shard]; }
+
+    /** The node serving @p key: serverNode(shardOf(key)). */
+    NodeId
+    ownerNodeOf(std::uint64_t key) const
+    {
+        return serverNode_[shardOf(key)];
     }
 
     /**
@@ -192,6 +208,8 @@ class ShardedKvStore
     Rng rng_;
     std::size_t slotBytes_;
     std::vector<std::unique_ptr<App>> servers_;
+    /** Shard -> node its server runs on. */
+    std::vector<NodeId> serverNode_;
     /** Per-shard slab base (in that server's address space). */
     std::vector<Addr> slabs_;
     /** Host-side mirror of every slot's tag word, for verify(). */
@@ -209,9 +227,9 @@ class ShardedKvStore
      *  frozen in the self-fenced degraded mode. */
     bool degradedNode(NodeId node) const;
 
-    /** Ingress-side socket work, plus forwarding when the shard
-     *  owner is another node. */
-    Errc ingressPath(NodeId ingress, NodeId owner);
+    /** Ingress-side socket work, plus forwarding when @p shard's
+     *  server lives on another node. */
+    Errc ingressPath(NodeId ingress, NodeId shard);
 };
 
 } // namespace stramash

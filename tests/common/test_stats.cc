@@ -149,6 +149,69 @@ TEST(Histogram, Reset)
     EXPECT_EQ(h.minValue(), 7u);
 }
 
+TEST(Histogram, MergeCombinesCountsBucketsAndExtremes)
+{
+    Histogram a({10, 100, 1000});
+    Histogram b({10, 100, 1000});
+    a.sample(5);
+    a.sample(50);
+    b.sample(500);
+    b.sample(5000);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_EQ(a.minValue(), 5u);
+    EXPECT_EQ(a.maxValue(), 5000u);
+    EXPECT_EQ(a.buckets()[0], 1u);
+    EXPECT_EQ(a.buckets()[1], 1u);
+    EXPECT_EQ(a.buckets()[2], 1u);
+    EXPECT_EQ(a.buckets()[3], 1u);
+    EXPECT_DOUBLE_EQ(a.mean(), (5 + 50 + 500 + 5000) / 4.0);
+    // b is untouched.
+    EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(Histogram, MergeEmptySidesAreIdentity)
+{
+    Histogram a({10});
+    Histogram b({10});
+    b.sample(3);
+    b.sample(30);
+
+    // empty.merge(full) adopts full's extremes (min must not stay 0).
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_EQ(a.minValue(), 3u);
+    EXPECT_EQ(a.maxValue(), 30u);
+
+    // full.merge(empty) changes nothing.
+    Histogram empty({10});
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_EQ(a.minValue(), 3u);
+}
+
+TEST(Histogram, MergeThenResetRoundTrips)
+{
+    Histogram a({10});
+    Histogram b({10});
+    a.sample(1);
+    b.sample(100);
+    a.merge(b);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    a.sample(4);
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_EQ(a.minValue(), 4u);
+    EXPECT_EQ(a.maxValue(), 4u);
+}
+
+TEST(HistogramDeath, MergeMismatchedEdgesPanics)
+{
+    Histogram a({10});
+    Histogram b({10, 100});
+    EXPECT_DEATH(a.merge(b), "mismatched bucket edges");
+}
+
 TEST(StatGroup, HistogramRegistrationAndLookup)
 {
     StatGroup g("g");

@@ -27,12 +27,12 @@ TEST(MsgTypeNames, EveryTypeHasAUniqueNonEmptyName)
 
 TEST(MsgTypeNames, CountMatchesLastEnumerator)
 {
-    // CacheInvalidate is deliberately kept last; msgTypeCount derives
+    // StealResponse is deliberately kept last; msgTypeCount derives
     // from it.
-    EXPECT_EQ(static_cast<unsigned>(MsgType::CacheInvalidate),
+    EXPECT_EQ(static_cast<unsigned>(MsgType::StealResponse),
               msgTypeCount - 1);
-    EXPECT_STREQ(msgTypeName(MsgType::CacheInvalidate),
-                 "cache_invalidate");
+    EXPECT_STREQ(msgTypeName(MsgType::StealResponse),
+                 "steal_response");
 }
 
 TEST(MsgTypeNames, ResponseClassificationMatchesNaming)

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Scheduler chaos tests: work stealing racing node crashes and
+ * network partitions, at the house seeds {3, 11, 29}.
+ *
+ * The invariants under fault are the recovery design's:
+ *
+ *  - fused: a dead node's run queue lives in coherent memory, so the
+ *    recovery hook drains every queued item to the survivor — nothing
+ *    queued is lost, everything executes exactly once.
+ *  - Popcorn: the dead node's queue was its private memory; queued
+ *    items are lost (and counted), never double-executed.
+ *  - partitions only break the *message* steal path: fused steals
+ *    ride coherent memory straight through a severed link, Popcorn
+ *    steals fail cleanly (steals_unreachable) and the victim works
+ *    off its own backlog.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "stramash/fault/crash.hh"
+#include "stramash/sched/scheduler.hh"
+
+using namespace stramash;
+
+namespace
+{
+
+constexpr std::uint64_t chaosSeeds[] = {3, 11, 29};
+
+std::unique_ptr<System>
+makeSystem(OsDesign design, std::size_t nodes)
+{
+    SystemConfig cfg;
+    cfg.osDesign = design;
+    cfg.transport = Transport::SharedMemory;
+    cfg.cachePluginEnabled = false;
+    cfg.crash.enabled = true;
+    cfg.topology =
+        TopologySpec::alternating(nodes, MemoryModel::Shared);
+    return std::make_unique<System>(cfg);
+}
+
+/**
+ * Seeded skewed submission: every item lands on victimNode (a fully
+ * pathological hand layout), with a seed-varied count and weight, so
+ * the other nodes start idle and steal rounds actually fire.
+ */
+std::uint64_t
+submitSkewed(Scheduler &sched, System &sys, std::uint64_t seed,
+             NodeId victimNode)
+{
+    Rng rng(seed, 0x5eed);
+    std::uint64_t items = 60 + rng.below(40);
+    for (std::uint64_t i = 0; i < items; ++i) {
+        WorkItem item;
+        item.tag = i;
+        item.weight = 1000 + rng.below(2000);
+        std::uint64_t weight = item.weight;
+        item.fn = [&sys, weight](NodeId node) {
+            sys.machine().stall(node, weight);
+        };
+        sched.submitTo(victimNode, std::move(item));
+    }
+    return items;
+}
+
+} // namespace
+
+TEST(SchedChaos, FusedCrashDrainsTheQueueAndLosesNothing)
+{
+    for (std::uint64_t seed : chaosSeeds) {
+        auto sys = makeSystem(OsDesign::FusedKernel, 4);
+        Scheduler sched(*sys, SchedConfig{});
+        std::uint64_t items = submitSkewed(sched, *sys, seed, 1);
+
+        // Spread part of the backlog, then the loaded node dies and
+        // a survivor declares it (declaration is what runs recovery).
+        sched.stealRound();
+        std::uint64_t before = sched.itemsExecuted();
+        sys->crashManager()->declareDead(1, 0);
+        EXPECT_EQ(sched.queueDepth(1), 0u) << "seed " << seed;
+        EXPECT_GE(sched.stats().value("queue_items_drained"), 1u)
+            << "seed " << seed;
+
+        sched.runInline();
+        // Exactly-once across the crash: everything queued anywhere
+        // still executed, nothing twice.
+        EXPECT_EQ(sched.itemsExecuted(), items) << "seed " << seed;
+        EXPECT_GE(sched.itemsExecuted(), before) << "seed " << seed;
+        EXPECT_EQ(sched.totalQueued(), 0u) << "seed " << seed;
+    }
+}
+
+TEST(SchedChaos, PopcornCrashLosesExactlyTheDeadQueue)
+{
+    for (std::uint64_t seed : chaosSeeds) {
+        auto sys = makeSystem(OsDesign::MultipleKernel, 4);
+        Scheduler sched(*sys, SchedConfig{});
+        std::uint64_t items = submitSkewed(sched, *sys, seed, 1);
+
+        // Some items escape to thieves first; exactly what is still
+        // queued on the victim at declaration time is lost.
+        sched.stealRound();
+        std::uint64_t doomed = sched.queueDepth(1);
+        EXPECT_LT(doomed, items) << "seed " << seed;
+        sys->crashManager()->declareDead(1, 0);
+        EXPECT_EQ(sched.stats().value("queue_items_lost"), doomed)
+            << "seed " << seed;
+
+        sched.runInline();
+        EXPECT_EQ(sched.itemsExecuted(), items - doomed)
+            << "seed " << seed;
+        EXPECT_EQ(sched.totalQueued(), 0u) << "seed " << seed;
+    }
+}
+
+TEST(SchedChaos, FusedStealsRideThroughAPartition)
+{
+    for (std::uint64_t seed : chaosSeeds) {
+        auto sys = makeSystem(OsDesign::FusedKernel, 4);
+        Scheduler sched(*sys, SchedConfig{});
+        std::uint64_t items = submitSkewed(sched, *sys, seed, 0);
+
+        // Sever every message link out of the loaded node. Fused
+        // steals are loads and stores in coherent memory — the
+        // partition is invisible to them.
+        for (NodeId n = 1; n < 4; ++n)
+            sys->severLink(0, n);
+        std::uint64_t msgs = sys->messagesSent();
+        sched.stealRound();
+        EXPECT_GE(sched.stats().value("steals_succeeded"), 1u)
+            << "seed " << seed;
+        EXPECT_EQ(sys->messagesSent(), msgs) << "seed " << seed;
+
+        sched.runInline();
+        EXPECT_EQ(sched.itemsExecuted(), items) << "seed " << seed;
+    }
+}
+
+TEST(SchedChaos, PopcornStealsFailCleanlyAcrossAPartition)
+{
+    for (std::uint64_t seed : chaosSeeds) {
+        auto sys = makeSystem(OsDesign::MultipleKernel, 4);
+        Scheduler sched(*sys, SchedConfig{});
+        std::uint64_t items = submitSkewed(sched, *sys, seed, 0);
+
+        for (NodeId n = 1; n < 4; ++n)
+            sys->severLink(0, n);
+        sched.stealRound();
+        // Every attempted steal from the isolated victim burned its
+        // RPC retries and gave up; no items moved.
+        EXPECT_EQ(sched.stats().value("steals_succeeded"), 0u)
+            << "seed " << seed;
+        EXPECT_GE(sched.stats().value("steals_unreachable"), 1u)
+            << "seed " << seed;
+
+        // The victim is not dead — it works off its own backlog and
+        // the run still completes everything.
+        sched.runInline();
+        EXPECT_EQ(sched.itemsExecuted(), items) << "seed " << seed;
+    }
+}

@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Scheduler unit tests: placement policies, run-queue mechanics, the
+ * two steal paths, and dead-node queue draining.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "stramash/fault/crash.hh"
+#include "stramash/sched/scheduler.hh"
+
+using namespace stramash;
+
+namespace
+{
+
+std::unique_ptr<System>
+makeSystem(OsDesign design, std::size_t nodes,
+           bool crashEnabled = false)
+{
+    SystemConfig cfg;
+    cfg.osDesign = design;
+    cfg.transport = Transport::SharedMemory;
+    cfg.cachePluginEnabled = false;
+    cfg.crash.enabled = crashEnabled;
+    cfg.topology =
+        TopologySpec::alternating(nodes, MemoryModel::Shared);
+    return std::make_unique<System>(cfg);
+}
+
+WorkItem
+burnItem(System &sys, std::uint64_t tag, std::uint64_t weight)
+{
+    WorkItem item;
+    item.tag = tag;
+    item.weight = weight;
+    item.fn = [&sys, weight](NodeId node) {
+        sys.machine().stall(node, weight);
+    };
+    return item;
+}
+
+} // namespace
+
+TEST(SchedPlacement, PinAlwaysWins)
+{
+    auto sys = makeSystem(OsDesign::FusedKernel, 4);
+    SchedConfig sc;
+    sc.policy = PlacementPolicy::LeastLoaded;
+    Scheduler sched(*sys, sc);
+
+    PlacementHints hints;
+    hints.pin = 2;
+    EXPECT_EQ(sched.place(hints), 2u);
+    EXPECT_EQ(sched.offloadTarget(0, hints), 2u);
+    EXPECT_EQ(sched.stats().value("placed_pin"), 1u);
+}
+
+TEST(SchedPlacement, AffinityRoundRobinsAndHonoursIsa)
+{
+    auto sys = makeSystem(OsDesign::FusedKernel, 4);
+    SchedConfig sc;
+    sc.policy = PlacementPolicy::IsaAffinity;
+    Scheduler sched(*sys, sc);
+
+    // No ISA preference: plain round-robin, so four placements cover
+    // all four nodes in order — the identity layout the differential
+    // tests rely on.
+    PlacementHints any;
+    for (NodeId expect = 0; expect < 4; ++expect)
+        EXPECT_EQ(sched.place(any), expect);
+
+    // ISA preference: only nodes running that ISA are eligible.
+    PlacementHints x86;
+    x86.preferIsa = sys->kernel(0).isa();
+    for (int i = 0; i < 4; ++i) {
+        NodeId n = sched.place(x86);
+        EXPECT_EQ(sys->kernel(n).isa(), *x86.preferIsa);
+    }
+}
+
+TEST(SchedPlacement, LeastLoadedPicksTheIdleNode)
+{
+    auto sys = makeSystem(OsDesign::FusedKernel, 4);
+    Scheduler sched(*sys, SchedConfig{});
+
+    // Load up nodes 0..2; node 3 stays idle.
+    for (NodeId n = 0; n < 3; ++n)
+        sys->machine().stall(n, 100000);
+    PlacementHints hints;
+    EXPECT_EQ(sched.place(hints), 3u);
+
+    // Queued-but-unexecuted weight counts as load too.
+    sched.submitTo(3, burnItem(*sys, 1, 500000));
+    EXPECT_NE(sched.place(hints), 3u);
+}
+
+TEST(SchedPlacement, CostModelChargesTheMove)
+{
+    auto sys = makeSystem(OsDesign::FusedKernel, 2);
+    SchedConfig sc;
+    sc.policy = PlacementPolicy::CostModel;
+    sc.migrationChargeCycles = 8000;
+    sc.refillCyclesPerLine = 40;
+    Scheduler sched(*sys, sc);
+
+    // Tiny imbalance: moving cannot pay for itself.
+    sys->machine().stall(0, 1000);
+    PlacementHints small;
+    small.footprintBytes = 64 * 1024;
+    EXPECT_EQ(sched.offloadTarget(0, small), 0u);
+    EXPECT_GE(sched.stats().value("offload_cost_stay"), 1u);
+
+    // Huge imbalance: the benefit clears the charge + refill.
+    sys->machine().stall(0, 10000000);
+    EXPECT_EQ(sched.offloadTarget(0, small), 1u);
+    EXPECT_GE(sched.stats().value("offload_cost_move"), 1u);
+}
+
+TEST(SchedPlacement, AffinityOffloadMatchesMigrateToNext)
+{
+    auto sys = makeSystem(OsDesign::FusedKernel, 4, true);
+    SchedConfig sc;
+    sc.policy = PlacementPolicy::IsaAffinity;
+    Scheduler sched(*sys, sc);
+
+    PlacementHints hints;
+    for (NodeId from = 0; from < 4; ++from)
+        EXPECT_EQ(sched.offloadTarget(from, hints), (from + 1) % 4);
+
+    // With the cyclic successor dead, the hop skips it — the same
+    // next-alive scan App::migrateToNext runs.
+    sys->killNode(1);
+    EXPECT_EQ(sched.offloadTarget(0, hints), 2u);
+}
+
+TEST(SchedQueues, RunInlineExecutesEverythingOnce)
+{
+    auto sys = makeSystem(OsDesign::FusedKernel, 4);
+    Scheduler sched(*sys, SchedConfig{});
+
+    for (std::uint64_t i = 0; i < 100; ++i)
+        sched.submitTo(static_cast<NodeId>(i % 3),
+                       burnItem(*sys, i, 1000));
+    EXPECT_EQ(sched.totalQueued(), 100u);
+
+    Cycles spent = sched.runInline();
+    EXPECT_GT(spent, 0u);
+    EXPECT_EQ(sched.totalQueued(), 0u);
+    EXPECT_EQ(sched.itemsExecuted(), 100u);
+    EXPECT_EQ(sched.stats().value("items_executed"), 100u);
+}
+
+TEST(SchedQueues, SubmitToDeadNodeSlidesToNextAlive)
+{
+    auto sys = makeSystem(OsDesign::FusedKernel, 4, true);
+    Scheduler sched(*sys, SchedConfig{});
+    sys->killNode(1);
+    EXPECT_EQ(sched.submitTo(1, burnItem(*sys, 7, 100)), 2u);
+    EXPECT_EQ(sched.queueDepth(2), 1u);
+}
+
+TEST(SchedSteal, VictimKeepsAtLeastOneItem)
+{
+    auto sys = makeSystem(OsDesign::FusedKernel, 2);
+    SchedConfig sc;
+    sc.stealBatch = 8;
+    Scheduler sched(*sys, sc);
+
+    // Two items on node 0, none on node 1: a steal round may move at
+    // most one (depth - 1).
+    sched.submitTo(0, burnItem(*sys, 1, 1000));
+    sched.submitTo(0, burnItem(*sys, 2, 1000));
+    sched.stealRound();
+    EXPECT_EQ(sched.queueDepth(0), 1u);
+    EXPECT_EQ(sched.queueDepth(1), 1u);
+    EXPECT_EQ(sched.stats().value("steal_items"), 1u);
+}
+
+TEST(SchedSteal, FusedStealIsMessageFree)
+{
+    auto sys = makeSystem(OsDesign::FusedKernel, 2);
+    Scheduler sched(*sys, SchedConfig{});
+    for (std::uint64_t i = 0; i < 10; ++i)
+        sched.submitTo(0, burnItem(*sys, i, 1000));
+
+    std::uint64_t msgs = sys->messagesSent();
+    sched.stealRound();
+    EXPECT_GE(sched.stats().value("steals_succeeded"), 1u);
+    EXPECT_EQ(sys->messagesSent(), msgs);
+}
+
+TEST(SchedSteal, PopcornStealPaysTheRpc)
+{
+    auto sys = makeSystem(OsDesign::MultipleKernel, 2);
+    Scheduler sched(*sys, SchedConfig{});
+    for (std::uint64_t i = 0; i < 10; ++i)
+        sched.submitTo(0, burnItem(*sys, i, 1000));
+
+    std::uint64_t msgs = sys->messagesSent();
+    sched.stealRound();
+    EXPECT_GE(sched.stats().value("steals_succeeded"), 1u);
+    EXPECT_GE(sys->messagesSent(), msgs + 2);
+}
+
+TEST(SchedSteal, StealingDisabledMeansQueuesStayPut)
+{
+    auto sys = makeSystem(OsDesign::FusedKernel, 2);
+    SchedConfig sc;
+    sc.stealing = false;
+    Scheduler sched(*sys, sc);
+    for (std::uint64_t i = 0; i < 10; ++i)
+        sched.submitTo(0, burnItem(*sys, i, 1000));
+    sched.stealRound();
+    EXPECT_EQ(sched.queueDepth(0), 10u);
+    EXPECT_EQ(sched.stats().value("steals_attempted"), 0u);
+}
+
+TEST(SchedDrain, FusedSurvivorAdoptsDeadNodesQueue)
+{
+    auto sys = makeSystem(OsDesign::FusedKernel, 2, true);
+    Scheduler sched(*sys, SchedConfig{});
+    for (std::uint64_t i = 0; i < 8; ++i)
+        sched.submitTo(1, burnItem(*sys, i, 1000));
+
+    // Recovery (and with it the scheduler's drain hook) runs at
+    // declaration, not at the kill itself.
+    sys->crashManager()->declareDead(1, 0);
+    EXPECT_EQ(sched.queueDepth(1), 0u);
+    EXPECT_EQ(sched.queueDepth(0), 8u);
+    EXPECT_EQ(sched.stats().value("queue_items_drained"), 8u);
+
+    sched.runInline();
+    EXPECT_EQ(sched.itemsExecuted(), 8u);
+}
+
+TEST(SchedDrain, PopcornLosesTheDeadQueue)
+{
+    auto sys = makeSystem(OsDesign::MultipleKernel, 2, true);
+    Scheduler sched(*sys, SchedConfig{});
+    for (std::uint64_t i = 0; i < 8; ++i)
+        sched.submitTo(1, burnItem(*sys, i, 1000));
+
+    sys->crashManager()->declareDead(1, 0);
+    EXPECT_EQ(sched.queueDepth(0), 0u);
+    EXPECT_EQ(sched.queueDepth(1), 0u);
+    EXPECT_EQ(sched.stats().value("queue_items_lost"), 8u);
+    sched.runInline();
+    EXPECT_EQ(sched.itemsExecuted(), 0u);
+}
+
+TEST(SchedSystem, SpawnPlacedGoesThroughTheScheduler)
+{
+    auto sys = makeSystem(OsDesign::FusedKernel, 4);
+    SchedConfig sc;
+    sc.policy = PlacementPolicy::IsaAffinity;
+    Scheduler sched(*sys, sc);
+    ASSERT_EQ(sys->placer(), &sched);
+
+    // Round-robin placement through System::spawnPlaced and the
+    // hint-taking App constructor.
+    NodeId chosen = invalidNode;
+    Pid p = sys->spawnPlaced(PlacementHints{}, &chosen);
+    EXPECT_EQ(chosen, 0u);
+    EXPECT_EQ(sys->whereIs(p), 0u);
+    App app(*sys, PlacementHints{});
+    EXPECT_EQ(app.where(), 1u);
+
+    // Without a placer the same APIs fall back to the pin (node 0).
+    sys->setPlacer(nullptr);
+    PlacementHints pinned;
+    pinned.pin = 3;
+    App pinnedApp(*sys, pinned);
+    EXPECT_EQ(pinnedApp.where(), 3u);
+}
+
+TEST(SchedStats, DepthHistogramSamplesEachStealRound)
+{
+    auto sys = makeSystem(OsDesign::FusedKernel, 2);
+    Scheduler sched(*sys, SchedConfig{});
+    sched.submitTo(0, burnItem(*sys, 1, 100));
+    sched.stealRound();
+    const Histogram &h = sched.stats().histogram(
+        "runqueue_depth", {1, 2, 4, 8, 16, 32, 64, 128, 256, 512});
+    EXPECT_EQ(h.count(), 2u); // one sample per usable node
+}

@@ -250,6 +250,20 @@ TEST_F(ExporterTest, EventsProduceValidJsonWithPerNodeTracks)
     EXPECT_NE(json.find("\"arg0\":3735928559"), std::string::npos);
 }
 
+TEST_F(ExporterTest, SchedulerEventsExportUnderTheSchedCategory)
+{
+    clock_[1] = 42;
+    tracer_.instant(TraceCategory::Sched, "sched.place", 1, 9, 2, 0);
+    tracer_.instant(TraceCategory::Sched, "sched.steal", 1, 0, 1, 8);
+    std::string json = exported();
+    EXPECT_TRUE(JsonChecker(json).valid()) << json;
+    EXPECT_NE(json.find("\"cat\":\"sched\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"sched.place\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"sched.steal\""),
+              std::string::npos);
+}
+
 TEST_F(ExporterTest, TimestampsAreMonotone)
 {
     // Emit out of order across nodes; the exporter merges by start
